@@ -1,0 +1,221 @@
+//! ACMP execution configurations: the `<core, frequency>` tuples that the
+//! paper's schedulers pick from (Sec. 4.1).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::FreqMhz;
+
+/// The microarchitectural class of a CPU core cluster.
+///
+/// The Exynos 5410 evaluated in the paper pairs out-of-order Cortex-A15 "big"
+/// cores with in-order Cortex-A7 "little" cores; the TX2 sensitivity study
+/// uses Cortex-A57 cores.
+///
+/// # Examples
+///
+/// ```
+/// use pes_acmp::CoreKind;
+///
+/// assert!(CoreKind::BigA15.is_big());
+/// assert!(!CoreKind::LittleA7.is_big());
+/// assert_eq!(CoreKind::BigA15.to_string(), "A15(big)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CoreKind {
+    /// Out-of-order Cortex-A15 (the Exynos 5410 "big" cluster).
+    BigA15,
+    /// In-order Cortex-A7 (the Exynos 5410 "LITTLE" cluster).
+    LittleA7,
+    /// Cortex-A57 (the NVIDIA TX2 "other devices" study, Sec. 6.5).
+    A57,
+    /// Denver 2 (the other TX2 cluster; kept for completeness).
+    Denver2,
+}
+
+impl CoreKind {
+    /// All core kinds known to the model.
+    pub const ALL: [CoreKind; 4] = [
+        CoreKind::BigA15,
+        CoreKind::LittleA7,
+        CoreKind::A57,
+        CoreKind::Denver2,
+    ];
+
+    /// Whether this core kind belongs to a high-performance ("big") cluster.
+    pub fn is_big(self) -> bool {
+        matches!(self, CoreKind::BigA15 | CoreKind::A57 | CoreKind::Denver2)
+    }
+
+    /// Relative instructions-per-cycle of this core compared to the in-order
+    /// Cortex-A7 baseline. Used to translate an event's cycle requirement
+    /// between core kinds.
+    pub fn ipc_relative_to_a7(self) -> f64 {
+        match self {
+            CoreKind::BigA15 => 1.75,
+            CoreKind::LittleA7 => 1.0,
+            CoreKind::A57 => 2.0,
+            CoreKind::Denver2 => 2.2,
+        }
+    }
+
+    /// Short human-readable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CoreKind::BigA15 => "A15(big)",
+            CoreKind::LittleA7 => "A7(little)",
+            CoreKind::A57 => "A57",
+            CoreKind::Denver2 => "Denver2",
+        }
+    }
+}
+
+impl fmt::Display for CoreKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A single ACMP execution configuration: a `<core, frequency>` tuple
+/// (Sec. 4.1 of the paper). Events are always executed on exactly one
+/// configuration (Eqn. 2).
+///
+/// # Examples
+///
+/// ```
+/// use pes_acmp::{AcmpConfig, CoreKind};
+/// use pes_acmp::units::FreqMhz;
+///
+/// let cfg = AcmpConfig::new(CoreKind::BigA15, FreqMhz::new(1800));
+/// assert_eq!(cfg.core(), CoreKind::BigA15);
+/// assert_eq!(cfg.frequency().as_mhz(), 1800);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AcmpConfig {
+    core: CoreKind,
+    frequency: FreqMhz,
+}
+
+impl AcmpConfig {
+    /// Creates a configuration from a core kind and a frequency.
+    pub const fn new(core: CoreKind, frequency: FreqMhz) -> Self {
+        AcmpConfig { core, frequency }
+    }
+
+    /// The core kind of this configuration.
+    pub const fn core(&self) -> CoreKind {
+        self.core
+    }
+
+    /// The clock frequency of this configuration.
+    pub const fn frequency(&self) -> FreqMhz {
+        self.frequency
+    }
+
+    /// Effective throughput of the configuration in "A7-equivalent MHz":
+    /// frequency scaled by the core's relative IPC. Higher means the same
+    /// event finishes faster.
+    pub fn effective_throughput_mhz(&self) -> f64 {
+        self.frequency.as_mhz() as f64 * self.core.ipc_relative_to_a7()
+    }
+}
+
+impl fmt::Display for AcmpConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}>", self.core, self.frequency)
+    }
+}
+
+/// A dense index into a [`crate::Platform`]'s configuration table.
+///
+/// Schedulers and the ILP formulation work with configuration indices
+/// (`j` in Eqn. 2–5) rather than with the tuples themselves.
+///
+/// # Examples
+///
+/// ```
+/// use pes_acmp::ConfigId;
+///
+/// let id = ConfigId::new(3);
+/// assert_eq!(id.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ConfigId(usize);
+
+impl ConfigId {
+    /// Creates a configuration index.
+    pub const fn new(index: usize) -> Self {
+        ConfigId(index)
+    }
+
+    /// Returns the raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ConfigId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cfg#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_little_classification() {
+        assert!(CoreKind::BigA15.is_big());
+        assert!(CoreKind::A57.is_big());
+        assert!(CoreKind::Denver2.is_big());
+        assert!(!CoreKind::LittleA7.is_big());
+    }
+
+    #[test]
+    fn ipc_ordering_matches_microarchitecture() {
+        // Out-of-order cores retire more instructions per cycle than the
+        // in-order A7 baseline.
+        assert!(CoreKind::BigA15.ipc_relative_to_a7() > CoreKind::LittleA7.ipc_relative_to_a7());
+        assert!(CoreKind::A57.ipc_relative_to_a7() >= CoreKind::BigA15.ipc_relative_to_a7());
+        assert_eq!(CoreKind::LittleA7.ipc_relative_to_a7(), 1.0);
+    }
+
+    #[test]
+    fn config_accessors_and_display() {
+        let cfg = AcmpConfig::new(CoreKind::LittleA7, FreqMhz::new(600));
+        assert_eq!(cfg.core(), CoreKind::LittleA7);
+        assert_eq!(cfg.frequency(), FreqMhz::new(600));
+        assert_eq!(cfg.to_string(), "<A7(little), 600 MHz>");
+    }
+
+    #[test]
+    fn effective_throughput_reflects_ipc_and_frequency() {
+        let big = AcmpConfig::new(CoreKind::BigA15, FreqMhz::new(1000));
+        let little = AcmpConfig::new(CoreKind::LittleA7, FreqMhz::new(1000));
+        assert!(big.effective_throughput_mhz() > little.effective_throughput_mhz());
+
+        let slow_big = AcmpConfig::new(CoreKind::BigA15, FreqMhz::new(800));
+        let fast_big = AcmpConfig::new(CoreKind::BigA15, FreqMhz::new(1800));
+        assert!(fast_big.effective_throughput_mhz() > slow_big.effective_throughput_mhz());
+    }
+
+    #[test]
+    fn config_id_round_trip() {
+        for i in 0..17 {
+            assert_eq!(ConfigId::new(i).index(), i);
+        }
+        assert_eq!(ConfigId::new(4).to_string(), "cfg#4");
+    }
+
+    #[test]
+    fn config_is_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(AcmpConfig::new(CoreKind::BigA15, FreqMhz::new(800)));
+        set.insert(AcmpConfig::new(CoreKind::BigA15, FreqMhz::new(800)));
+        set.insert(AcmpConfig::new(CoreKind::LittleA7, FreqMhz::new(350)));
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,404 @@
+//! The analytical DVFS latency model of Eqn. 1: `T = Tmem + Ndep / f`.
+//!
+//! Events carry a [`CpuDemand`] (memory-bound time plus a CPU-cycle
+//! requirement); [`DvfsModel`] maps a demand and an [`AcmpConfig`] to an
+//! execution latency and to the energy spent, and — like EBS and PES — can
+//! *recover* the demand from two latency observations at different
+//! frequencies by solving the two-equation system described in Sec. 5.3.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::AcmpConfig;
+use crate::error::AcmpError;
+use crate::platform::Platform;
+use crate::units::{CpuCycles, EnergyUj, FreqMhz, PowerMw, TimeUs};
+
+/// The compute demand of one event execution, expressed in
+/// microarchitecture-independent terms.
+///
+/// `ref_cycles` is the number of CPU cycles the event needs on the in-order
+/// Cortex-A7 reference core (IPC = 1.0 in this model); the cycle count on any
+/// other core kind is obtained by dividing by that core's relative IPC.
+/// `t_mem` is the frequency-independent memory-access time of Eqn. 1.
+///
+/// # Examples
+///
+/// ```
+/// use pes_acmp::dvfs::CpuDemand;
+/// use pes_acmp::units::{CpuCycles, TimeUs};
+///
+/// let d = CpuDemand::new(TimeUs::from_millis(5), CpuCycles::new(100_000_000));
+/// assert_eq!(d.t_mem(), TimeUs::from_millis(5));
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CpuDemand {
+    t_mem: TimeUs,
+    ref_cycles: CpuCycles,
+}
+
+impl CpuDemand {
+    /// Creates a demand from a memory time and an A7-equivalent cycle count.
+    pub const fn new(t_mem: TimeUs, ref_cycles: CpuCycles) -> Self {
+        CpuDemand { t_mem, ref_cycles }
+    }
+
+    /// A demand with no work at all (used for padding/idle pseudo-events).
+    pub const ZERO: CpuDemand = CpuDemand {
+        t_mem: TimeUs::ZERO,
+        ref_cycles: CpuCycles::ZERO,
+    };
+
+    /// The frequency-independent memory component (`Tmem`).
+    pub const fn t_mem(&self) -> TimeUs {
+        self.t_mem
+    }
+
+    /// The A7-equivalent CPU cycle requirement (`Ndep` on the reference core).
+    pub const fn ref_cycles(&self) -> CpuCycles {
+        self.ref_cycles
+    }
+
+    /// Adds two demands (e.g. callback plus rendering stages).
+    pub fn combine(&self, other: &CpuDemand) -> CpuDemand {
+        CpuDemand {
+            t_mem: self.t_mem + other.t_mem,
+            ref_cycles: self.ref_cycles + other.ref_cycles,
+        }
+    }
+
+    /// Scales both components by a non-negative factor.
+    pub fn scale(&self, factor: f64) -> CpuDemand {
+        CpuDemand {
+            t_mem: self.t_mem.scale(factor),
+            ref_cycles: self.ref_cycles.scale(factor),
+        }
+    }
+}
+
+/// The DVFS latency/energy model bound to a concrete [`Platform`].
+///
+/// # Examples
+///
+/// ```
+/// use pes_acmp::{Platform, dvfs::{CpuDemand, DvfsModel}};
+/// use pes_acmp::units::{CpuCycles, TimeUs};
+///
+/// let platform = Platform::exynos_5410();
+/// let model = DvfsModel::new(&platform);
+/// let demand = CpuDemand::new(TimeUs::from_millis(10), CpuCycles::new(200_000_000));
+/// let fast = model.execution_time(&demand, &platform.max_performance_config());
+/// let slow = model.execution_time(&demand, &platform.min_power_config());
+/// assert!(fast < slow);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DvfsModel<'p> {
+    platform: &'p Platform,
+}
+
+impl<'p> DvfsModel<'p> {
+    /// Binds the model to a platform.
+    pub fn new(platform: &'p Platform) -> Self {
+        DvfsModel { platform }
+    }
+
+    /// The platform this model is bound to.
+    pub fn platform(&self) -> &Platform {
+        self.platform
+    }
+
+    /// Execution latency of `demand` on configuration `cfg` (Eqn. 1/3):
+    /// `T = Tmem + Ndep(core) / f`.
+    pub fn execution_time(&self, demand: &CpuDemand, cfg: &AcmpConfig) -> TimeUs {
+        let cycles_on_core = demand
+            .ref_cycles()
+            .scale(1.0 / cfg.core().ipc_relative_to_a7());
+        demand.t_mem() + cycles_on_core.time_at(cfg.frequency())
+    }
+
+    /// Active power drawn while executing on `cfg`, including the idle power
+    /// of the other cluster (cores stay on, Sec. 4.1).
+    pub fn execution_power(&self, cfg: &AcmpConfig) -> PowerMw {
+        self.platform.active_power(cfg) + self.platform.background_idle_power(cfg)
+    }
+
+    /// Energy spent executing `demand` on `cfg`.
+    pub fn execution_energy(&self, demand: &CpuDemand, cfg: &AcmpConfig) -> EnergyUj {
+        self.execution_power(cfg)
+            .energy_over(self.execution_time(demand, cfg))
+    }
+
+    /// Idle power while the runtime waits at configuration `cfg` (own core
+    /// idling plus the other cluster's idle floor).
+    pub fn idle_power(&self, cfg: &AcmpConfig) -> PowerMw {
+        self.platform.idle_power(cfg) + self.platform.background_idle_power(cfg)
+    }
+
+    /// The lowest possible idle power of the whole processor subsystem: every
+    /// cluster parked at its minimum operating point plus the SoC floor. This
+    /// is the power that is drawn during a user session *regardless* of
+    /// scheduling decisions.
+    pub fn baseline_idle_power(&self) -> PowerMw {
+        let min_cfg = self.platform.min_power_config();
+        self.idle_power(&min_cfg)
+    }
+
+    /// The *marginal* energy of executing `demand` on `cfg`: the energy above
+    /// what the processor would have drawn idling for the same wall-clock
+    /// time. Because the user session length is set by the user (not by how
+    /// fast events execute), minimising marginal energy is the correct
+    /// scheduling objective — the always-on floor is paid either way. This is
+    /// the cost used in the EBS/PES/Oracle optimisation (Eqn. 5); measured
+    /// session energy still includes the floor.
+    pub fn marginal_energy(&self, demand: &CpuDemand, cfg: &AcmpConfig) -> EnergyUj {
+        let time = self.execution_time(demand, cfg);
+        let gross = self.execution_power(cfg).energy_over(time);
+        let baseline = self.baseline_idle_power().energy_over(time);
+        gross - baseline
+    }
+
+    /// Recovers a [`CpuDemand`] from two latency observations of the *same*
+    /// event workload taken at two different frequencies on the same core
+    /// kind, by solving the linear system of Eqn. 1 — the online profiling
+    /// step both EBS and PES perform the first two times an event is seen
+    /// (Sec. 5.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcmpError::DemandRecovery`] when the two observations use
+    /// the same frequency or different core kinds, or when the observations
+    /// are inconsistent (they would imply negative `Tmem` or `Ndep`, in which
+    /// case the closest physically meaningful demand is unrecoverable).
+    pub fn recover_demand(
+        &self,
+        obs_a: (AcmpConfig, TimeUs),
+        obs_b: (AcmpConfig, TimeUs),
+    ) -> Result<CpuDemand, AcmpError> {
+        let (cfg_a, t_a) = obs_a;
+        let (cfg_b, t_b) = obs_b;
+        if cfg_a.core() != cfg_b.core() {
+            return Err(AcmpError::DemandRecovery(
+                "observations must come from the same core kind".into(),
+            ));
+        }
+        if cfg_a.frequency() == cfg_b.frequency() {
+            return Err(AcmpError::DemandRecovery(
+                "observations must use two distinct frequencies".into(),
+            ));
+        }
+        // T = Tmem + C/f  =>  C = (Ta - Tb) / (1/fa - 1/fb),  Tmem = Ta - C/fa
+        let fa = cfg_a.frequency().as_mhz() as f64;
+        let fb = cfg_b.frequency().as_mhz() as f64;
+        let ta = t_a.as_micros() as f64;
+        let tb = t_b.as_micros() as f64;
+        let inv_diff = 1.0 / fa - 1.0 / fb;
+        let cycles_on_core = (ta - tb) / inv_diff;
+        if !cycles_on_core.is_finite() || cycles_on_core < 0.0 {
+            return Err(AcmpError::DemandRecovery(
+                "observations imply a negative cycle count".into(),
+            ));
+        }
+        let t_mem = ta - cycles_on_core / fa;
+        if t_mem < -1.0 {
+            return Err(AcmpError::DemandRecovery(
+                "observations imply a negative memory time".into(),
+            ));
+        }
+        let ref_cycles = cycles_on_core * cfg_a.core().ipc_relative_to_a7();
+        Ok(CpuDemand::new(
+            TimeUs::from_micros(t_mem.max(0.0).round() as u64),
+            CpuCycles::new(ref_cycles.round() as u64),
+        ))
+    }
+
+    /// The cheapest (lowest marginal-energy) configuration that finishes
+    /// `demand` within `budget`, or `None` if even the fastest configuration
+    /// misses the budget (the Type I situation of Sec. 4.3).
+    pub fn cheapest_config_within(
+        &self,
+        demand: &CpuDemand,
+        budget: TimeUs,
+    ) -> Option<AcmpConfig> {
+        self.platform
+            .configs()
+            .iter()
+            .filter(|cfg| self.execution_time(demand, cfg) <= budget)
+            .min_by(|a, b| {
+                self.marginal_energy(demand, a)
+                    .as_microjoules()
+                    .partial_cmp(&self.marginal_energy(demand, b).as_microjoules())
+                    .expect("energy is finite")
+            })
+            .copied()
+    }
+
+    /// Latency of `demand` under the fastest configuration of the platform.
+    pub fn best_case_latency(&self, demand: &CpuDemand) -> TimeUs {
+        self.platform
+            .configs()
+            .iter()
+            .map(|cfg| self.execution_time(demand, cfg))
+            .min()
+            .unwrap_or(TimeUs::ZERO)
+    }
+
+    /// Frequency of the config expressed for reporting, e.g. in Fig. 2 style
+    /// timelines.
+    pub fn describe(&self, cfg: &AcmpConfig) -> String {
+        format!(
+            "{} ({} active)",
+            cfg,
+            self.execution_power(cfg)
+        )
+    }
+}
+
+/// Convenience alias for a `(config, frequency)` observation pair used by
+/// demand recovery.
+pub type LatencyObservation = (AcmpConfig, TimeUs);
+
+/// Returns the frequency of an observation; small helper used by schedulers'
+/// profiling tables.
+pub fn observation_frequency(obs: &LatencyObservation) -> FreqMhz {
+    obs.0.frequency()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoreKind;
+
+    fn model_fixture() -> (Platform, CpuDemand) {
+        let platform = Platform::exynos_5410();
+        let demand = CpuDemand::new(TimeUs::from_millis(20), CpuCycles::new(300_000_000));
+        (platform, demand)
+    }
+
+    #[test]
+    fn latency_decreases_with_throughput() {
+        let (platform, demand) = model_fixture();
+        let model = DvfsModel::new(&platform);
+        let latencies: Vec<u64> = platform
+            .configs()
+            .iter()
+            .map(|cfg| model.execution_time(&demand, cfg).as_micros())
+            .collect();
+        // Configurations are sorted by effective throughput, so latency must
+        // be non-increasing along the table.
+        assert!(latencies.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn memory_time_is_frequency_independent() {
+        let platform = Platform::exynos_5410();
+        let model = DvfsModel::new(&platform);
+        let pure_mem = CpuDemand::new(TimeUs::from_millis(7), CpuCycles::ZERO);
+        for cfg in platform.configs() {
+            assert_eq!(model.execution_time(&pure_mem, cfg), TimeUs::from_millis(7));
+        }
+    }
+
+    #[test]
+    fn energy_tradeoff_little_is_cheaper_but_slower() {
+        let (platform, demand) = model_fixture();
+        let model = DvfsModel::new(&platform);
+        let big = platform.max_performance_config();
+        let little = AcmpConfig::new(CoreKind::LittleA7, FreqMhz::new(600));
+        assert!(model.execution_time(&demand, &big) < model.execution_time(&demand, &little));
+        assert!(
+            model.marginal_energy(&demand, &big).as_microjoules()
+                > model.marginal_energy(&demand, &little).as_microjoules(),
+            "big core should cost more marginal energy for the same work"
+        );
+        // The baseline idle floor is charged during execution regardless of
+        // the configuration, so marginal energy is strictly below gross.
+        assert!(
+            model.marginal_energy(&demand, &big).as_microjoules()
+                < model.execution_energy(&demand, &big).as_microjoules()
+        );
+    }
+
+    #[test]
+    fn demand_recovery_round_trips() {
+        let (platform, demand) = model_fixture();
+        let model = DvfsModel::new(&platform);
+        let cfg_a = AcmpConfig::new(CoreKind::BigA15, FreqMhz::new(1000));
+        let cfg_b = AcmpConfig::new(CoreKind::BigA15, FreqMhz::new(1600));
+        let t_a = model.execution_time(&demand, &cfg_a);
+        let t_b = model.execution_time(&demand, &cfg_b);
+        let recovered = model.recover_demand((cfg_a, t_a), (cfg_b, t_b)).unwrap();
+        let rel_err = |a: u64, b: u64| (a as f64 - b as f64).abs() / (b as f64).max(1.0);
+        assert!(rel_err(recovered.t_mem().as_micros(), demand.t_mem().as_micros()) < 0.02);
+        assert!(rel_err(recovered.ref_cycles().get(), demand.ref_cycles().get()) < 0.02);
+    }
+
+    #[test]
+    fn demand_recovery_rejects_degenerate_observations() {
+        let (platform, demand) = model_fixture();
+        let model = DvfsModel::new(&platform);
+        let cfg = AcmpConfig::new(CoreKind::BigA15, FreqMhz::new(1000));
+        let t = model.execution_time(&demand, &cfg);
+        assert!(model.recover_demand((cfg, t), (cfg, t)).is_err());
+        let little = AcmpConfig::new(CoreKind::LittleA7, FreqMhz::new(600));
+        assert!(model
+            .recover_demand((cfg, t), (little, model.execution_time(&demand, &little)))
+            .is_err());
+        // Inconsistent observations: lower frequency reported *faster* time.
+        let cfg_hi = AcmpConfig::new(CoreKind::BigA15, FreqMhz::new(1800));
+        assert!(model
+            .recover_demand((cfg, TimeUs::from_millis(5)), (cfg_hi, TimeUs::from_millis(50)))
+            .is_err());
+    }
+
+    #[test]
+    fn cheapest_config_within_budget_prefers_low_energy() {
+        let (platform, demand) = model_fixture();
+        let model = DvfsModel::new(&platform);
+        // A generous budget should pick something on the little cluster.
+        let generous = model
+            .cheapest_config_within(&demand, TimeUs::from_secs(10))
+            .unwrap();
+        assert_eq!(generous.core(), CoreKind::LittleA7);
+        // A tight-but-feasible budget forces the big cluster.
+        let tight_budget = model.execution_time(&demand, &platform.max_performance_config())
+            + TimeUs::from_millis(1);
+        let tight = model.cheapest_config_within(&demand, tight_budget).unwrap();
+        assert_eq!(tight.core(), CoreKind::BigA15);
+        // An impossible budget yields no configuration (Type I event).
+        assert!(model
+            .cheapest_config_within(&demand, TimeUs::from_micros(10))
+            .is_none());
+    }
+
+    #[test]
+    fn demand_combine_and_scale() {
+        let a = CpuDemand::new(TimeUs::from_millis(2), CpuCycles::new(1_000));
+        let b = CpuDemand::new(TimeUs::from_millis(3), CpuCycles::new(2_000));
+        let c = a.combine(&b);
+        assert_eq!(c.t_mem(), TimeUs::from_millis(5));
+        assert_eq!(c.ref_cycles().get(), 3_000);
+        let half = c.scale(0.5);
+        assert_eq!(half.t_mem(), TimeUs::from_millis_f64(2.5));
+        assert_eq!(half.ref_cycles().get(), 1_500);
+    }
+
+    #[test]
+    fn execution_power_includes_background_cluster() {
+        let (platform, _) = model_fixture();
+        let model = DvfsModel::new(&platform);
+        let cfg = platform.max_performance_config();
+        assert!(
+            model.execution_power(&cfg).as_milliwatts()
+                > platform.active_power(&cfg).as_milliwatts()
+        );
+    }
+
+    #[test]
+    fn best_case_latency_equals_fastest_config() {
+        let (platform, demand) = model_fixture();
+        let model = DvfsModel::new(&platform);
+        assert_eq!(
+            model.best_case_latency(&demand),
+            model.execution_time(&demand, &platform.max_performance_config())
+        );
+    }
+}

@@ -1,0 +1,337 @@
+//! Processor energy accounting.
+//!
+//! Stands in for the ODROID board's current-sense resistors plus the NI DAQ
+//! unit of Sec. 3: the simulator reports every busy/idle interval to an
+//! [`EnergyMeter`], which integrates power over time, split by cluster and by
+//! activity kind so that the evaluation figures can report both totals and
+//! breakdowns (e.g. the misprediction energy overhead of Sec. 6.3).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{AcmpConfig, CoreKind};
+use crate::platform::Platform;
+use crate::units::{EnergyUj, PowerMw, TimeUs};
+
+/// The kind of activity an energy sample is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ActivityKind {
+    /// Executing an event that was (or will be) committed to the display.
+    UsefulWork,
+    /// Executing speculative work that was later squashed (misprediction waste).
+    SpeculativeWaste,
+    /// The processor idling between events.
+    Idle,
+    /// DVFS / migration transition overhead.
+    Transition,
+}
+
+impl ActivityKind {
+    /// All activity kinds, in reporting order.
+    pub const ALL: [ActivityKind; 4] = [
+        ActivityKind::UsefulWork,
+        ActivityKind::SpeculativeWaste,
+        ActivityKind::Idle,
+        ActivityKind::Transition,
+    ];
+}
+
+/// An integrating energy meter, equivalent to the paper's 1 kHz DAQ sampling
+/// of the big and little CPU rails (Sec. 3).
+///
+/// # Examples
+///
+/// ```
+/// use pes_acmp::{Platform, energy::{ActivityKind, EnergyMeter}};
+/// use pes_acmp::units::TimeUs;
+///
+/// let platform = Platform::exynos_5410();
+/// let mut meter = EnergyMeter::new(&platform);
+/// let cfg = platform.max_performance_config();
+/// meter.record_busy(&cfg, TimeUs::from_millis(10), ActivityKind::UsefulWork);
+/// assert!(meter.total().as_millijoules() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyMeter<'p> {
+    platform: &'p Platform,
+    total: EnergyUj,
+    by_activity: BTreeMap<ActivityKind, EnergyUj>,
+    by_cluster: BTreeMap<CoreKind, EnergyUj>,
+    busy_time: TimeUs,
+    idle_time: TimeUs,
+}
+
+impl<'p> EnergyMeter<'p> {
+    /// Creates a meter for a platform with all counters at zero.
+    pub fn new(platform: &'p Platform) -> Self {
+        EnergyMeter {
+            platform,
+            total: EnergyUj::ZERO,
+            by_activity: BTreeMap::new(),
+            by_cluster: BTreeMap::new(),
+            busy_time: TimeUs::ZERO,
+            idle_time: TimeUs::ZERO,
+        }
+    }
+
+    /// Records a busy interval at configuration `cfg` attributed to
+    /// `activity`. The sample includes the idle floor of the other cluster.
+    pub fn record_busy(&mut self, cfg: &AcmpConfig, duration: TimeUs, activity: ActivityKind) {
+        if duration.is_zero() {
+            return;
+        }
+        let own = self.platform.active_power(cfg).energy_over(duration);
+        let background = self
+            .platform
+            .background_idle_power(cfg)
+            .energy_over(duration);
+        self.busy_time += duration;
+        self.add(cfg.core(), own, activity);
+        self.add_background(cfg.core(), background, activity);
+    }
+
+    /// Records an idle interval while the hardware is parked at `cfg`.
+    pub fn record_idle(&mut self, cfg: &AcmpConfig, duration: TimeUs) {
+        if duration.is_zero() {
+            return;
+        }
+        let own = self.platform.idle_power(cfg).energy_over(duration);
+        let background = self
+            .platform
+            .background_idle_power(cfg)
+            .energy_over(duration);
+        self.idle_time += duration;
+        self.add(cfg.core(), own, ActivityKind::Idle);
+        self.add_background(cfg.core(), background, ActivityKind::Idle);
+    }
+
+    /// Records a configuration transition (DVFS switch / migration). The
+    /// transition is charged at the destination configuration's active power.
+    pub fn record_transition(&mut self, to: &AcmpConfig, duration: TimeUs) {
+        if duration.is_zero() {
+            return;
+        }
+        let e = self.platform.active_power(to).energy_over(duration);
+        self.busy_time += duration;
+        self.add(to.core(), e, ActivityKind::Transition);
+    }
+
+    /// Records an explicitly computed energy amount (used by tests and by
+    /// components that integrate power themselves).
+    pub fn record_raw(&mut self, cluster: CoreKind, energy: EnergyUj, activity: ActivityKind) {
+        self.add(cluster, energy, activity);
+    }
+
+    /// Moves `energy` from the useful-work bucket to the speculative-waste
+    /// bucket (used when a speculatively produced frame is squashed: the work
+    /// was already metered as useful when it executed). The total is
+    /// unchanged; the re-attribution is clamped to the energy actually
+    /// recorded as useful work.
+    pub fn reattribute_waste(&mut self, cluster: CoreKind, energy: EnergyUj) {
+        let useful = self.for_activity(ActivityKind::UsefulWork);
+        let moved = EnergyUj::new(energy.as_microjoules().min(useful.as_microjoules()));
+        if moved.as_microjoules() == 0.0 {
+            return;
+        }
+        let entry = self
+            .by_activity
+            .entry(ActivityKind::UsefulWork)
+            .or_insert(EnergyUj::ZERO);
+        *entry = *entry - moved;
+        *self
+            .by_activity
+            .entry(ActivityKind::SpeculativeWaste)
+            .or_insert(EnergyUj::ZERO) += moved;
+        // Cluster attribution is unchanged; note the cluster only for callers
+        // that later want a per-cluster waste breakdown.
+        let _ = cluster;
+    }
+
+    fn add(&mut self, cluster: CoreKind, energy: EnergyUj, activity: ActivityKind) {
+        self.total += energy;
+        *self.by_activity.entry(activity).or_insert(EnergyUj::ZERO) += energy;
+        *self.by_cluster.entry(cluster).or_insert(EnergyUj::ZERO) += energy;
+    }
+
+    fn add_background(&mut self, active_cluster: CoreKind, energy: EnergyUj, activity: ActivityKind) {
+        // Attribute the background cluster's idle draw to the *other* cluster
+        // so per-cluster breakdowns mirror the two DAQ channels of Sec. 3.
+        let other = self
+            .platform
+            .clusters()
+            .iter()
+            .map(|c| c.core_kind())
+            .find(|k| *k != active_cluster)
+            .unwrap_or(active_cluster);
+        self.total += energy;
+        *self.by_activity.entry(activity).or_insert(EnergyUj::ZERO) += energy;
+        *self.by_cluster.entry(other).or_insert(EnergyUj::ZERO) += energy;
+    }
+
+    /// Total energy integrated so far.
+    pub fn total(&self) -> EnergyUj {
+        self.total
+    }
+
+    /// Energy attributed to a specific activity kind.
+    pub fn for_activity(&self, activity: ActivityKind) -> EnergyUj {
+        self.by_activity
+            .get(&activity)
+            .copied()
+            .unwrap_or(EnergyUj::ZERO)
+    }
+
+    /// Energy attributed to a specific cluster.
+    pub fn for_cluster(&self, cluster: CoreKind) -> EnergyUj {
+        self.by_cluster
+            .get(&cluster)
+            .copied()
+            .unwrap_or(EnergyUj::ZERO)
+    }
+
+    /// Total busy (executing or transitioning) time observed.
+    pub fn busy_time(&self) -> TimeUs {
+        self.busy_time
+    }
+
+    /// Total idle time observed.
+    pub fn idle_time(&self) -> TimeUs {
+        self.idle_time
+    }
+
+    /// Average power over the whole observation window, if any time elapsed.
+    pub fn average_power(&self) -> Option<PowerMw> {
+        let elapsed = self.busy_time + self.idle_time;
+        if elapsed.is_zero() {
+            return None;
+        }
+        Some(PowerMw::new(
+            self.total.as_microjoules() * 1_000.0 / elapsed.as_micros() as f64,
+        ))
+    }
+
+    /// Fraction of the total energy spent on squashed speculative work — the
+    /// quantity reported as "1.8 % / 2.2 % misprediction energy overhead" in
+    /// Sec. 6.3.
+    pub fn speculative_waste_fraction(&self) -> f64 {
+        if self.total.as_microjoules() == 0.0 {
+            return 0.0;
+        }
+        self.for_activity(ActivityKind::SpeculativeWaste) / self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoreKind;
+    use crate::units::FreqMhz;
+
+    fn platform() -> Platform {
+        Platform::exynos_5410()
+    }
+
+    #[test]
+    fn fresh_meter_is_zero() {
+        let p = platform();
+        let m = EnergyMeter::new(&p);
+        assert_eq!(m.total().as_microjoules(), 0.0);
+        assert!(m.average_power().is_none());
+        assert_eq!(m.speculative_waste_fraction(), 0.0);
+    }
+
+    #[test]
+    fn busy_on_big_costs_more_than_busy_on_little() {
+        let p = platform();
+        let mut big = EnergyMeter::new(&p);
+        let mut little = EnergyMeter::new(&p);
+        big.record_busy(
+            &p.max_performance_config(),
+            TimeUs::from_millis(100),
+            ActivityKind::UsefulWork,
+        );
+        little.record_busy(
+            &AcmpConfig::new(CoreKind::LittleA7, FreqMhz::new(600)),
+            TimeUs::from_millis(100),
+            ActivityKind::UsefulWork,
+        );
+        assert!(big.total().as_millijoules() > little.total().as_millijoules());
+    }
+
+    #[test]
+    fn idle_costs_less_than_busy_at_same_config() {
+        let p = platform();
+        let cfg = p.max_performance_config();
+        let mut busy = EnergyMeter::new(&p);
+        let mut idle = EnergyMeter::new(&p);
+        busy.record_busy(&cfg, TimeUs::from_millis(50), ActivityKind::UsefulWork);
+        idle.record_idle(&cfg, TimeUs::from_millis(50));
+        assert!(busy.total().as_millijoules() > idle.total().as_millijoules());
+        assert_eq!(busy.busy_time(), TimeUs::from_millis(50));
+        assert_eq!(idle.idle_time(), TimeUs::from_millis(50));
+    }
+
+    #[test]
+    fn activity_breakdown_adds_up_to_total() {
+        let p = platform();
+        let cfg = p.max_performance_config();
+        let mut m = EnergyMeter::new(&p);
+        m.record_busy(&cfg, TimeUs::from_millis(10), ActivityKind::UsefulWork);
+        m.record_busy(&cfg, TimeUs::from_millis(2), ActivityKind::SpeculativeWaste);
+        m.record_idle(&cfg, TimeUs::from_millis(5));
+        m.record_transition(&cfg, TimeUs::from_micros(100));
+        let sum: f64 = ActivityKind::ALL
+            .iter()
+            .map(|a| m.for_activity(*a).as_microjoules())
+            .sum();
+        assert!((sum - m.total().as_microjoules()).abs() < 1e-6);
+        assert!(m.speculative_waste_fraction() > 0.0);
+        assert!(m.speculative_waste_fraction() < 0.5);
+    }
+
+    #[test]
+    fn cluster_breakdown_includes_background_cluster() {
+        let p = platform();
+        let mut m = EnergyMeter::new(&p);
+        // Run only on the big cluster; the little cluster should still pick
+        // up its idle floor.
+        m.record_busy(
+            &p.max_performance_config(),
+            TimeUs::from_millis(20),
+            ActivityKind::UsefulWork,
+        );
+        assert!(m.for_cluster(CoreKind::BigA15).as_microjoules() > 0.0);
+        assert!(m.for_cluster(CoreKind::LittleA7).as_microjoules() > 0.0);
+        assert!(
+            m.for_cluster(CoreKind::BigA15).as_microjoules()
+                > m.for_cluster(CoreKind::LittleA7).as_microjoules()
+        );
+    }
+
+    #[test]
+    fn zero_duration_samples_are_ignored() {
+        let p = platform();
+        let cfg = p.min_power_config();
+        let mut m = EnergyMeter::new(&p);
+        m.record_busy(&cfg, TimeUs::ZERO, ActivityKind::UsefulWork);
+        m.record_idle(&cfg, TimeUs::ZERO);
+        m.record_transition(&cfg, TimeUs::ZERO);
+        assert_eq!(m.total().as_microjoules(), 0.0);
+    }
+
+    #[test]
+    fn average_power_is_between_idle_and_peak() {
+        let p = platform();
+        let cfg = p.max_performance_config();
+        let mut m = EnergyMeter::new(&p);
+        m.record_busy(&cfg, TimeUs::from_millis(10), ActivityKind::UsefulWork);
+        m.record_idle(&cfg, TimeUs::from_millis(10));
+        let avg = m.average_power().unwrap().as_milliwatts();
+        let idle = p.idle_power(&cfg).as_milliwatts();
+        let peak =
+            p.active_power(&cfg).as_milliwatts() + p.background_idle_power(&cfg).as_milliwatts();
+        assert!(avg > idle);
+        assert!(avg < peak + 1.0);
+    }
+}

@@ -1,0 +1,364 @@
+//! Power modelling for ACMP configurations.
+//!
+//! The paper builds its power model as a measured look-up table over the
+//! discrete `<core, frequency>` configurations and persists it to a local
+//! file that the runtime loads at application boot (Sec. 5.3). Without the
+//! ODROID board and the DAQ unit we derive the table analytically from a
+//! standard `P = P_static + C · V² · f` model with per-core-kind capacitance
+//! and a voltage/frequency curve calibrated to published Cortex-A15/A7 power
+//! envelopes, and then treat the resulting table exactly as the paper does: a
+//! frozen per-configuration look-up.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{AcmpConfig, CoreKind};
+use crate::units::{FreqMhz, PowerMw};
+
+/// Analytical parameters from which a per-configuration power value is
+/// derived. One set of parameters exists per [`CoreKind`].
+///
+/// # Examples
+///
+/// ```
+/// use pes_acmp::power::CorePowerParams;
+/// use pes_acmp::units::FreqMhz;
+///
+/// let p = CorePowerParams::cortex_a15();
+/// let low = p.active_power(FreqMhz::new(800));
+/// let high = p.active_power(FreqMhz::new(1800));
+/// assert!(high.as_milliwatts() > low.as_milliwatts());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorePowerParams {
+    /// Effective switching capacitance in mW / (MHz · V²).
+    pub capacitance: f64,
+    /// Static (leakage) power of the core while the cluster is powered, mW.
+    pub static_mw: f64,
+    /// Supply voltage at the lowest operating frequency, volts.
+    pub v_min: f64,
+    /// Supply voltage at the highest operating frequency, volts.
+    pub v_max: f64,
+    /// Lowest operating frequency, MHz (anchor for the voltage curve).
+    pub f_min: FreqMhz,
+    /// Highest operating frequency, MHz (anchor for the voltage curve).
+    pub f_max: FreqMhz,
+}
+
+impl CorePowerParams {
+    /// Parameters for the out-of-order Cortex-A15. Calibrated so that a
+    /// single core draws roughly 0.4 W at 800 MHz and 1.7 W at 1.8 GHz,
+    /// consistent with published Exynos 5410 characterisations.
+    pub fn cortex_a15() -> Self {
+        CorePowerParams {
+            capacitance: 0.00055,
+            static_mw: 60.0,
+            v_min: 0.92,
+            v_max: 1.25,
+            f_min: FreqMhz::new(800),
+            f_max: FreqMhz::new(1800),
+        }
+    }
+
+    /// Parameters for the in-order Cortex-A7: roughly 50 mW at 350 MHz and
+    /// 110 mW at 600 MHz. The resulting energy-per-work advantage over the
+    /// A15 (about 2–3×) matches published big.LITTLE characterisations and is
+    /// what gives the scheduler a meaningful trade-off space.
+    pub fn cortex_a7() -> Self {
+        CorePowerParams {
+            capacitance: 0.00015,
+            static_mw: 10.0,
+            v_min: 0.90,
+            v_max: 1.05,
+            f_min: FreqMhz::new(350),
+            f_max: FreqMhz::new(600),
+        }
+    }
+
+    /// Parameters for the Cortex-A57 cluster of the TX2 Parker SoC used in
+    /// the "other devices" study (Sec. 6.5).
+    pub fn cortex_a57() -> Self {
+        CorePowerParams {
+            capacitance: 0.00048,
+            static_mw: 55.0,
+            v_min: 0.80,
+            v_max: 1.10,
+            f_min: FreqMhz::new(345),
+            f_max: FreqMhz::new(2035),
+        }
+    }
+
+    /// Parameters for the Denver 2 cluster of the TX2 Parker SoC.
+    pub fn denver2() -> Self {
+        CorePowerParams {
+            capacitance: 0.00052,
+            static_mw: 65.0,
+            v_min: 0.82,
+            v_max: 1.12,
+            f_min: FreqMhz::new(345),
+            f_max: FreqMhz::new(2035),
+        }
+    }
+
+    /// Default parameters for a given core kind.
+    pub fn for_core(kind: CoreKind) -> Self {
+        match kind {
+            CoreKind::BigA15 => Self::cortex_a15(),
+            CoreKind::LittleA7 => Self::cortex_a7(),
+            CoreKind::A57 => Self::cortex_a57(),
+            CoreKind::Denver2 => Self::denver2(),
+        }
+    }
+
+    /// Supply voltage at frequency `f`, linearly interpolated between the
+    /// `(f_min, v_min)` and `(f_max, v_max)` anchors and clamped outside the
+    /// range.
+    pub fn voltage_at(&self, f: FreqMhz) -> f64 {
+        let f_min = self.f_min.as_mhz() as f64;
+        let f_max = self.f_max.as_mhz() as f64;
+        if f_max <= f_min {
+            return self.v_max;
+        }
+        let t = ((f.as_mhz() as f64 - f_min) / (f_max - f_min)).clamp(0.0, 1.0);
+        self.v_min + t * (self.v_max - self.v_min)
+    }
+
+    /// Active (busy) power of one core running at frequency `f`:
+    /// `P = P_static + C · V(f)² · f`.
+    pub fn active_power(&self, f: FreqMhz) -> PowerMw {
+        let v = self.voltage_at(f);
+        PowerMw::new(self.static_mw + self.capacitance * v * v * f.as_mhz() as f64 * 1_000.0)
+    }
+
+    /// Idle power of one core clocked at frequency `f` but not executing
+    /// work. The paper keeps cores on because inter-event slack is tiny
+    /// (Sec. 4.1); in the WFI idle state only a fraction of the leakage plus
+    /// a small clock-tree component remains.
+    pub fn idle_power(&self, f: FreqMhz) -> PowerMw {
+        let v = self.voltage_at(f);
+        PowerMw::new(
+            0.25 * self.static_mw + 0.02 * self.capacitance * v * v * f.as_mhz() as f64 * 1_000.0,
+        )
+    }
+}
+
+/// A frozen per-configuration power look-up table, mirroring the measured
+/// table that the paper persists to local storage and loads at boot
+/// (Sec. 5.3).
+///
+/// # Examples
+///
+/// ```
+/// use pes_acmp::{Platform, power::PowerTable};
+///
+/// let platform = Platform::exynos_5410();
+/// let table = PowerTable::from_platform(&platform);
+/// let json = table.to_json().unwrap();
+/// let restored = PowerTable::from_json(&json).unwrap();
+/// assert_eq!(table, restored);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PowerTable {
+    active_mw: BTreeMap<String, f64>,
+    idle_mw: BTreeMap<String, f64>,
+}
+
+impl PowerTable {
+    /// Builds the look-up table for every configuration of a platform.
+    pub fn from_platform(platform: &crate::Platform) -> Self {
+        let mut active_mw = BTreeMap::new();
+        let mut idle_mw = BTreeMap::new();
+        for cfg in platform.configs() {
+            let key = Self::key(cfg);
+            active_mw.insert(key.clone(), platform.active_power(cfg).as_milliwatts());
+            idle_mw.insert(key, platform.idle_power(cfg).as_milliwatts());
+        }
+        PowerTable { active_mw, idle_mw }
+    }
+
+    fn key(cfg: &AcmpConfig) -> String {
+        format!("{}@{}", cfg.core().label(), cfg.frequency().as_mhz())
+    }
+
+    /// Active power of a configuration, if present in the table.
+    pub fn active(&self, cfg: &AcmpConfig) -> Option<PowerMw> {
+        self.active_mw.get(&Self::key(cfg)).map(|&mw| PowerMw::new(mw))
+    }
+
+    /// Idle power of a configuration, if present in the table.
+    pub fn idle(&self, cfg: &AcmpConfig) -> Option<PowerMw> {
+        self.idle_mw.get(&Self::key(cfg)).map(|&mw| PowerMw::new(mw))
+    }
+
+    /// Number of configurations in the table.
+    pub fn len(&self) -> usize {
+        self.active_mw.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.active_mw.is_empty()
+    }
+
+    /// Serialises the table to JSON (the "local storage file" of Sec. 5.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if serialisation fails, which cannot happen for the
+    /// plain-map representation used here but is surfaced for API honesty.
+    pub fn to_json(&self) -> Result<String, crate::AcmpError> {
+        serde_json_compat::to_string(self).map_err(|e| crate::AcmpError::PowerTable(e.to_string()))
+    }
+
+    /// Restores a table previously produced by [`PowerTable::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::AcmpError::PowerTable`] when the input is not a valid
+    /// serialised table.
+    pub fn from_json(json: &str) -> Result<Self, crate::AcmpError> {
+        serde_json_compat::from_str(json).map_err(|e| crate::AcmpError::PowerTable(e.to_string()))
+    }
+}
+
+/// Minimal JSON (de)serialisation shim so that the crate does not need a
+/// `serde_json` dependency of its own: the table is flat, so the `serde`
+/// derive plus a tiny hand-rolled writer/reader suffice.
+mod serde_json_compat {
+    use super::PowerTable;
+
+    /// Serialises a [`PowerTable`] into a simple line-oriented text format
+    /// (`kind@freq active idle` per line).
+    pub fn to_string(table: &PowerTable) -> Result<String, String> {
+        let mut out = String::new();
+        for (key, active) in &table.active_mw {
+            let idle = table.idle_mw.get(key).copied().unwrap_or(0.0);
+            out.push_str(&format!("{key} {active} {idle}\n"));
+        }
+        Ok(out)
+    }
+
+    /// Parses the format produced by [`to_string`].
+    pub fn from_str(s: &str) -> Result<PowerTable, String> {
+        let mut table = PowerTable::default();
+        for (line_no, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let key = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing key", line_no + 1))?;
+            let active: f64 = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing active power", line_no + 1))?
+                .parse()
+                .map_err(|e| format!("line {}: {e}", line_no + 1))?;
+            let idle: f64 = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing idle power", line_no + 1))?
+                .parse()
+                .map_err(|e| format!("line {}: {e}", line_no + 1))?;
+            table.active_mw.insert(key.to_string(), active);
+            table.idle_mw.insert(key.to_string(), idle);
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Platform;
+
+    #[test]
+    fn power_is_monotonic_in_frequency() {
+        for params in [
+            CorePowerParams::cortex_a15(),
+            CorePowerParams::cortex_a7(),
+            CorePowerParams::cortex_a57(),
+        ] {
+            let mut prev = 0.0;
+            for mhz in (params.f_min.as_mhz()..=params.f_max.as_mhz()).step_by(50) {
+                let p = params.active_power(FreqMhz::new(mhz)).as_milliwatts();
+                assert!(p > prev, "power must strictly increase with frequency");
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    fn big_core_draws_more_than_little_core() {
+        let a15 = CorePowerParams::cortex_a15();
+        let a7 = CorePowerParams::cortex_a7();
+        // Compare at the respective maximum frequencies.
+        assert!(
+            a15.active_power(a15.f_max).as_milliwatts()
+                > 4.0 * a7.active_power(a7.f_max).as_milliwatts(),
+            "an A15 at peak should dwarf an A7 at peak"
+        );
+    }
+
+    #[test]
+    fn a15_calibration_is_in_published_ballpark() {
+        let a15 = CorePowerParams::cortex_a15();
+        let at_800 = a15.active_power(FreqMhz::new(800)).as_milliwatts();
+        let at_1800 = a15.active_power(FreqMhz::new(1800)).as_milliwatts();
+        assert!((300.0..650.0).contains(&at_800), "800MHz power {at_800}");
+        assert!((1_300.0..2_300.0).contains(&at_1800), "1.8GHz power {at_1800}");
+    }
+
+    #[test]
+    fn a7_calibration_is_in_published_ballpark() {
+        let a7 = CorePowerParams::cortex_a7();
+        let at_350 = a7.active_power(FreqMhz::new(350)).as_milliwatts();
+        let at_600 = a7.active_power(FreqMhz::new(600)).as_milliwatts();
+        assert!((40.0..130.0).contains(&at_350), "350MHz power {at_350}");
+        assert!((90.0..250.0).contains(&at_600), "600MHz power {at_600}");
+    }
+
+    #[test]
+    fn idle_power_is_below_active_power() {
+        for kind in CoreKind::ALL {
+            let params = CorePowerParams::for_core(kind);
+            for mhz in [params.f_min.as_mhz(), params.f_max.as_mhz()] {
+                let f = FreqMhz::new(mhz);
+                assert!(params.idle_power(f).as_milliwatts() < params.active_power(f).as_milliwatts());
+            }
+        }
+    }
+
+    #[test]
+    fn voltage_interpolation_clamps() {
+        let a15 = CorePowerParams::cortex_a15();
+        assert_eq!(a15.voltage_at(FreqMhz::new(100)), a15.v_min);
+        assert_eq!(a15.voltage_at(FreqMhz::new(5000)), a15.v_max);
+        let mid = a15.voltage_at(FreqMhz::new(1300));
+        assert!(mid > a15.v_min && mid < a15.v_max);
+    }
+
+    #[test]
+    fn power_table_round_trips_through_json() {
+        let platform = Platform::exynos_5410();
+        let table = PowerTable::from_platform(&platform);
+        assert_eq!(table.len(), platform.configs().len());
+        let json = table.to_json().expect("serialise");
+        let restored = PowerTable::from_json(&json).expect("parse");
+        assert_eq!(table, restored);
+        for cfg in platform.configs() {
+            let direct = platform.active_power(cfg).as_milliwatts();
+            let via_table = restored.active(cfg).expect("present").as_milliwatts();
+            assert!((direct - via_table).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn power_table_rejects_malformed_input() {
+        assert!(PowerTable::from_json("A15(big)@800 not-a-number 3").is_err());
+        assert!(PowerTable::from_json("A15(big)@800").is_err());
+        let empty = PowerTable::from_json("").expect("empty ok");
+        assert!(empty.is_empty());
+    }
+}

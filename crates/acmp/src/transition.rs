@@ -1,0 +1,150 @@
+//! Costs of changing the active ACMP configuration.
+//!
+//! Sec. 6.3 of the paper reports a CPU frequency switch overhead of about
+//! 100 µs and a core (cluster) migration overhead of about 20 µs; both are
+//! captured here so the simulator charges them in time *and* energy whenever
+//! a scheduler re-configures the hardware between events.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::AcmpConfig;
+use crate::units::TimeUs;
+
+/// Models the latency cost of switching between two ACMP configurations.
+///
+/// # Examples
+///
+/// ```
+/// use pes_acmp::{AcmpConfig, CoreKind, transition::TransitionModel};
+/// use pes_acmp::units::FreqMhz;
+///
+/// let model = TransitionModel::exynos_defaults();
+/// let a = AcmpConfig::new(CoreKind::BigA15, FreqMhz::new(800));
+/// let b = AcmpConfig::new(CoreKind::BigA15, FreqMhz::new(1800));
+/// let c = AcmpConfig::new(CoreKind::LittleA7, FreqMhz::new(600));
+/// assert_eq!(model.cost(&a, &a), pes_acmp::units::TimeUs::ZERO);
+/// assert!(model.cost(&a, &c) > model.cost(&a, &b));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransitionModel {
+    dvfs_switch: TimeUs,
+    core_migration: TimeUs,
+}
+
+impl TransitionModel {
+    /// The overheads reported in Sec. 6.3: 100 µs per frequency switch and
+    /// 20 µs per core migration.
+    pub fn exynos_defaults() -> Self {
+        TransitionModel {
+            dvfs_switch: TimeUs::from_micros(100),
+            core_migration: TimeUs::from_micros(20),
+        }
+    }
+
+    /// A model with no transition overheads; useful for isolating the effect
+    /// of the overheads in ablation experiments.
+    pub fn free() -> Self {
+        TransitionModel {
+            dvfs_switch: TimeUs::ZERO,
+            core_migration: TimeUs::ZERO,
+        }
+    }
+
+    /// Creates a model with explicit overheads.
+    pub fn new(dvfs_switch: TimeUs, core_migration: TimeUs) -> Self {
+        TransitionModel {
+            dvfs_switch,
+            core_migration,
+        }
+    }
+
+    /// The per-frequency-switch overhead.
+    pub fn dvfs_switch(&self) -> TimeUs {
+        self.dvfs_switch
+    }
+
+    /// The per-core-migration overhead.
+    pub fn core_migration(&self) -> TimeUs {
+        self.core_migration
+    }
+
+    /// Total cost of moving from configuration `from` to configuration `to`:
+    /// zero when they are identical, the DVFS cost when only the frequency
+    /// changes, and the DVFS cost plus the migration cost when the core kind
+    /// changes as well.
+    pub fn cost(&self, from: &AcmpConfig, to: &AcmpConfig) -> TimeUs {
+        if from == to {
+            return TimeUs::ZERO;
+        }
+        let mut cost = TimeUs::ZERO;
+        if from.frequency() != to.frequency() {
+            cost += self.dvfs_switch;
+        }
+        if from.core() != to.core() {
+            cost += self.core_migration;
+            // Migrating clusters also implies programming the destination
+            // cluster's frequency.
+            if from.frequency() == to.frequency() {
+                cost += self.dvfs_switch;
+            }
+        }
+        cost
+    }
+}
+
+impl Default for TransitionModel {
+    fn default() -> Self {
+        TransitionModel::exynos_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoreKind;
+    use crate::units::FreqMhz;
+
+    fn cfg(core: CoreKind, mhz: u32) -> AcmpConfig {
+        AcmpConfig::new(core, FreqMhz::new(mhz))
+    }
+
+    #[test]
+    fn same_config_is_free() {
+        let m = TransitionModel::exynos_defaults();
+        let c = cfg(CoreKind::BigA15, 1000);
+        assert_eq!(m.cost(&c, &c), TimeUs::ZERO);
+    }
+
+    #[test]
+    fn frequency_only_switch_costs_dvfs() {
+        let m = TransitionModel::exynos_defaults();
+        let a = cfg(CoreKind::BigA15, 1000);
+        let b = cfg(CoreKind::BigA15, 1400);
+        assert_eq!(m.cost(&a, &b), TimeUs::from_micros(100));
+    }
+
+    #[test]
+    fn cluster_switch_costs_dvfs_plus_migration() {
+        let m = TransitionModel::exynos_defaults();
+        let a = cfg(CoreKind::BigA15, 1000);
+        let b = cfg(CoreKind::LittleA7, 600);
+        assert_eq!(m.cost(&a, &b), TimeUs::from_micros(120));
+        // Same nominal frequency, different cluster: still pay for both.
+        let c = cfg(CoreKind::BigA15, 800);
+        let d = cfg(CoreKind::LittleA7, 800);
+        assert_eq!(m.cost(&c, &d), TimeUs::from_micros(120));
+    }
+
+    #[test]
+    fn free_model_charges_nothing() {
+        let m = TransitionModel::free();
+        let a = cfg(CoreKind::BigA15, 1000);
+        let b = cfg(CoreKind::LittleA7, 350);
+        assert_eq!(m.cost(&a, &b), TimeUs::ZERO);
+    }
+
+    #[test]
+    fn default_is_exynos() {
+        assert_eq!(TransitionModel::default(), TransitionModel::exynos_defaults());
+    }
+}

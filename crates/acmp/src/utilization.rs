@@ -1,0 +1,184 @@
+//! CPU utilisation tracking over a sliding sampling window.
+//!
+//! The Android `Interactive` and `Ondemand` governors (Sec. 6.1) are
+//! QoS-agnostic: they periodically sample CPU utilisation and react to it.
+//! [`UtilizationTracker`] provides that signal to the governor
+//! implementations in the `pes-schedulers` crate.
+
+use std::collections::VecDeque;
+
+use crate::units::TimeUs;
+
+/// A busy/idle interval reported to the tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Sample {
+    start: TimeUs,
+    end: TimeUs,
+    busy: bool,
+}
+
+/// Sliding-window CPU utilisation estimator.
+///
+/// # Examples
+///
+/// ```
+/// use pes_acmp::utilization::UtilizationTracker;
+/// use pes_acmp::units::TimeUs;
+///
+/// let mut tracker = UtilizationTracker::new(TimeUs::from_millis(100));
+/// tracker.record(TimeUs::ZERO, TimeUs::from_millis(60), true);
+/// tracker.record(TimeUs::from_millis(60), TimeUs::from_millis(100), false);
+/// let util = tracker.utilization(TimeUs::from_millis(100));
+/// assert!((util - 0.6).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UtilizationTracker {
+    window: TimeUs,
+    samples: VecDeque<Sample>,
+}
+
+impl UtilizationTracker {
+    /// Creates a tracker with the given sliding-window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is zero; a zero-length window would make every
+    /// utilisation query undefined.
+    pub fn new(window: TimeUs) -> Self {
+        assert!(!window.is_zero(), "utilisation window must be non-zero");
+        UtilizationTracker {
+            window,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// The sliding-window length.
+    pub fn window(&self) -> TimeUs {
+        self.window
+    }
+
+    /// Records that the CPU was busy (or idle) over `[start, end)`.
+    /// Zero-length or inverted intervals are ignored.
+    pub fn record(&mut self, start: TimeUs, end: TimeUs, busy: bool) {
+        if end <= start {
+            return;
+        }
+        self.samples.push_back(Sample { start, end, busy });
+        // Garbage-collect samples that can no longer intersect any window
+        // ending at or after `end`.
+        let horizon = end.saturating_sub(self.window + self.window);
+        while let Some(front) = self.samples.front() {
+            if front.end < horizon {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Fraction of time the CPU was busy within the window `[now - window, now)`.
+    /// Time not covered by any recorded sample counts as idle. Returns a value
+    /// in `[0, 1]`.
+    pub fn utilization(&self, now: TimeUs) -> f64 {
+        let window_start = now.saturating_sub(self.window);
+        let window_len = (now - window_start).as_micros() as f64;
+        if window_len == 0.0 {
+            return 0.0;
+        }
+        let busy_us: u64 = self
+            .samples
+            .iter()
+            .filter(|s| s.busy)
+            .map(|s| {
+                let start = s.start.max(window_start);
+                let end = s.end.min(now);
+                end.saturating_sub(start).as_micros()
+            })
+            .sum();
+        (busy_us as f64 / window_len).clamp(0.0, 1.0)
+    }
+
+    /// Clears all recorded samples.
+    pub fn reset(&mut self) {
+        self.samples.clear();
+    }
+
+    /// Number of samples currently retained (diagnostic).
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> TimeUs {
+        TimeUs::from_millis(v)
+    }
+
+    #[test]
+    fn empty_tracker_reports_zero_utilization() {
+        let t = UtilizationTracker::new(ms(20));
+        assert_eq!(t.utilization(ms(100)), 0.0);
+    }
+
+    #[test]
+    fn fully_busy_window_reports_one() {
+        let mut t = UtilizationTracker::new(ms(20));
+        t.record(ms(0), ms(100), true);
+        assert!((t.utilization(ms(100)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_busy_window() {
+        let mut t = UtilizationTracker::new(ms(100));
+        t.record(ms(0), ms(30), true);
+        t.record(ms(30), ms(100), false);
+        assert!((t.utilization(ms(100)) - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_outside_window_are_excluded() {
+        let mut t = UtilizationTracker::new(ms(50));
+        t.record(ms(0), ms(40), true); // entirely before the window [50, 100)
+        t.record(ms(60), ms(80), true);
+        let util = t.utilization(ms(100));
+        assert!((util - 0.4).abs() < 1e-9, "got {util}");
+    }
+
+    #[test]
+    fn inverted_and_empty_intervals_are_ignored() {
+        let mut t = UtilizationTracker::new(ms(10));
+        t.record(ms(5), ms(5), true);
+        t.record(ms(9), ms(3), true);
+        assert_eq!(t.sample_count(), 0);
+        assert_eq!(t.utilization(ms(10)), 0.0);
+    }
+
+    #[test]
+    fn old_samples_are_garbage_collected() {
+        let mut t = UtilizationTracker::new(ms(10));
+        for i in 0..1_000u64 {
+            t.record(ms(i), ms(i + 1), i % 2 == 0);
+        }
+        assert!(t.sample_count() < 100, "retained {}", t.sample_count());
+        // Recent history still answers correctly: alternating busy/idle ≈ 0.5.
+        let util = t.utilization(ms(1_000));
+        assert!((util - 0.5).abs() < 0.11, "got {util}");
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut t = UtilizationTracker::new(ms(10));
+        t.record(ms(0), ms(10), true);
+        t.reset();
+        assert_eq!(t.utilization(ms(10)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_window_panics() {
+        let _ = UtilizationTracker::new(TimeUs::ZERO);
+    }
+}

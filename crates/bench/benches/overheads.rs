@@ -1,0 +1,101 @@
+//! Sec. 6.3 runtime-overhead micro-benchmarks: predictor inference (the paper
+//! reports ~2 µs), one constrained-optimisation solve (~10 ms budget,
+//! amortised over the window), and a single reactive scheduling decision.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pes_acmp::{DvfsModel, Platform};
+use pes_core::{PesConfig, PesScheduler};
+use pes_ilp::{ScheduleItem, ScheduleOption, ScheduleProblem};
+use pes_predictor::{LearnerConfig, SessionState, Trainer, TrainingConfig};
+use pes_schedulers::{Ebs, ScheduleContext, Scheduler};
+use pes_webrt::QosPolicy;
+use pes_workload::{AppCatalog, TraceGenerator, EVAL_SEED_BASE};
+
+fn predictor_inference(c: &mut Criterion) {
+    let catalog = AppCatalog::paper_suite();
+    let learner = Trainer::with_config(TrainingConfig {
+        traces_per_app: 3,
+        epochs: 20,
+        ..Default::default()
+    })
+    .train_learner(&catalog, LearnerConfig::paper_defaults());
+    let app = catalog.find("cnn").unwrap();
+    let page = app.build_page();
+    let trace = TraceGenerator::new().generate(app, &page, EVAL_SEED_BASE);
+    let mut state = SessionState::new(page.tree.clone());
+    for ev in trace.events().iter().take(6) {
+        state.observe(ev);
+    }
+    c.bench_function("predict_next_event (logistic inference)", |b| {
+        b.iter(|| black_box(learner.predict_next(black_box(&state))))
+    });
+    c.bench_function("predict_event_sequence (one prediction round)", |b| {
+        b.iter(|| black_box(learner.predict_sequence(black_box(&state))))
+    });
+}
+
+fn optimizer_solve(c: &mut Criterion) {
+    // A PES-sized window: 6 events x 17 configurations.
+    let items: Vec<ScheduleItem> = (0..6)
+        .map(|i| ScheduleItem {
+            release_us: i * 300_000,
+            deadline_us: (i + 1) * 300_000 + 300_000,
+            options: (0..17)
+                .map(|j| ScheduleOption {
+                    choice: j,
+                    duration_us: 280_000u64.saturating_sub(j as u64 * 12_000),
+                    cost: 1.0 + j as f64 * 0.9,
+                })
+                .collect(),
+        })
+        .collect();
+    c.bench_function("constrained optimisation solve (6 events x 17 configs)", |b| {
+        b.iter(|| {
+            let problem = ScheduleProblem::new(0, black_box(items.clone()));
+            black_box(problem.solve().unwrap())
+        })
+    });
+}
+
+fn scheduling_decisions(c: &mut Criterion) {
+    let platform = Platform::exynos_5410();
+    let dvfs = DvfsModel::new(&platform);
+    let qos = QosPolicy::paper_defaults();
+    let catalog = AppCatalog::paper_suite();
+    let app = catalog.find("bbc").unwrap();
+    let page = app.build_page();
+    let trace = TraceGenerator::new().generate(app, &page, EVAL_SEED_BASE);
+    let event = trace.events()[2];
+
+    let mut ebs = Ebs::new(&platform);
+    let ctx = ScheduleContext {
+        platform: &platform,
+        dvfs: &dvfs,
+        qos: &qos,
+        start_time: event.arrival(),
+        current_config: platform.min_power_config(),
+    };
+    c.bench_function("EBS per-event scheduling decision", |b| {
+        b.iter(|| black_box(ebs.schedule_event(black_box(&ctx), black_box(&event))))
+    });
+
+    let learner = Trainer::with_config(TrainingConfig {
+        traces_per_app: 2,
+        epochs: 10,
+        ..Default::default()
+    })
+    .train_learner(&catalog, LearnerConfig::paper_defaults());
+    let pes = PesScheduler::new(learner, PesConfig::paper_defaults());
+    c.bench_function("PES full-session replay (one ~25-event trace)", |b| {
+        b.iter(|| black_box(pes.run_trace(&platform, &page, &trace, &qos)))
+    });
+}
+
+criterion_group! {
+    name = overheads;
+    config = Criterion::default().sample_size(20);
+    targets = predictor_inference, optimizer_solve, scheduling_decisions
+}
+criterion_main!(overheads);

@@ -1,0 +1,50 @@
+//! # pes-bench — benchmarks and figure regeneration
+//!
+//! This crate hosts:
+//!
+//! * the `figures` binary (`cargo run -p pes-bench --release --bin figures`),
+//!   which regenerates every table and figure of the paper's evaluation as
+//!   text tables (see EXPERIMENTS.md for the recorded output),
+//! * Criterion micro-benchmarks for the Sec. 6.3 overhead analysis
+//!   (`benches/overheads.rs`), figure-scale end-to-end runs
+//!   (`benches/figures.rs`) and the design-choice ablations
+//!   (`benches/ablations.rs`).
+
+#![warn(missing_docs)]
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Sample standard deviation (0 for fewer than two samples).
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_behave() {
+        assert_eq!(pct(0.125), "12.5%");
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert!((std_dev(&[1.0, 3.0]) - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,769 @@
+//! The PES proactive runtime (Sec. 5) and the Oracle scheduler (Sec. 6.1).
+//!
+//! The runtime sits between the application and the rendering engine: it
+//! continuously predicts the events likely to happen next, co-schedules them
+//! with the outstanding events by solving the Eqn. 5 constrained
+//! optimisation, speculatively executes the schedule ahead of the user's
+//! inputs, parks the resulting frames in the Pending Frame Buffer, and
+//! commits or squashes them as the actual inputs arrive. The Oracle runs the
+//! same machinery with perfect knowledge of the future event sequence and of
+//! every event's true workload.
+
+use std::collections::VecDeque;
+
+use pes_acmp::units::{EnergyUj, TimeUs};
+use pes_acmp::{AcmpConfig, ActivityKind, CpuDemand, Platform};
+use pes_dom::{BuiltPage, EventType};
+use pes_ilp::{ScheduleItem, ScheduleOption, ScheduleProblem};
+use pes_predictor::{EventSequenceLearner, LearnerConfig, SessionState};
+use pes_schedulers::DemandProfiler;
+use pes_webrt::{EventId, ExecutionEngine, QosOutcome, QosPolicy, WebEvent};
+use pes_workload::Trace;
+
+use crate::pfb::{PendingFrame, PendingFrameBuffer};
+
+/// Configuration of the PES runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PesConfig {
+    /// Sequence-learner configuration (confidence threshold, LNES masking).
+    pub learner: LearnerConfig,
+    /// After strictly more than this many consecutive mispredictions the
+    /// runtime disables prediction and falls back to reactive EBS behaviour
+    /// (Sec. 5.4 uses 3).
+    pub fallback_threshold: u32,
+    /// Whether the fallback is enabled at all (ablation knob).
+    pub enable_fallback: bool,
+    /// Node budget for each optimizer invocation.
+    pub optimizer_node_limit: usize,
+}
+
+impl Default for PesConfig {
+    fn default() -> Self {
+        PesConfig {
+            learner: LearnerConfig::paper_defaults(),
+            fallback_threshold: 3,
+            enable_fallback: true,
+            optimizer_node_limit: 200_000,
+        }
+    }
+}
+
+impl PesConfig {
+    /// The paper's default configuration.
+    pub fn paper_defaults() -> Self {
+        PesConfig::default()
+    }
+
+    /// Returns a copy with a different prediction confidence threshold
+    /// (the Fig. 14 sweep).
+    pub fn with_confidence_threshold(mut self, threshold: f64) -> Self {
+        self.learner = self.learner.with_confidence_threshold(threshold);
+        self
+    }
+
+    /// Returns a copy with DOM (LNES) masking enabled or disabled
+    /// (the Sec. 6.5 predictor-design ablation).
+    pub fn with_lnes(mut self, use_lnes: bool) -> Self {
+        self.learner = self.learner.with_lnes(use_lnes);
+        self
+    }
+
+    /// Returns a copy with the misprediction fallback enabled or disabled.
+    pub fn with_fallback(mut self, enable: bool) -> Self {
+        self.enable_fallback = enable;
+        self
+    }
+}
+
+/// The report produced by one trace replay under a proactive scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Policy name ("PES" or "Oracle").
+    pub policy: String,
+    /// Application name.
+    pub app: String,
+    /// Number of events replayed.
+    pub events: usize,
+    /// Number of QoS violations.
+    pub violations: usize,
+    /// Total processor energy for the session.
+    pub total_energy: EnergyUj,
+    /// Energy spent on squashed speculative work.
+    pub waste_energy: EnergyUj,
+    /// Number of events that were checked against a speculative frame.
+    pub predictions: usize,
+    /// Number of those whose prediction was correct.
+    pub correct_predictions: usize,
+    /// Number of mispredictions (prediction checks that failed).
+    pub mispredictions: usize,
+    /// Frame-generation time wasted per misprediction (the Fig. 10 metric).
+    pub misprediction_waste: Vec<TimeUs>,
+    /// Pending-frame-buffer occupancy per actual event (the Fig. 9 series).
+    pub pfb_trace: Vec<(usize, usize)>,
+    /// Number of prediction rounds started.
+    pub prediction_rounds: usize,
+    /// Sum of the prediction degrees of all rounds.
+    pub total_prediction_degree: usize,
+    /// Per-event QoS outcomes.
+    pub outcomes: Vec<(EventId, QosOutcome)>,
+    /// Total branch-and-bound nodes explored by the optimizer.
+    pub solver_nodes: usize,
+}
+
+impl RunReport {
+    /// The fraction of events that violated their QoS target.
+    pub fn violation_rate(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.events as f64
+        }
+    }
+
+    /// Prediction accuracy over the events that had a speculative frame to
+    /// check against (the Fig. 8 notion, measured online).
+    pub fn prediction_accuracy(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.correct_predictions as f64 / self.predictions as f64
+        }
+    }
+
+    /// Average misprediction waste in milliseconds (Fig. 10).
+    pub fn average_waste_ms(&self) -> f64 {
+        if self.misprediction_waste.is_empty() {
+            0.0
+        } else {
+            self.misprediction_waste
+                .iter()
+                .map(|t| t.as_millis_f64())
+                .sum::<f64>()
+                / self.misprediction_waste.len() as f64
+        }
+    }
+
+    /// Average prediction degree (events predicted per round).
+    pub fn average_prediction_degree(&self) -> f64 {
+        if self.prediction_rounds == 0 {
+            0.0
+        } else {
+            self.total_prediction_degree as f64 / self.prediction_rounds as f64
+        }
+    }
+
+    /// Fraction of the session energy wasted on squashed speculation.
+    pub fn waste_energy_fraction(&self) -> f64 {
+        if self.total_energy.as_microjoules() == 0.0 {
+            0.0
+        } else {
+            self.waste_energy / self.total_energy
+        }
+    }
+}
+
+/// One planned speculative execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SpeculativeItem {
+    event_type: EventType,
+    demand: CpuDemand,
+    config: AcmpConfig,
+}
+
+/// How the runtime knows about the future.
+#[derive(Debug, Clone)]
+enum Knowledge {
+    /// The learned predictor of Sec. 5.2 plus online workload profiling.
+    Learned(Box<EventSequenceLearner>),
+    /// Perfect knowledge of the remaining event sequence and workloads.
+    Oracle {
+        /// How many future events the oracle schedules at once.
+        window: usize,
+    },
+}
+
+/// The proactive runtime shared by PES and the Oracle.
+#[derive(Debug, Clone)]
+pub struct ProactiveRuntime {
+    knowledge: Knowledge,
+    config: PesConfig,
+}
+
+/// The PES scheduler: learned prediction + global optimisation + speculation.
+#[derive(Debug, Clone)]
+pub struct PesScheduler {
+    runtime: ProactiveRuntime,
+}
+
+impl PesScheduler {
+    /// Creates a PES scheduler from a trained sequence learner.
+    pub fn new(learner: EventSequenceLearner, config: PesConfig) -> Self {
+        let mut learner = learner;
+        learner.set_config(config.learner);
+        PesScheduler {
+            runtime: ProactiveRuntime {
+                knowledge: Knowledge::Learned(Box::new(learner)),
+                config,
+            },
+        }
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &PesConfig {
+        &self.runtime.config
+    }
+
+    /// Replays one trace under PES.
+    pub fn run_trace(
+        &self,
+        platform: &Platform,
+        page: &BuiltPage,
+        trace: &Trace,
+        qos: &QosPolicy,
+    ) -> RunReport {
+        self.runtime.run(platform, page, trace, qos, "PES")
+    }
+}
+
+/// The Oracle scheduler: a priori knowledge of the entire event sequence.
+#[derive(Debug, Clone)]
+pub struct OracleScheduler {
+    runtime: ProactiveRuntime,
+}
+
+impl OracleScheduler {
+    /// Creates the Oracle with its default (effectively unbounded) window.
+    pub fn new() -> Self {
+        OracleScheduler {
+            runtime: ProactiveRuntime {
+                knowledge: Knowledge::Oracle { window: 12 },
+                config: PesConfig::paper_defaults(),
+            },
+        }
+    }
+
+    /// Replays one trace under the Oracle.
+    pub fn run_trace(
+        &self,
+        platform: &Platform,
+        page: &BuiltPage,
+        trace: &Trace,
+        qos: &QosPolicy,
+    ) -> RunReport {
+        self.runtime.run(platform, page, trace, qos, "Oracle")
+    }
+}
+
+impl Default for OracleScheduler {
+    fn default() -> Self {
+        OracleScheduler::new()
+    }
+}
+
+impl ProactiveRuntime {
+    #[allow(clippy::too_many_lines)]
+    fn run(
+        &self,
+        platform: &Platform,
+        page: &BuiltPage,
+        trace: &Trace,
+        qos: &QosPolicy,
+        policy: &str,
+    ) -> RunReport {
+        let mut engine = ExecutionEngine::new(platform, *qos);
+        let mut profiler = DemandProfiler::new(platform);
+        let mut session = SessionState::new(page.tree.clone());
+        let mut pfb = PendingFrameBuffer::new();
+        let mut plan: VecDeque<SpeculativeItem> = VecDeque::new();
+
+        let events = trace.events();
+        let mut consecutive_mispredictions: u32 = 0;
+        let mut prediction_disabled = false;
+        let mut gap_ewma = TimeUs::from_secs(2);
+        let mut prev_arrival: Option<TimeUs> = None;
+
+        let mut report = RunReport {
+            policy: policy.to_string(),
+            app: trace.app().to_string(),
+            events: events.len(),
+            violations: 0,
+            total_energy: EnergyUj::ZERO,
+            waste_energy: EnergyUj::ZERO,
+            predictions: 0,
+            correct_predictions: 0,
+            mispredictions: 0,
+            misprediction_waste: Vec::new(),
+            pfb_trace: Vec::new(),
+            prediction_rounds: 0,
+            total_prediction_degree: 0,
+            outcomes: Vec::new(),
+            solver_nodes: 0,
+        };
+
+        for (idx, ev) in events.iter().enumerate() {
+            // ---------------------------------------------------------------
+            // (A) Speculate while the runtime is idle, before this input
+            //     arrives. Each speculative execution produces a frame that
+            //     waits in the PFB.
+            // ---------------------------------------------------------------
+            while !prediction_disabled && engine.cpu_free_at() < ev.arrival() {
+                if plan.is_empty() {
+                    if !pfb.is_empty() {
+                        // A new prediction round only starts once every
+                        // previously speculated frame has been consumed
+                        // (Sec. 5.4).
+                        break;
+                    }
+                    let (new_plan, degree, nodes) = self.plan_round(
+                        &session,
+                        &profiler,
+                        &engine,
+                        qos,
+                        events,
+                        idx,
+                        gap_ewma,
+                        None,
+                    );
+                    report.solver_nodes += nodes;
+                    if new_plan.is_empty() {
+                        break;
+                    }
+                    report.prediction_rounds += 1;
+                    report.total_prediction_degree += degree;
+                    plan = new_plan;
+                }
+                let item = plan.pop_front().expect("plan is non-empty");
+                // If the prediction is about to come true, the work executed
+                // speculatively is the *actual* next event's work; otherwise
+                // the runtime renders a frame for a wrong event using its own
+                // estimate of that event type's workload.
+                let future_idx = idx + pfb.len();
+                let exec_demand = match events.get(future_idx) {
+                    Some(future) if future.event_type() == item.event_type => future.demand(),
+                    _ => item.demand,
+                };
+                let synthetic = WebEvent::new(
+                    EventId::new(1_000_000 + future_idx as u64),
+                    item.event_type,
+                    None,
+                    engine.cpu_free_at(),
+                    exec_demand,
+                );
+                let record = engine.execute_event(&synthetic, &item.config, true);
+                pfb.push(PendingFrame {
+                    predicted_type: item.event_type,
+                    record,
+                });
+            }
+
+            // ---------------------------------------------------------------
+            // (B) The actual input arrives: validate it against the PFB.
+            // ---------------------------------------------------------------
+            pfb.record_occupancy(idx);
+            if let Some(prev) = prev_arrival {
+                let gap = ev.arrival().saturating_sub(prev);
+                gap_ewma = TimeUs::from_micros(
+                    (gap_ewma.as_micros() as f64 * 0.7 + gap.as_micros() as f64 * 0.3) as u64,
+                );
+            }
+            prev_arrival = Some(ev.arrival());
+
+            let mut committed_from_pfb = false;
+            if !pfb.is_empty() {
+                report.predictions += 1;
+                if let Some(frame) = pfb.commit_front(ev.event_type()) {
+                    report.correct_predictions += 1;
+                    consecutive_mispredictions = 0;
+                    let outcome = engine.commit(ev, frame.record.frame_ready_at);
+                    report.outcomes.push((ev.id(), outcome));
+                    profiler.observe(
+                        ev.event_type(),
+                        frame.record.config,
+                        frame.record.busy_time,
+                        engine.dvfs(),
+                    );
+                    committed_from_pfb = true;
+                } else {
+                    // Misprediction: squash everything, remember the waste,
+                    // and reboot prediction (Sec. 5.4).
+                    report.mispredictions += 1;
+                    consecutive_mispredictions += 1;
+                    let squashed = pfb.squash_all();
+                    if let Some(front) = squashed.first() {
+                        report.misprediction_waste.push(front.record.busy_time);
+                    }
+                    for frame in &squashed {
+                        engine.account_squashed_frame(&frame.record);
+                    }
+                    plan.clear();
+                    if self.config.enable_fallback
+                        && consecutive_mispredictions > self.config.fallback_threshold
+                    {
+                        prediction_disabled = true;
+                    }
+                }
+            }
+
+            // ---------------------------------------------------------------
+            // (C) No committed speculative frame: execute the event now,
+            //     choosing its configuration through the global optimizer
+            //     (or through reactive EBS behaviour when prediction is
+            //     disabled or the event type is still being profiled).
+            // ---------------------------------------------------------------
+            if !committed_from_pfb {
+                let start_time = engine.cpu_free_at().max(ev.arrival());
+                let config = if prediction_disabled || profiler.needs_profiling(ev.event_type()) {
+                    self.reactive_config(&profiler, &engine, qos, ev, start_time)
+                } else {
+                    let (cfg, new_plan, nodes) = self.plan_with_outstanding(
+                        &session,
+                        &profiler,
+                        &engine,
+                        qos,
+                        events,
+                        idx,
+                        gap_ewma,
+                        ev,
+                    );
+                    report.solver_nodes += nodes;
+                    if !prediction_disabled {
+                        plan = new_plan;
+                    }
+                    cfg
+                };
+                let record = engine.execute_event(ev, &config, false);
+                let outcome = engine.commit(ev, record.frame_ready_at);
+                report.outcomes.push((ev.id(), outcome));
+                profiler.observe(ev.event_type(), config, record.busy_time, engine.dvfs());
+            }
+
+            session.observe(ev);
+        }
+
+        report.violations = report
+            .outcomes
+            .iter()
+            .filter(|(_, o)| o.violated())
+            .count();
+        report.total_energy = engine.total_energy();
+        report.waste_energy = engine.energy_for(ActivityKind::SpeculativeWaste);
+        report.pfb_trace = pfb.occupancy_trace().to_vec();
+        report
+    }
+
+    /// Reactive (EBS-equivalent) configuration choice for one event.
+    fn reactive_config(
+        &self,
+        profiler: &DemandProfiler,
+        engine: &ExecutionEngine<'_>,
+        qos: &QosPolicy,
+        ev: &WebEvent,
+        start_time: TimeUs,
+    ) -> AcmpConfig {
+        if profiler.needs_profiling(ev.event_type()) {
+            return profiler.profiling_config(ev.event_type(), engine.dvfs());
+        }
+        let estimate = profiler
+            .estimate(ev.event_type())
+            .expect("profiled types have estimates");
+        let deadline = ev.arrival() + qos.target_for_event(ev.event_type());
+        let budget = deadline.saturating_sub(start_time);
+        engine
+            .dvfs()
+            .cheapest_config_within(&estimate, budget)
+            .unwrap_or_else(|| engine.platform().max_performance_config())
+    }
+
+    /// Predicts the upcoming event sequence from the current state.
+    fn predict_types(
+        &self,
+        session: &SessionState,
+        profiler: &DemandProfiler,
+        events: &[WebEvent],
+        next_actual_idx: usize,
+    ) -> Vec<(EventType, CpuDemand)> {
+        match &self.knowledge {
+            Knowledge::Learned(learner) => learner
+                .predict_sequence(session)
+                .into_iter()
+                .map_while(|p| profiler.estimate(p.event_type).map(|d| (p.event_type, d)))
+                .collect(),
+            Knowledge::Oracle { window } => events
+                .iter()
+                .skip(next_actual_idx)
+                .take(*window)
+                .map(|e| (e.event_type(), e.demand()))
+                .collect(),
+        }
+    }
+
+    /// Builds and solves the optimisation window for a fresh prediction round
+    /// (no outstanding event), returning the speculative plan.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_round(
+        &self,
+        session: &SessionState,
+        profiler: &DemandProfiler,
+        engine: &ExecutionEngine<'_>,
+        qos: &QosPolicy,
+        events: &[WebEvent],
+        next_actual_idx: usize,
+        gap_ewma: TimeUs,
+        outstanding: Option<&WebEvent>,
+    ) -> (VecDeque<SpeculativeItem>, usize, usize) {
+        let now = engine.cpu_free_at();
+        let predicted = self.predict_types(
+            session,
+            profiler,
+            events,
+            next_actual_idx + usize::from(outstanding.is_some()),
+        );
+        if predicted.is_empty() && outstanding.is_none() {
+            return (VecDeque::new(), 0, 0);
+        }
+        let mut items = Vec::new();
+        let mut kinds: Vec<(EventType, CpuDemand)> = Vec::new();
+        if let Some(ev) = outstanding {
+            let demand = profiler.estimate(ev.event_type()).unwrap_or_else(|| ev.demand());
+            items.push(self.schedule_item(
+                engine,
+                &demand,
+                ev.arrival(),
+                ev.arrival() + qos.target_for_event(ev.event_type()),
+            ));
+            kinds.push((ev.event_type(), demand));
+        }
+        for (k, (event_type, demand)) in predicted.iter().enumerate() {
+            let expected_trigger = match &self.knowledge {
+                Knowledge::Oracle { .. } => events
+                    .get(next_actual_idx + usize::from(outstanding.is_some()) + k)
+                    .map(|e| e.arrival())
+                    .unwrap_or(now),
+                Knowledge::Learned(_) => {
+                    now + TimeUs::from_micros(gap_ewma.as_micros() * (k as u64 + 1))
+                }
+            };
+            items.push(self.schedule_item(
+                engine,
+                demand,
+                now,
+                expected_trigger + qos.target_for_event(*event_type),
+            ));
+            kinds.push((*event_type, *demand));
+        }
+        let degree = predicted.len();
+        let problem = ScheduleProblem::new(now.as_micros(), items)
+            .with_node_limit(self.config.optimizer_node_limit);
+        let solution = problem.solve().or_else(|_| problem.solve_greedy());
+        let Ok(solution) = solution else {
+            return (VecDeque::new(), 0, 0);
+        };
+        let nodes = solution.nodes_explored;
+        let plan: VecDeque<SpeculativeItem> = kinds
+            .iter()
+            .zip(solution.choices.iter())
+            .map(|((event_type, demand), &choice)| SpeculativeItem {
+                event_type: *event_type,
+                demand: *demand,
+                config: engine.platform().configs()[choice],
+            })
+            .collect();
+        (plan, degree, nodes)
+    }
+
+    /// Plans the window that starts with an outstanding (already triggered)
+    /// event: returns the configuration for that event plus the speculative
+    /// plan for the predicted events that follow it.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_with_outstanding(
+        &self,
+        session: &SessionState,
+        profiler: &DemandProfiler,
+        engine: &ExecutionEngine<'_>,
+        qos: &QosPolicy,
+        events: &[WebEvent],
+        idx: usize,
+        gap_ewma: TimeUs,
+        ev: &WebEvent,
+    ) -> (AcmpConfig, VecDeque<SpeculativeItem>, usize) {
+        // Predict the events that follow `ev` from the state in which `ev`
+        // has already been observed.
+        let mut scratch = session.clone();
+        scratch.observe(ev);
+        let (mut plan, _degree, nodes) = self.plan_round(
+            &scratch,
+            profiler,
+            engine,
+            qos,
+            events,
+            idx,
+            gap_ewma,
+            Some(ev),
+        );
+        match plan.pop_front() {
+            Some(first) => (first.config, plan, nodes),
+            None => (
+                self.reactive_config(profiler, engine, qos, ev, engine.cpu_free_at().max(ev.arrival())),
+                VecDeque::new(),
+                nodes,
+            ),
+        }
+    }
+
+    fn schedule_item(
+        &self,
+        engine: &ExecutionEngine<'_>,
+        demand: &CpuDemand,
+        release: TimeUs,
+        deadline: TimeUs,
+    ) -> ScheduleItem {
+        let options = engine
+            .platform()
+            .configs()
+            .iter()
+            .enumerate()
+            .map(|(j, cfg)| ScheduleOption {
+                choice: j,
+                duration_us: engine.dvfs().execution_time(demand, cfg).as_micros(),
+                cost: engine.dvfs().marginal_energy(demand, cfg).as_microjoules(),
+            })
+            .collect();
+        ScheduleItem {
+            release_us: release.as_micros(),
+            deadline_us: deadline.as_micros(),
+            options,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pes_predictor::Trainer;
+    use pes_workload::{AppCatalog, TraceGenerator, EVAL_SEED_BASE};
+
+    fn quick_learner(catalog: &AppCatalog) -> EventSequenceLearner {
+        Trainer::with_config(pes_predictor::TrainingConfig {
+            traces_per_app: 3,
+            epochs: 25,
+            ..Default::default()
+        })
+        .train_learner(catalog, LearnerConfig::paper_defaults())
+    }
+
+    #[test]
+    fn pes_commits_speculative_frames_and_beats_naive_violation_rates() {
+        let catalog = AppCatalog::paper_suite();
+        let app = catalog.find("cnn").unwrap();
+        let page = app.build_page();
+        let trace = TraceGenerator::new().generate(app, &page, EVAL_SEED_BASE + 7);
+        let platform = Platform::exynos_5410();
+        let qos = QosPolicy::paper_defaults();
+
+        let pes = PesScheduler::new(quick_learner(&catalog), PesConfig::paper_defaults());
+        let report = pes.run_trace(&platform, &page, &trace, &qos);
+
+        assert_eq!(report.events, trace.len());
+        assert_eq!(report.outcomes.len(), trace.len());
+        assert!(report.predictions > 0, "PES never speculated");
+        assert!(
+            report.correct_predictions > report.mispredictions,
+            "prediction should be mostly correct: {} vs {}",
+            report.correct_predictions,
+            report.mispredictions
+        );
+        assert!(report.total_energy.as_millijoules() > 0.0);
+        assert!(report.violation_rate() < 0.35);
+        assert!(!report.pfb_trace.is_empty());
+    }
+
+    #[test]
+    fn oracle_has_no_mispredictions_and_near_zero_violations() {
+        let catalog = AppCatalog::paper_suite();
+        let app = catalog.find("bbc").unwrap();
+        let page = app.build_page();
+        let trace = TraceGenerator::new().generate(app, &page, EVAL_SEED_BASE + 3);
+        let platform = Platform::exynos_5410();
+        let qos = QosPolicy::paper_defaults();
+
+        let oracle = OracleScheduler::new();
+        let report = oracle.run_trace(&platform, &page, &trace, &qos);
+        assert_eq!(report.mispredictions, 0);
+        assert_eq!(report.waste_energy.as_microjoules(), 0.0);
+        assert!(report.prediction_accuracy() > 0.99 || report.predictions == 0);
+        assert!(
+            report.violation_rate() < 0.1,
+            "oracle violation rate {}",
+            report.violation_rate()
+        );
+    }
+
+    #[test]
+    fn oracle_uses_no_more_energy_than_pes() {
+        let catalog = AppCatalog::paper_suite();
+        let app = catalog.find("espn").unwrap();
+        let page = app.build_page();
+        let trace = TraceGenerator::new().generate(app, &page, EVAL_SEED_BASE + 11);
+        let platform = Platform::exynos_5410();
+        let qos = QosPolicy::paper_defaults();
+
+        let pes = PesScheduler::new(quick_learner(&catalog), PesConfig::paper_defaults());
+        let pes_report = pes.run_trace(&platform, &page, &trace, &qos);
+        let oracle_report = OracleScheduler::new().run_trace(&platform, &page, &trace, &qos);
+        assert!(
+            oracle_report.total_energy.as_microjoules()
+                <= pes_report.total_energy.as_microjoules() * 1.05,
+            "oracle {} mJ vs pes {} mJ",
+            oracle_report.total_energy.as_millijoules(),
+            pes_report.total_energy.as_millijoules()
+        );
+        assert!(oracle_report.violations <= pes_report.violations);
+    }
+
+    #[test]
+    fn a_hundred_percent_threshold_degenerates_to_reactive_behaviour() {
+        let catalog = AppCatalog::paper_suite();
+        let app = catalog.find("msn").unwrap();
+        let page = app.build_page();
+        let trace = TraceGenerator::new().generate(app, &page, EVAL_SEED_BASE + 5);
+        let platform = Platform::exynos_5410();
+        let qos = QosPolicy::paper_defaults();
+
+        // With an (unachievable) 100 % cumulative-confidence requirement the
+        // predictor cannot predict ahead, so no speculation happens.
+        let pes = PesScheduler::new(
+            quick_learner(&catalog),
+            PesConfig::paper_defaults().with_confidence_threshold(1.0),
+        );
+        let report = pes.run_trace(&platform, &page, &trace, &qos);
+        assert_eq!(report.predictions, 0);
+        assert_eq!(report.mispredictions, 0);
+        assert_eq!(report.outcomes.len(), trace.len());
+    }
+
+    #[test]
+    fn report_helpers_compute_sane_statistics() {
+        let report = RunReport {
+            policy: "PES".into(),
+            app: "x".into(),
+            events: 10,
+            violations: 2,
+            total_energy: EnergyUj::new(1_000.0),
+            waste_energy: EnergyUj::new(50.0),
+            predictions: 8,
+            correct_predictions: 6,
+            mispredictions: 2,
+            misprediction_waste: vec![TimeUs::from_millis(10), TimeUs::from_millis(30)],
+            pfb_trace: vec![(0, 1)],
+            prediction_rounds: 2,
+            total_prediction_degree: 9,
+            outcomes: vec![],
+            solver_nodes: 100,
+        };
+        assert!((report.violation_rate() - 0.2).abs() < 1e-12);
+        assert!((report.prediction_accuracy() - 0.75).abs() < 1e-12);
+        assert!((report.average_waste_ms() - 20.0).abs() < 1e-9);
+        assert!((report.average_prediction_degree() - 4.5).abs() < 1e-12);
+        assert!((report.waste_energy_fraction() - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,414 @@
+//! The DOM analyzer: Likely-Next-Event-Set (LNES) computation and the
+//! application-inherent features of Table 1.
+//!
+//! The analyzer traverses the part of the DOM tree inside the current
+//! viewport and accumulates the set of events registered on visible nodes —
+//! the LNES that the event sequence learner predicts from (Sec. 5.2). It can
+//! also *project* the LNES past a sequence of hypothetical (predicted)
+//! events by statically applying their memoized effects through the
+//! [`SemanticTree`], which is what lets PES predict several events ahead.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DomError;
+use crate::events::EventType;
+use crate::geometry::Viewport;
+use crate::semantic::SemanticTree;
+use crate::tree::{DomTree, NodeId};
+
+/// One candidate next event: an event type on a concrete (visible) node, or
+/// a document-level event such as scrolling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PossibleEvent {
+    /// The node the event would fire on (the document root for global
+    /// events such as scrolling).
+    pub node: NodeId,
+    /// The event type.
+    pub event: EventType,
+}
+
+/// The Likely-Next-Event-Set: all events that the application logic allows as
+/// the immediate next event given the current (or projected) DOM state.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lnes {
+    events: Vec<PossibleEvent>,
+}
+
+impl Lnes {
+    /// The candidate events, in document order.
+    pub fn events(&self) -> &[PossibleEvent] {
+        &self.events
+    }
+
+    /// Number of candidate events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no event is possible (an empty or fully hidden page).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Whether a given event *type* is possible on any node.
+    pub fn allows(&self, event: EventType) -> bool {
+        self.events.iter().any(|p| p.event == event)
+    }
+
+    /// The distinct event types present in the set, in class-index order.
+    pub fn event_types(&self) -> Vec<EventType> {
+        let mut types: Vec<EventType> = EventType::ALL
+            .into_iter()
+            .filter(|e| self.allows(*e))
+            .collect();
+        types.dedup();
+        types
+    }
+
+    /// The candidate nodes for a given event type.
+    pub fn nodes_for(&self, event: EventType) -> Vec<NodeId> {
+        self.events
+            .iter()
+            .filter(|p| p.event == event)
+            .map(|p| p.node)
+            .collect()
+    }
+}
+
+/// Application-inherent features of the current viewport (the first two rows
+/// of Table 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ViewportFeatures {
+    /// Fraction of the viewport area covered by clickable elements.
+    pub clickable_region_fraction: f64,
+    /// Fraction of the viewport area covered by visible links.
+    pub visible_link_fraction: f64,
+    /// Number of clickable elements currently visible.
+    pub visible_clickable_count: usize,
+    /// Number of link elements currently visible.
+    pub visible_link_count: usize,
+    /// Whether the document extends beyond the viewport (scrolling possible).
+    pub scrollable: bool,
+}
+
+/// The DOM analyzer.
+///
+/// # Examples
+///
+/// ```
+/// use pes_dom::{CallbackEffect, DomAnalyzer, DomTree, EventType, NodeKind, SemanticTree};
+/// use pes_dom::geometry::{Rect, Viewport};
+///
+/// let mut tree = DomTree::new();
+/// let root = tree.root();
+/// let link = tree.create_node(NodeKind::Link, Rect::new(0, 0, 200, 40));
+/// tree.append_child(root, link).unwrap();
+/// tree.add_listener(link, EventType::Click, CallbackEffect::Navigate).unwrap();
+///
+/// let analyzer = DomAnalyzer::new();
+/// let lnes = analyzer.lnes(&tree, &Viewport::phone());
+/// assert!(lnes.allows(EventType::Click));
+/// assert!(!lnes.allows(EventType::Submit));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DomAnalyzer {
+    include_global_scroll: bool,
+}
+
+impl DomAnalyzer {
+    /// Creates an analyzer with the default policy: document-level scrolling
+    /// is part of the LNES whenever the page is taller than the viewport.
+    pub fn new() -> Self {
+        DomAnalyzer {
+            include_global_scroll: true,
+        }
+    }
+
+    /// Creates an analyzer that only reports events registered on concrete
+    /// DOM nodes (no implicit document-level scroll). Used by ablations.
+    pub fn without_global_scroll() -> Self {
+        DomAnalyzer {
+            include_global_scroll: false,
+        }
+    }
+
+    /// Computes the LNES for the current DOM state: every event registered on
+    /// an effectively-visible node, plus document-level scroll/move events
+    /// when the page is scrollable.
+    pub fn lnes(&self, tree: &DomTree, viewport: &Viewport) -> Lnes {
+        let mut events = Vec::new();
+        let mut navigation_possible = false;
+        for (id, node) in tree.iter() {
+            if !tree.is_effectively_visible(id, viewport) {
+                continue;
+            }
+            for (event, effect) in node.listeners() {
+                events.push(PossibleEvent { node: id, event });
+                if matches!(
+                    effect,
+                    crate::tree::CallbackEffect::Navigate | crate::tree::CallbackEffect::SubmitForm
+                ) {
+                    navigation_possible = true;
+                }
+            }
+        }
+        let root = tree.root();
+        if self.include_global_scroll && tree.document_height() > viewport.height() + viewport.scroll_y()
+        {
+            for event in [EventType::Scroll, EventType::TouchMove] {
+                if !events.iter().any(|p| p.node == root && p.event == event) {
+                    events.push(PossibleEvent { node: root, event });
+                }
+            }
+        }
+        // A navigation (page replacement) is a possible next event whenever a
+        // visible element's callback would navigate or submit: the load it
+        // triggers is itself an event the application will have to serve.
+        if navigation_possible {
+            events.push(PossibleEvent {
+                node: root,
+                event: EventType::Navigate,
+            });
+        }
+        events.sort();
+        events.dedup();
+        Lnes { events }
+    }
+
+    /// Computes the viewport features of Table 1 for the current DOM state.
+    pub fn viewport_features(&self, tree: &DomTree, viewport: &Viewport) -> ViewportFeatures {
+        let viewport_area = viewport.area().max(1) as f64;
+        let clickables = tree.visible_clickable_nodes(viewport);
+        let links = tree.visible_link_nodes(viewport);
+        let clickable_area: i64 = clickables
+            .iter()
+            .filter_map(|id| tree.node(*id).ok())
+            .map(|n| viewport.visible_area(&n.rect()))
+            .sum();
+        let link_area: i64 = links
+            .iter()
+            .filter_map(|id| tree.node(*id).ok())
+            .map(|n| viewport.visible_area(&n.rect()))
+            .sum();
+        ViewportFeatures {
+            clickable_region_fraction: (clickable_area as f64 / viewport_area).clamp(0.0, 1.0),
+            visible_link_fraction: (link_area as f64 / viewport_area).clamp(0.0, 1.0),
+            visible_clickable_count: clickables.len(),
+            visible_link_count: links.len(),
+            scrollable: tree.document_height() > viewport.height() + viewport.scroll_y(),
+        }
+    }
+
+    /// Computes the LNES *after* a sequence of hypothetical events, by
+    /// statically applying their memoized effects to scratch copies of the
+    /// DOM state (Sec. 5.2). The live `tree`/`viewport` are not modified.
+    ///
+    /// Predicted events with no memoized listener are skipped rather than
+    /// rejected: the sequence learner may legitimately predict an event whose
+    /// handler is a no-op as far as the DOM is concerned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DomError`] only for structural failures (stale node ids
+    /// inside memoized effects), which indicate a bug in DOM construction.
+    pub fn lnes_after(
+        &self,
+        tree: &DomTree,
+        viewport: &Viewport,
+        semantic: &SemanticTree,
+        hypothetical: &[PossibleEvent],
+    ) -> Result<Lnes, DomError> {
+        let mut scratch_tree = tree.clone();
+        let mut scratch_vp = *viewport;
+        for ev in hypothetical {
+            match semantic.apply_hypothetical(&mut scratch_tree, &mut scratch_vp, ev.node, ev.event)
+            {
+                Ok(_) => {}
+                Err(DomError::NoListener(..)) => {}
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(self.lnes(&scratch_tree, &scratch_vp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Rect;
+    use crate::tree::{CallbackEffect, NodeKind};
+
+    /// A page with a visible nav link, a disclosure button whose menu is
+    /// hidden, a below-the-fold button, and enough content to scroll.
+    fn sample_page() -> (DomTree, NodeId, NodeId, NodeId, NodeId) {
+        let mut tree = DomTree::new();
+        let root = tree.root();
+        let nav_link = tree.create_node(NodeKind::Link, Rect::new(0, 0, 180, 40));
+        let menu_button = tree.create_node(NodeKind::Button, Rect::new(200, 0, 80, 40));
+        let menu = tree.create_node(NodeKind::Menu, Rect::new(200, 40, 160, 160));
+        let menu_item = tree.create_node(NodeKind::MenuItem, Rect::new(200, 40, 160, 40));
+        let far_button = tree.create_node(NodeKind::Button, Rect::new(0, 2_000, 100, 40));
+        let filler = tree.create_node(NodeKind::Text, Rect::new(0, 100, 360, 2_500));
+        for id in [nav_link, menu_button, menu, far_button, filler] {
+            tree.append_child(root, id).unwrap();
+        }
+        tree.append_child(menu, menu_item).unwrap();
+        tree.add_listener(nav_link, EventType::Click, CallbackEffect::Navigate)
+            .unwrap();
+        tree.add_listener(
+            menu_button,
+            EventType::Click,
+            CallbackEffect::ToggleVisibility(menu),
+        )
+        .unwrap();
+        tree.add_listener(menu_item, EventType::Click, CallbackEffect::Navigate)
+            .unwrap();
+        tree.add_listener(far_button, EventType::Click, CallbackEffect::None)
+            .unwrap();
+        tree.set_displayed(menu, false).unwrap();
+        (tree, nav_link, menu_button, menu_item, far_button)
+    }
+
+    #[test]
+    fn lnes_contains_only_visible_listeners() {
+        let (tree, nav_link, menu_button, menu_item, far_button) = sample_page();
+        let analyzer = DomAnalyzer::new();
+        let lnes = analyzer.lnes(&tree, &Viewport::phone());
+        let nodes: Vec<NodeId> = lnes.nodes_for(EventType::Click);
+        assert!(nodes.contains(&nav_link));
+        assert!(nodes.contains(&menu_button));
+        assert!(!nodes.contains(&menu_item), "hidden menu item must be excluded");
+        assert!(!nodes.contains(&far_button), "below-the-fold button must be excluded");
+    }
+
+    #[test]
+    fn lnes_includes_global_scroll_when_page_is_long() {
+        let (tree, ..) = sample_page();
+        let analyzer = DomAnalyzer::new();
+        let lnes = analyzer.lnes(&tree, &Viewport::phone());
+        assert!(lnes.allows(EventType::Scroll));
+        assert!(lnes.allows(EventType::TouchMove));
+        let no_scroll = DomAnalyzer::without_global_scroll().lnes(&tree, &Viewport::phone());
+        assert!(!no_scroll.allows(EventType::Scroll));
+    }
+
+    #[test]
+    fn lnes_event_types_are_deduplicated() {
+        let (tree, ..) = sample_page();
+        let lnes = DomAnalyzer::new().lnes(&tree, &Viewport::phone());
+        let types = lnes.event_types();
+        let mut dedup = types.clone();
+        dedup.dedup();
+        assert_eq!(types, dedup);
+        assert!(types.contains(&EventType::Click));
+    }
+
+    #[test]
+    fn scrolling_far_enough_reveals_the_far_button() {
+        let (tree, _, _, _, far_button) = sample_page();
+        let analyzer = DomAnalyzer::new();
+        let mut vp = Viewport::phone();
+        vp.scroll_to(1_900);
+        let lnes = analyzer.lnes(&tree, &vp);
+        assert!(lnes.nodes_for(EventType::Click).contains(&far_button));
+    }
+
+    #[test]
+    fn viewport_features_reflect_clickable_and_link_area() {
+        let (tree, ..) = sample_page();
+        let analyzer = DomAnalyzer::new();
+        let features = analyzer.viewport_features(&tree, &Viewport::phone());
+        assert!(features.clickable_region_fraction > 0.0);
+        assert!(features.clickable_region_fraction < 1.0);
+        assert!(features.visible_link_fraction > 0.0);
+        assert!(features.visible_link_fraction <= features.clickable_region_fraction);
+        assert_eq!(features.visible_link_count, 1);
+        assert_eq!(features.visible_clickable_count, 2);
+        assert!(features.scrollable);
+    }
+
+    #[test]
+    fn empty_page_has_empty_lnes_and_zero_features() {
+        let tree = DomTree::new();
+        let analyzer = DomAnalyzer::new();
+        let vp = Viewport::phone();
+        let lnes = analyzer.lnes(&tree, &vp);
+        assert!(lnes.is_empty());
+        assert_eq!(lnes.len(), 0);
+        let features = analyzer.viewport_features(&tree, &vp);
+        assert_eq!(features.clickable_region_fraction, 0.0);
+        assert_eq!(features.visible_link_count, 0);
+        assert!(!features.scrollable);
+    }
+
+    #[test]
+    fn lnes_after_menu_click_includes_menu_items() {
+        let (tree, _, menu_button, menu_item, _) = sample_page();
+        let analyzer = DomAnalyzer::new();
+        let semantic = SemanticTree::build(&tree);
+        let vp = Viewport::phone();
+        let before = analyzer.lnes(&tree, &vp);
+        assert!(!before.nodes_for(EventType::Click).contains(&menu_item));
+        let after = analyzer
+            .lnes_after(
+                &tree,
+                &vp,
+                &semantic,
+                &[PossibleEvent {
+                    node: menu_button,
+                    event: EventType::Click,
+                }],
+            )
+            .unwrap();
+        assert!(after.nodes_for(EventType::Click).contains(&menu_item));
+        // The live DOM is untouched.
+        assert!(!analyzer
+            .lnes(&tree, &vp)
+            .nodes_for(EventType::Click)
+            .contains(&menu_item));
+    }
+
+    #[test]
+    fn lnes_after_scroll_reveals_below_the_fold_content() {
+        let (tree, _, _, _, far_button) = sample_page();
+        let mut tree = tree;
+        tree.add_listener(tree.root(), EventType::Scroll, CallbackEffect::ScrollBy(1_900))
+            .unwrap();
+        let analyzer = DomAnalyzer::new();
+        let semantic = SemanticTree::build(&tree);
+        let vp = Viewport::phone();
+        let after = analyzer
+            .lnes_after(
+                &tree,
+                &vp,
+                &semantic,
+                &[PossibleEvent {
+                    node: tree.root(),
+                    event: EventType::Scroll,
+                }],
+            )
+            .unwrap();
+        assert!(after.nodes_for(EventType::Click).contains(&far_button));
+    }
+
+    #[test]
+    fn hypothetical_events_without_listeners_are_skipped() {
+        let (tree, nav_link, ..) = sample_page();
+        let analyzer = DomAnalyzer::new();
+        let semantic = SemanticTree::build(&tree);
+        let vp = Viewport::phone();
+        // Submit has no listener anywhere; the projection should not fail.
+        let after = analyzer
+            .lnes_after(
+                &tree,
+                &vp,
+                &semantic,
+                &[PossibleEvent {
+                    node: nav_link,
+                    event: EventType::Submit,
+                }],
+            )
+            .unwrap();
+        assert!(!after.is_empty());
+    }
+}

@@ -1,0 +1,252 @@
+//! The Semantic Tree (Sec. 5.2, Sec. 5.5).
+//!
+//! PES needs to know what the DOM will look like *after* a predicted event
+//! executes, without actually running the event's JavaScript callback — e.g.
+//! clicking a "menu" button makes the menu's items visible, which changes the
+//! set of events that can possibly come next. The paper piggybacks this on
+//! the browser's Accessibility Tree: during parsing it memoizes, per node and
+//! per event, the semantic effect of the callback. [`SemanticTree`] is that
+//! memoized structure.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DomError;
+use crate::events::EventType;
+use crate::geometry::Viewport;
+use crate::tree::{CallbackEffect, DomTree, NodeId};
+
+/// The semantic role of a node as exposed by the Accessibility Tree: enough
+/// to tell "a clickable button that toggles a dropdown" apart from "a piece
+/// of text" (Sec. 5.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SemanticRole {
+    /// Not interactive at all.
+    Static,
+    /// A clickable control with no structural effect.
+    Control,
+    /// A control that expands/collapses another subtree.
+    DisclosureButton,
+    /// A navigation link.
+    Link,
+    /// A form submission control.
+    SubmitControl,
+    /// A scrollable region.
+    ScrollRegion,
+}
+
+/// One entry of the Semantic Tree: the memoized effect of an event listener.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SemanticEntry {
+    /// The node the listener is registered on.
+    pub node: NodeId,
+    /// The event type the listener reacts to.
+    pub event: EventType,
+    /// The memoized effect of the callback.
+    pub effect: CallbackEffect,
+    /// The semantic role inferred for the node.
+    pub role: SemanticRole,
+}
+
+/// The Semantic Tree: a per-node, per-event memoization of callback effects,
+/// built once from the [`DomTree`] ("during parsing") and then queried
+/// statically by the DOM analyzer.
+///
+/// # Examples
+///
+/// ```
+/// use pes_dom::{CallbackEffect, DomTree, EventType, NodeKind, SemanticTree};
+/// use pes_dom::geometry::Rect;
+///
+/// let mut tree = DomTree::new();
+/// let root = tree.root();
+/// let button = tree.create_node(NodeKind::Button, Rect::new(0, 0, 80, 40));
+/// let menu = tree.create_node(NodeKind::Menu, Rect::new(0, 40, 200, 100));
+/// tree.append_child(root, button).unwrap();
+/// tree.append_child(root, menu).unwrap();
+/// tree.add_listener(button, EventType::Click, CallbackEffect::ToggleVisibility(menu)).unwrap();
+///
+/// let semantic = SemanticTree::build(&tree);
+/// assert_eq!(
+///     semantic.effect_of(button, EventType::Click),
+///     Some(CallbackEffect::ToggleVisibility(menu))
+/// );
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SemanticTree {
+    entries: BTreeMap<(NodeId, EventType), SemanticEntry>,
+}
+
+impl SemanticTree {
+    /// Builds the Semantic Tree from a DOM tree by memoizing every
+    /// registered listener's effect and inferring its role.
+    pub fn build(tree: &DomTree) -> Self {
+        let mut entries = BTreeMap::new();
+        for (id, node) in tree.iter() {
+            for (event, effect) in node.listeners() {
+                let role = match effect {
+                    CallbackEffect::ToggleVisibility(_) => SemanticRole::DisclosureButton,
+                    CallbackEffect::Navigate => SemanticRole::Link,
+                    CallbackEffect::SubmitForm => SemanticRole::SubmitControl,
+                    CallbackEffect::ScrollBy(_) => SemanticRole::ScrollRegion,
+                    CallbackEffect::None | CallbackEffect::MutateContent => SemanticRole::Control,
+                };
+                entries.insert(
+                    (id, event),
+                    SemanticEntry {
+                        node: id,
+                        event,
+                        effect,
+                        role,
+                    },
+                );
+            }
+        }
+        SemanticTree { entries }
+    }
+
+    /// Number of memoized listener entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the tree memoizes no listeners at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The memoized effect of triggering `event` on `node`, if a listener
+    /// exists.
+    pub fn effect_of(&self, node: NodeId, event: EventType) -> Option<CallbackEffect> {
+        self.entries.get(&(node, event)).map(|e| e.effect)
+    }
+
+    /// The semantic role inferred for `node` when handling `event`.
+    pub fn role_of(&self, node: NodeId, event: EventType) -> Option<SemanticRole> {
+        self.entries.get(&(node, event)).map(|e| e.role)
+    }
+
+    /// Iterates over all memoized entries.
+    pub fn iter(&self) -> impl Iterator<Item = &SemanticEntry> + '_ {
+        self.entries.values()
+    }
+
+    /// Entries whose role matches `role`.
+    pub fn entries_with_role(&self, role: SemanticRole) -> Vec<&SemanticEntry> {
+        self.entries.values().filter(|e| e.role == role).collect()
+    }
+
+    /// Statically applies the memoized effect of `(node, event)` to a copy of
+    /// the DOM state, so that the analyzer can compute the post-event LNES
+    /// without evaluating the callback (the Fig. 7 workflow). The provided
+    /// `tree` and `viewport` are mutated in place; callers pass clones when
+    /// exploring hypothetical futures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DomError::NoListener`] when no listener is memoized for the
+    /// pair, or any error from applying the effect to the tree.
+    pub fn apply_hypothetical(
+        &self,
+        tree: &mut DomTree,
+        viewport: &mut Viewport,
+        node: NodeId,
+        event: EventType,
+    ) -> Result<bool, DomError> {
+        let effect = self
+            .effect_of(node, event)
+            .ok_or(DomError::NoListener(node.index(), event))?;
+        tree.apply_effect(effect, viewport)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Rect;
+    use crate::tree::NodeKind;
+
+    fn menu_page() -> (DomTree, NodeId, NodeId, NodeId) {
+        let mut tree = DomTree::new();
+        let root = tree.root();
+        let button = tree.create_node(NodeKind::Button, Rect::new(0, 0, 80, 40));
+        let menu = tree.create_node(NodeKind::Menu, Rect::new(0, 40, 200, 120));
+        let item = tree.create_node(NodeKind::MenuItem, Rect::new(0, 40, 200, 40));
+        tree.append_child(root, button).unwrap();
+        tree.append_child(root, menu).unwrap();
+        tree.append_child(menu, item).unwrap();
+        tree.add_listener(button, EventType::Click, CallbackEffect::ToggleVisibility(menu))
+            .unwrap();
+        tree.add_listener(item, EventType::Click, CallbackEffect::Navigate)
+            .unwrap();
+        tree.add_listener(tree.root(), EventType::Scroll, CallbackEffect::ScrollBy(300))
+            .unwrap();
+        tree.set_displayed(menu, false).unwrap();
+        (tree, button, menu, item)
+    }
+
+    #[test]
+    fn build_memoizes_every_listener() {
+        let (tree, button, _menu, item) = menu_page();
+        let semantic = SemanticTree::build(&tree);
+        assert_eq!(semantic.len(), 3);
+        assert!(!semantic.is_empty());
+        assert!(semantic.effect_of(button, EventType::Click).is_some());
+        assert!(semantic.effect_of(item, EventType::Click).is_some());
+        assert!(semantic.effect_of(button, EventType::Scroll).is_none());
+    }
+
+    #[test]
+    fn roles_are_inferred_from_effects() {
+        let (tree, button, _menu, item) = menu_page();
+        let semantic = SemanticTree::build(&tree);
+        assert_eq!(
+            semantic.role_of(button, EventType::Click),
+            Some(SemanticRole::DisclosureButton)
+        );
+        assert_eq!(semantic.role_of(item, EventType::Click), Some(SemanticRole::Link));
+        assert_eq!(
+            semantic.role_of(tree.root(), EventType::Scroll),
+            Some(SemanticRole::ScrollRegion)
+        );
+        assert_eq!(semantic.entries_with_role(SemanticRole::Link).len(), 1);
+    }
+
+    #[test]
+    fn hypothetical_application_reveals_menu_items() {
+        let (tree, button, _menu, item) = menu_page();
+        let semantic = SemanticTree::build(&tree);
+        let mut scratch_tree = tree.clone();
+        let mut scratch_vp = Viewport::phone();
+        assert!(!scratch_tree.is_effectively_visible(item, &scratch_vp));
+        let changed = semantic
+            .apply_hypothetical(&mut scratch_tree, &mut scratch_vp, button, EventType::Click)
+            .unwrap();
+        assert!(changed);
+        assert!(scratch_tree.is_effectively_visible(item, &scratch_vp));
+        // The original DOM is untouched — the whole point of the Semantic
+        // Tree is to avoid executing callbacks on the live page.
+        assert!(!tree.is_effectively_visible(item, &Viewport::phone()));
+    }
+
+    #[test]
+    fn missing_listener_is_an_error() {
+        let (tree, button, ..) = menu_page();
+        let semantic = SemanticTree::build(&tree);
+        let mut scratch = tree.clone();
+        let mut vp = Viewport::phone();
+        let err = semantic
+            .apply_hypothetical(&mut scratch, &mut vp, button, EventType::Submit)
+            .unwrap_err();
+        assert!(matches!(err, DomError::NoListener(_, EventType::Submit)));
+    }
+
+    #[test]
+    fn empty_dom_yields_empty_semantic_tree() {
+        let tree = DomTree::new();
+        let semantic = SemanticTree::build(&tree);
+        assert!(semantic.is_empty());
+        assert_eq!(semantic.iter().count(), 0);
+    }
+}

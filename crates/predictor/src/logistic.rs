@@ -1,0 +1,306 @@
+//! Logistic-regression models for next-event prediction.
+//!
+//! The event sequence learner employs a set of logistic models, one per
+//! possible next event, each estimating `ln(p / (1 - p)) = xβ`; the event
+//! with the highest probability is deemed the next event (Sec. 5.2). The
+//! paper chooses logistic regression over heavier sequence models (LSTMs)
+//! because it reaches sufficient accuracy at microsecond-scale inference
+//! cost (Sec. 6.3).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use pes_dom::EventType;
+
+use crate::features::FeatureVector;
+
+/// A single binary logistic model `p = sigmoid(w · x + b)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogisticModel {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogisticModel {
+    /// Creates a zero-initialised model for `dim` features.
+    pub fn zeros(dim: usize) -> Self {
+        LogisticModel {
+            weights: vec![0.0; dim],
+            bias: 0.0,
+        }
+    }
+
+    /// Creates a model from explicit coefficients.
+    pub fn from_coefficients(weights: Vec<f64>, bias: f64) -> Self {
+        LogisticModel { weights, bias }
+    }
+
+    /// The feature dimension the model expects.
+    pub fn dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The learned weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The learned bias.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// The probability `p(y = 1 | x)`. Extra features are ignored and missing
+    /// features are treated as zero, so the model is robust to callers built
+    /// against a different feature revision.
+    pub fn predict_proba(&self, features: &[f64]) -> f64 {
+        let z: f64 = self
+            .weights
+            .iter()
+            .zip(features.iter())
+            .map(|(w, x)| w * x)
+            .sum::<f64>()
+            + self.bias;
+        sigmoid(z)
+    }
+
+    /// One epoch of stochastic gradient descent over `(features, label)`
+    /// pairs with learning rate `lr` and L2 regularisation `l2`.
+    pub fn sgd_epoch(&mut self, samples: &[(&FeatureVector, bool)], lr: f64, l2: f64) {
+        for (x, y) in samples {
+            let p = self.predict_proba(x);
+            let error = p - f64::from(*y);
+            for (w, xi) in self.weights.iter_mut().zip(x.iter()) {
+                *w -= lr * (error * xi + l2 * *w);
+            }
+            self.bias -= lr * error;
+        }
+    }
+}
+
+/// A one-vs-rest classifier over the seven DOM event types.
+///
+/// # Examples
+///
+/// ```
+/// use pes_predictor::OneVsRestClassifier;
+/// use pes_dom::EventType;
+///
+/// let untrained = OneVsRestClassifier::zeros(3);
+/// let (event, confidence) = untrained.predict(&vec![0.1, 0.2, 0.3], None);
+/// assert!(EventType::ALL.contains(&event));
+/// assert!(confidence > 0.0 && confidence <= 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OneVsRestClassifier {
+    models: Vec<LogisticModel>,
+    dim: usize,
+}
+
+impl OneVsRestClassifier {
+    /// Creates a zero-initialised classifier for `dim` features.
+    pub fn zeros(dim: usize) -> Self {
+        OneVsRestClassifier {
+            models: EventType::ALL.iter().map(|_| LogisticModel::zeros(dim)).collect(),
+            dim,
+        }
+    }
+
+    /// The feature dimension the classifier expects.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The per-class binary models, indexed by [`EventType::class_index`].
+    pub fn models(&self) -> &[LogisticModel] {
+        &self.models
+    }
+
+    /// Per-class probabilities (not normalised across classes — each is an
+    /// independent one-vs-rest estimate, exactly as in the paper).
+    pub fn probabilities(&self, features: &[f64]) -> Vec<(EventType, f64)> {
+        EventType::ALL
+            .iter()
+            .map(|e| (*e, self.models[e.class_index()].predict_proba(features)))
+            .collect()
+    }
+
+    /// Predicts the most likely next event and its confidence (the winning
+    /// model's probability). When `allowed` is provided, only those classes
+    /// compete — this is the LNES masking of Sec. 5.2; if the mask is empty
+    /// the full class set is used.
+    pub fn predict(&self, features: &[f64], allowed: Option<&[EventType]>) -> (EventType, f64) {
+        let probs = self.probabilities(features);
+        let masked: Vec<(EventType, f64)> = match allowed {
+            Some(mask) if !mask.is_empty() => probs
+                .iter()
+                .copied()
+                .filter(|(e, _)| mask.contains(e))
+                .collect(),
+            _ => probs.clone(),
+        };
+        let candidates = if masked.is_empty() { &probs } else { &masked };
+        candidates
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("probabilities are finite"))
+            .expect("at least one class exists")
+    }
+
+    /// Trains the classifier with stochastic gradient descent.
+    ///
+    /// `dataset` holds `(features, label)` pairs; training shuffles the data
+    /// each epoch with a deterministic RNG so results are reproducible.
+    pub fn train(
+        &mut self,
+        dataset: &[(FeatureVector, EventType)],
+        epochs: usize,
+        lr: f64,
+        l2: f64,
+        seed: u64,
+    ) {
+        if dataset.is_empty() {
+            return;
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        for _ in 0..epochs {
+            order.shuffle(&mut rng);
+            for event_type in EventType::ALL {
+                let class = event_type.class_index();
+                let samples: Vec<(&FeatureVector, bool)> = order
+                    .iter()
+                    .map(|&i| (&dataset[i].0, dataset[i].1 == event_type))
+                    .collect();
+                self.models[class].sgd_epoch(&samples, lr, l2);
+            }
+        }
+    }
+
+    /// Fraction of samples whose true label is the classifier's top choice.
+    pub fn accuracy(&self, dataset: &[(FeatureVector, EventType)]) -> f64 {
+        if dataset.is_empty() {
+            return 0.0;
+        }
+        let correct = dataset
+            .iter()
+            .filter(|(x, y)| self.predict(x, None).0 == *y)
+            .count();
+        correct as f64 / dataset.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_is_stable_and_bounded() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) < 0.001);
+        assert!(sigmoid(1_000.0).is_finite());
+        assert!(sigmoid(-1_000.0).is_finite());
+    }
+
+    #[test]
+    fn zero_model_predicts_one_half() {
+        let m = LogisticModel::zeros(4);
+        assert!((m.predict_proba(&[1.0, 2.0, 3.0, 4.0]) - 0.5).abs() < 1e-12);
+        assert_eq!(m.dim(), 4);
+    }
+
+    #[test]
+    fn explicit_coefficients_behave_as_expected() {
+        let m = LogisticModel::from_coefficients(vec![2.0, -1.0], 0.5);
+        assert!(m.predict_proba(&[3.0, 0.0]) > 0.99);
+        assert!(m.predict_proba(&[0.0, 5.0]) < 0.05);
+        assert_eq!(m.weights(), &[2.0, -1.0]);
+        assert_eq!(m.bias(), 0.5);
+        // Shorter feature vectors are padded with zeros.
+        assert!((m.predict_proba(&[]) - sigmoid(0.5)).abs() < 1e-12);
+    }
+
+    fn separable_dataset() -> Vec<(FeatureVector, EventType)> {
+        // Three classes, each activated by one dominant feature.
+        let mut data = Vec::new();
+        for i in 0..60 {
+            let noise = (i % 7) as f64 * 0.01;
+            data.push((vec![1.0, noise, 0.0], EventType::Scroll));
+            data.push((vec![noise, 1.0, 0.0], EventType::Click));
+            data.push((vec![0.0, noise, 1.0], EventType::Navigate));
+        }
+        data
+    }
+
+    #[test]
+    fn training_learns_a_separable_problem() {
+        let data = separable_dataset();
+        let mut clf = OneVsRestClassifier::zeros(3);
+        let before = clf.accuracy(&data);
+        clf.train(&data, 60, 0.3, 1e-4, 7);
+        let after = clf.accuracy(&data);
+        assert!(after > 0.95, "accuracy after training: {after}");
+        assert!(after > before);
+    }
+
+    #[test]
+    fn training_is_deterministic_given_the_seed() {
+        let data = separable_dataset();
+        let mut a = OneVsRestClassifier::zeros(3);
+        let mut b = OneVsRestClassifier::zeros(3);
+        a.train(&data, 20, 0.3, 1e-4, 11);
+        b.train(&data, 20, 0.3, 1e-4, 11);
+        assert_eq!(a, b);
+        let mut c = OneVsRestClassifier::zeros(3);
+        c.train(&data, 20, 0.3, 1e-4, 12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lnes_masking_restricts_the_prediction() {
+        let data = separable_dataset();
+        let mut clf = OneVsRestClassifier::zeros(3);
+        clf.train(&data, 60, 0.3, 1e-4, 7);
+        // A clearly "scroll" feature vector, but scroll is not allowed by the
+        // (hypothetical) LNES: the classifier must pick among the allowed.
+        let features = vec![1.0, 0.0, 0.0];
+        let (unmasked, _) = clf.predict(&features, None);
+        assert_eq!(unmasked, EventType::Scroll);
+        let (masked, _) = clf.predict(&features, Some(&[EventType::Click, EventType::Navigate]));
+        assert_ne!(masked, EventType::Scroll);
+        // An empty mask falls back to the full class set.
+        let (fallback, _) = clf.predict(&features, Some(&[]));
+        assert_eq!(fallback, EventType::Scroll);
+    }
+
+    #[test]
+    fn empty_dataset_is_a_no_op() {
+        let mut clf = OneVsRestClassifier::zeros(3);
+        let untouched = clf.clone();
+        clf.train(&[], 10, 0.3, 1e-4, 0);
+        assert_eq!(clf, untouched);
+        assert_eq!(clf.accuracy(&[]), 0.0);
+    }
+
+    #[test]
+    fn probabilities_cover_every_class() {
+        let clf = OneVsRestClassifier::zeros(5);
+        let probs = clf.probabilities(&[0.0; 5]);
+        assert_eq!(probs.len(), EventType::ALL.len());
+        for (_, p) in probs {
+            assert!((p - 0.5).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Diagnostic accuracy check across the full seen suite (also serves as the
+//! end-to-end predictor integration test).
+
+use pes_dom::EventType;
+use pes_predictor::{evaluate_accuracy, LearnerConfig, SessionState, Trainer};
+use pes_workload::{AppCatalog, TraceGenerator, EVAL_SEED_BASE};
+
+#[test]
+#[ignore = "diagnostic: run with --ignored --nocapture to print per-app accuracy"]
+fn per_app_accuracy_report() {
+    let catalog = AppCatalog::paper_suite();
+    let learner = Trainer::new().train_learner(&catalog, LearnerConfig::paper_defaults());
+    let generator = TraceGenerator::new();
+    let mut seen_sum = 0.0;
+    let mut seen_n = 0.0;
+    for app in catalog.apps() {
+        let page = app.build_page();
+        let traces = generator.generate_many(app, &page, EVAL_SEED_BASE, 3);
+        let acc = evaluate_accuracy(&learner, &page, &traces);
+        println!(
+            "{:<16} seen={} accuracy={:.3}",
+            app.name(),
+            app.is_seen(),
+            acc
+        );
+        if app.is_seen() {
+            seen_sum += acc;
+            seen_n += 1.0;
+        }
+    }
+    println!("seen average = {:.3}", seen_sum / seen_n);
+
+    // Confusion detail for one app.
+    let app = catalog.find("cnn").unwrap();
+    let page = app.build_page();
+    let traces = generator.generate_many(app, &page, EVAL_SEED_BASE, 2);
+    let mut confusion: std::collections::BTreeMap<(EventType, EventType), usize> =
+        std::collections::BTreeMap::new();
+    for trace in &traces {
+        let mut state = SessionState::new(page.tree.clone());
+        for (i, event) in trace.events().iter().enumerate() {
+            if i > 0 {
+                let (pred, conf) = learner.predict_next(&state);
+                *confusion.entry((event.event_type(), pred)).or_default() += 1;
+                if pred != event.event_type() {
+                    println!(
+                        "  miss at {i}: actual {:?} predicted {:?} (conf {:.2}) features {:?}",
+                        event.event_type(),
+                        pred,
+                        conf,
+                        state.features()
+                    );
+                }
+            }
+            state.observe(event);
+        }
+    }
+    println!("confusion: {confusion:#?}");
+}
+
+#[test]
+#[ignore = "diagnostic: label distribution conditioned on window features"]
+fn label_distribution_report() {
+    use pes_predictor::build_dataset;
+    use pes_workload::{TraceGenerator, TRAINING_SEED_BASE};
+    use std::collections::BTreeMap;
+    let catalog = AppCatalog::paper_suite();
+    let generator = TraceGenerator::new();
+    let mut dataset = Vec::new();
+    for app in catalog.seen_apps() {
+        let page = app.build_page();
+        let traces = generator.generate_many(app, &page, TRAINING_SEED_BASE, 9);
+        dataset.extend(build_dataset(&page, &traces));
+    }
+    let mut by_key: BTreeMap<(String, u32), BTreeMap<EventType, usize>> = BTreeMap::new();
+    for (f, label) in &dataset {
+        let prev = EventType::ALL
+            .iter()
+            .enumerate()
+            .find(|(i, _)| f[7 + i] > 0.5)
+            .map(|(_, e)| format!("{e:?}"))
+            .unwrap_or_else(|| "none".into());
+        let scrolls = (f[4] * 5.0).round() as u32;
+        *by_key.entry((prev, scrolls)).or_default().entry(*label).or_default() += 1;
+    }
+    for ((prev, scrolls), labels) in &by_key {
+        let total: usize = labels.values().sum();
+        if total < 30 { continue; }
+        print!("prev={prev:<11} scrolls={scrolls} total={total:<5}");
+        for (l, c) in labels {
+            print!(" {:?}={:.2}", l, *c as f64 / total as f64);
+        }
+        println!();
+    }
+}

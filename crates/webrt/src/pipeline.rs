@@ -1,0 +1,313 @@
+//! The rendering pipeline: callback execution followed by style resolution,
+//! layout, paint and composite (Sec. 2, Fig. 1).
+//!
+//! Every event's compute demand is split across the five stages according to
+//! a per-interaction profile — loads are dominated by style/layout, moves by
+//! paint/composite, taps by callback execution — and the whole pipeline runs
+//! on the single ACMP configuration chosen by the scheduler for the event.
+
+use serde::{Deserialize, Serialize};
+
+use pes_acmp::units::TimeUs;
+use pes_acmp::{AcmpConfig, CpuDemand, DvfsModel};
+use pes_dom::Interaction;
+
+/// One stage of the rendering pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RenderStage {
+    /// The JavaScript event callback.
+    Callback,
+    /// CSS style resolution.
+    Style,
+    /// Layout (reflow).
+    Layout,
+    /// Rasterisation / painting.
+    Paint,
+    /// Layer compositing.
+    Composite,
+}
+
+impl RenderStage {
+    /// All stages, in pipeline order.
+    pub const ALL: [RenderStage; 5] = [
+        RenderStage::Callback,
+        RenderStage::Style,
+        RenderStage::Layout,
+        RenderStage::Paint,
+        RenderStage::Composite,
+    ];
+}
+
+/// How an event's total compute demand is distributed across the pipeline
+/// stages. Fractions are normalised at construction.
+///
+/// # Examples
+///
+/// ```
+/// use pes_webrt::{RenderStage, StageProfile};
+/// use pes_dom::Interaction;
+///
+/// let profile = StageProfile::for_interaction(Interaction::Move);
+/// // Moves are composite/paint heavy.
+/// assert!(profile.fraction(RenderStage::Composite) > profile.fraction(RenderStage::Layout));
+/// let total: f64 = RenderStage::ALL.iter().map(|s| profile.fraction(*s)).sum();
+/// assert!((total - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageProfile {
+    fractions: [f64; 5],
+}
+
+impl StageProfile {
+    /// Creates a profile from raw per-stage weights (normalised internally).
+    /// All-zero weights fall back to a uniform split.
+    pub fn new(weights: [f64; 5]) -> Self {
+        let clamped: Vec<f64> = weights.iter().map(|w| w.max(0.0)).collect();
+        let sum: f64 = clamped.iter().sum();
+        let fractions = if sum <= 0.0 {
+            [0.2; 5]
+        } else {
+            [
+                clamped[0] / sum,
+                clamped[1] / sum,
+                clamped[2] / sum,
+                clamped[3] / sum,
+                clamped[4] / sum,
+            ]
+        };
+        StageProfile { fractions }
+    }
+
+    /// The characteristic stage split for an interaction primitive.
+    pub fn for_interaction(interaction: Interaction) -> Self {
+        match interaction {
+            // Loads parse and build the page: style resolution and layout dominate.
+            Interaction::Load => StageProfile::new([0.25, 0.22, 0.30, 0.13, 0.10]),
+            // Taps run application logic, then a moderate re-render.
+            Interaction::Tap => StageProfile::new([0.45, 0.15, 0.20, 0.10, 0.10]),
+            // Moves mostly re-composite already painted layers.
+            Interaction::Move => StageProfile::new([0.15, 0.05, 0.10, 0.25, 0.45]),
+            // Submissions behave like taps with a slightly heavier callback.
+            Interaction::Submit => StageProfile::new([0.50, 0.15, 0.15, 0.10, 0.10]),
+        }
+    }
+
+    /// The fraction of the event's demand attributed to `stage`.
+    pub fn fraction(&self, stage: RenderStage) -> f64 {
+        self.fractions[stage as usize]
+    }
+}
+
+/// The timing of one stage of a pipeline execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// The stage.
+    pub stage: RenderStage,
+    /// When the stage started.
+    pub start: TimeUs,
+    /// The stage's duration on the chosen configuration.
+    pub duration: TimeUs,
+}
+
+/// The result of pushing one event through the rendering pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineExecution {
+    /// When the pipeline started executing.
+    pub started_at: TimeUs,
+    /// Per-stage timings in pipeline order.
+    pub stages: Vec<StageTiming>,
+    /// When the frame became ready (end of composite).
+    pub frame_ready_at: TimeUs,
+    /// The configuration the pipeline ran on.
+    pub config: AcmpConfig,
+}
+
+impl PipelineExecution {
+    /// Total busy time of the pipeline.
+    pub fn busy_time(&self) -> TimeUs {
+        self.stages.iter().map(|s| s.duration).sum()
+    }
+}
+
+/// The rendering pipeline simulator.
+///
+/// # Examples
+///
+/// ```
+/// use pes_acmp::{CpuDemand, DvfsModel, Platform};
+/// use pes_acmp::units::{CpuCycles, TimeUs};
+/// use pes_dom::Interaction;
+/// use pes_webrt::RenderPipeline;
+///
+/// let platform = Platform::exynos_5410();
+/// let model = DvfsModel::new(&platform);
+/// let pipeline = RenderPipeline::new();
+/// let demand = CpuDemand::new(TimeUs::from_millis(5), CpuCycles::new(100_000_000));
+/// let exec = pipeline.execute(
+///     &demand,
+///     Interaction::Tap,
+///     &model,
+///     &platform.max_performance_config(),
+///     TimeUs::from_millis(10),
+/// );
+/// assert_eq!(exec.stages.len(), 5);
+/// assert!(exec.frame_ready_at > TimeUs::from_millis(10));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RenderPipeline {
+    _private: (),
+}
+
+impl RenderPipeline {
+    /// Creates a pipeline simulator.
+    pub fn new() -> Self {
+        RenderPipeline { _private: () }
+    }
+
+    /// Runs an event's demand through the five pipeline stages on a single
+    /// configuration, starting at `start`, and returns the per-stage timings
+    /// plus the frame-ready instant.
+    pub fn execute(
+        &self,
+        demand: &CpuDemand,
+        interaction: Interaction,
+        model: &DvfsModel<'_>,
+        config: &AcmpConfig,
+        start: TimeUs,
+    ) -> PipelineExecution {
+        let profile = StageProfile::for_interaction(interaction);
+        let mut cursor = start;
+        let mut stages = Vec::with_capacity(RenderStage::ALL.len());
+        for stage in RenderStage::ALL {
+            let stage_demand = demand.scale(profile.fraction(stage));
+            let duration = model.execution_time(&stage_demand, config);
+            stages.push(StageTiming {
+                stage,
+                start: cursor,
+                duration,
+            });
+            cursor += duration;
+        }
+        PipelineExecution {
+            started_at: start,
+            stages,
+            frame_ready_at: cursor,
+            config: *config,
+        }
+    }
+
+    /// The total pipeline latency for an event demand on a configuration,
+    /// without materialising the per-stage breakdown. Because the per-stage
+    /// split is linear in the demand, this equals the sum of the stage times
+    /// up to rounding.
+    pub fn total_latency(
+        &self,
+        demand: &CpuDemand,
+        model: &DvfsModel<'_>,
+        config: &AcmpConfig,
+    ) -> TimeUs {
+        model.execution_time(demand, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pes_acmp::units::CpuCycles;
+    use pes_acmp::Platform;
+
+    fn fixture() -> (Platform, CpuDemand) {
+        (
+            Platform::exynos_5410(),
+            CpuDemand::new(TimeUs::from_millis(10), CpuCycles::new(200_000_000)),
+        )
+    }
+
+    #[test]
+    fn profiles_are_normalised_for_every_interaction() {
+        for interaction in Interaction::ALL {
+            let p = StageProfile::for_interaction(interaction);
+            let total: f64 = RenderStage::ALL.iter().map(|s| p.fraction(*s)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{interaction}: {total}");
+        }
+    }
+
+    #[test]
+    fn degenerate_profile_weights_fall_back_to_uniform() {
+        let p = StageProfile::new([0.0, 0.0, 0.0, 0.0, 0.0]);
+        for stage in RenderStage::ALL {
+            assert!((p.fraction(stage) - 0.2).abs() < 1e-9);
+        }
+        let q = StageProfile::new([-1.0, -2.0, 0.0, 0.0, 0.0]);
+        let total: f64 = RenderStage::ALL.iter().map(|s| q.fraction(*s)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interaction_profiles_have_their_characteristic_shape() {
+        let load = StageProfile::for_interaction(Interaction::Load);
+        assert!(load.fraction(RenderStage::Layout) > load.fraction(RenderStage::Composite));
+        let tap = StageProfile::for_interaction(Interaction::Tap);
+        assert!(tap.fraction(RenderStage::Callback) >= 0.4);
+        let mv = StageProfile::for_interaction(Interaction::Move);
+        assert!(mv.fraction(RenderStage::Composite) > mv.fraction(RenderStage::Callback));
+    }
+
+    #[test]
+    fn execution_stages_are_contiguous_and_ordered() {
+        let (platform, demand) = fixture();
+        let model = DvfsModel::new(&platform);
+        let pipeline = RenderPipeline::new();
+        let exec = pipeline.execute(
+            &demand,
+            Interaction::Load,
+            &model,
+            &platform.max_performance_config(),
+            TimeUs::from_millis(3),
+        );
+        assert_eq!(exec.stages.len(), 5);
+        assert_eq!(exec.stages[0].start, TimeUs::from_millis(3));
+        for w in exec.stages.windows(2) {
+            assert_eq!(w[0].start + w[0].duration, w[1].start);
+        }
+        let last = exec.stages.last().unwrap();
+        assert_eq!(exec.frame_ready_at, last.start + last.duration);
+        assert_eq!(exec.busy_time() + exec.started_at, exec.frame_ready_at);
+    }
+
+    #[test]
+    fn total_latency_matches_stage_sum_approximately() {
+        let (platform, demand) = fixture();
+        let model = DvfsModel::new(&platform);
+        let pipeline = RenderPipeline::new();
+        for cfg in platform.configs() {
+            let exec = pipeline.execute(&demand, Interaction::Tap, &model, cfg, TimeUs::ZERO);
+            let direct = pipeline.total_latency(&demand, &model, cfg);
+            let diff = exec.busy_time().as_micros() as i64 - direct.as_micros() as i64;
+            // Per-stage rounding can differ by a few microseconds at most.
+            assert!(diff.abs() < 10, "cfg {cfg:?}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn faster_configs_finish_the_pipeline_sooner() {
+        let (platform, demand) = fixture();
+        let model = DvfsModel::new(&platform);
+        let pipeline = RenderPipeline::new();
+        let fast = pipeline.execute(
+            &demand,
+            Interaction::Tap,
+            &model,
+            &platform.max_performance_config(),
+            TimeUs::ZERO,
+        );
+        let slow = pipeline.execute(
+            &demand,
+            Interaction::Tap,
+            &model,
+            &platform.min_power_config(),
+            TimeUs::ZERO,
+        );
+        assert!(fast.frame_ready_at < slow.frame_ready_at);
+    }
+}

@@ -1,0 +1,168 @@
+//! The outstanding-event queue of the Web runtime.
+//!
+//! Events that the user has generated but that have not been executed yet
+//! wait here (the "outstanding events" of Fig. 4). The paper observes that
+//! the average queue length stays below 2 because humans generate
+//! interactions slowly (Sec. 4.2); the queue tracks the statistics needed to
+//! check that property in the reproduction.
+
+use std::collections::VecDeque;
+
+use pes_acmp::units::TimeUs;
+
+use crate::event::WebEvent;
+
+/// FIFO queue of outstanding (triggered but not yet executed) events.
+///
+/// # Examples
+///
+/// ```
+/// use pes_webrt::{EventId, EventQueue, WebEvent};
+/// use pes_acmp::CpuDemand;
+/// use pes_acmp::units::TimeUs;
+/// use pes_dom::EventType;
+///
+/// let mut q = EventQueue::new();
+/// q.push(WebEvent::new(EventId::new(0), EventType::Click, None, TimeUs::ZERO, CpuDemand::ZERO));
+/// assert_eq!(q.len(), 1);
+/// let ev = q.pop().unwrap();
+/// assert_eq!(ev.id(), EventId::new(0));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue {
+    queue: VecDeque<WebEvent>,
+    length_samples: Vec<usize>,
+    max_observed: usize,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Number of outstanding events.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no event is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Enqueues a newly triggered event and samples the queue length.
+    pub fn push(&mut self, event: WebEvent) {
+        self.queue.push_back(event);
+        self.length_samples.push(self.queue.len());
+        self.max_observed = self.max_observed.max(self.queue.len());
+    }
+
+    /// Dequeues the oldest outstanding event.
+    pub fn pop(&mut self) -> Option<WebEvent> {
+        self.queue.pop_front()
+    }
+
+    /// A view of the oldest outstanding event without removing it.
+    pub fn peek(&self) -> Option<&WebEvent> {
+        self.queue.front()
+    }
+
+    /// All outstanding events in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = &WebEvent> + '_ {
+        self.queue.iter()
+    }
+
+    /// All events that arrived at or before `now`, removed from the queue.
+    pub fn drain_arrived(&mut self, now: TimeUs) -> Vec<WebEvent> {
+        let mut out = Vec::new();
+        while let Some(front) = self.queue.front() {
+            if front.arrival() <= now {
+                out.push(self.queue.pop_front().expect("front exists"));
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Average queue length observed at enqueue time (the statistic the paper
+    /// reports as "below 2").
+    pub fn average_length(&self) -> f64 {
+        if self.length_samples.is_empty() {
+            return 0.0;
+        }
+        self.length_samples.iter().sum::<usize>() as f64 / self.length_samples.len() as f64
+    }
+
+    /// Maximum queue length ever observed.
+    pub fn max_length(&self) -> usize {
+        self.max_observed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventId;
+    use pes_acmp::CpuDemand;
+    use pes_dom::EventType;
+
+    fn ev(id: u64, at_ms: u64) -> WebEvent {
+        WebEvent::new(
+            EventId::new(id),
+            EventType::Click,
+            None,
+            TimeUs::from_millis(at_ms),
+            CpuDemand::ZERO,
+        )
+    }
+
+    #[test]
+    fn fifo_ordering() {
+        let mut q = EventQueue::new();
+        q.push(ev(0, 0));
+        q.push(ev(1, 10));
+        q.push(ev(2, 20));
+        assert_eq!(q.pop().unwrap().id(), EventId::new(0));
+        assert_eq!(q.peek().unwrap().id(), EventId::new(1));
+        assert_eq!(q.pop().unwrap().id(), EventId::new(1));
+        assert_eq!(q.pop().unwrap().id(), EventId::new(2));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn drain_arrived_respects_arrival_times() {
+        let mut q = EventQueue::new();
+        q.push(ev(0, 5));
+        q.push(ev(1, 15));
+        q.push(ev(2, 25));
+        let arrived = q.drain_arrived(TimeUs::from_millis(15));
+        assert_eq!(arrived.len(), 2);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek().unwrap().id(), EventId::new(2));
+    }
+
+    #[test]
+    fn statistics_track_queue_pressure() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.average_length(), 0.0);
+        q.push(ev(0, 0));
+        q.push(ev(1, 1));
+        q.pop();
+        q.push(ev(2, 2));
+        // Samples at push time: 1, 2, 2.
+        assert!((q.average_length() - 5.0 / 3.0).abs() < 1e-9);
+        assert_eq!(q.max_length(), 2);
+    }
+
+    #[test]
+    fn iter_is_in_arrival_order() {
+        let mut q = EventQueue::new();
+        q.push(ev(3, 0));
+        q.push(ev(4, 1));
+        let ids: Vec<u64> = q.iter().map(|e| e.id().get()).collect();
+        assert_eq!(ids, vec![3, 4]);
+    }
+}

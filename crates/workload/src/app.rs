@@ -1,0 +1,298 @@
+//! Application profiles: parameterised descriptions of the 18 mobile Web
+//! applications used in the paper's evaluation (Sec. 3 and Sec. 6.1).
+//!
+//! We cannot ship cnn.com; instead each profile captures the properties that
+//! matter to PES — page structure (which drives the Table 1 features and the
+//! LNES), per-interaction compute intensity (which drives Type I/II/III
+//! behaviour), and user-behaviour tendencies (which drive the temporal
+//! correlation the predictor learns).
+
+use serde::{Deserialize, Serialize};
+
+use pes_dom::{BuiltPage, PageBuilder};
+
+/// The broad category of an application; categories share page shapes and
+/// user-behaviour patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AppCategory {
+    /// News front pages (cnn, bbc, msn, ...): long scrollable lists of
+    /// article links.
+    News,
+    /// Search engines (google, yahoo): a form, then result links.
+    Search,
+    /// Video portals (youtube): thumbnails plus an embedded player.
+    Video,
+    /// Shopping sites (amazon, ebay, taobao, ...): dense clickable grids.
+    Shopping,
+    /// Social / feed applications (twitter, stack overflow): infinite feeds.
+    Social,
+}
+
+impl AppCategory {
+    /// All categories.
+    pub const ALL: [AppCategory; 5] = [
+        AppCategory::News,
+        AppCategory::Search,
+        AppCategory::Video,
+        AppCategory::Shopping,
+        AppCategory::Social,
+    ];
+}
+
+/// Page-construction knobs handed to [`PageBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageParams {
+    /// Number of navigation links in the header.
+    pub nav_links: usize,
+    /// Number of article/result/product links in the main list.
+    pub articles: usize,
+    /// Whether list entries carry thumbnails.
+    pub with_images: bool,
+    /// Number of items in the collapsible menu (0 = no menu).
+    pub menu_items: usize,
+    /// Whether the page has a search/login form.
+    pub has_form: bool,
+    /// Whether the page embeds a video player.
+    pub has_video: bool,
+    /// Height of trailing plain-text content in pixels.
+    pub text_height: i64,
+}
+
+/// The profile of one application.
+///
+/// # Examples
+///
+/// ```
+/// use pes_workload::AppCatalog;
+///
+/// let catalog = AppCatalog::paper_suite();
+/// let cnn = catalog.find("cnn").unwrap();
+/// let page = cnn.build_page();
+/// assert!(!page.links.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    name: String,
+    category: AppCategory,
+    seen: bool,
+    page: PageParams,
+    /// Multiplier on every event's compute demand (sina is compute-light,
+    /// amazon is compute-heavy; Sec. 6.4).
+    compute_intensity: f64,
+    /// Probability that an individual event's demand lands in the heavy tail
+    /// that not even the fastest configuration can serve in time (Type I).
+    heavy_tail_prob: f64,
+    /// Typical number of move events between consecutive taps.
+    scroll_burst: u32,
+    /// Probability that a user session uses touch manifestations
+    /// (touchstart / touchmove) rather than click / scroll.
+    touch_user_fraction: f64,
+    /// Probability that a tap goes to the collapsible menu instead of a link.
+    menu_use_prob: f64,
+    /// Probability that the user fills and submits the form after loading.
+    form_use_prob: f64,
+}
+
+impl AppProfile {
+    /// Creates a profile. Probabilities are clamped to `[0, 1]` and the
+    /// compute intensity to a small positive minimum.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        category: AppCategory,
+        seen: bool,
+        page: PageParams,
+        compute_intensity: f64,
+        heavy_tail_prob: f64,
+        scroll_burst: u32,
+        touch_user_fraction: f64,
+        menu_use_prob: f64,
+        form_use_prob: f64,
+    ) -> Self {
+        AppProfile {
+            name: name.into(),
+            category,
+            seen,
+            page,
+            compute_intensity: compute_intensity.max(0.05),
+            heavy_tail_prob: heavy_tail_prob.clamp(0.0, 1.0),
+            scroll_burst: scroll_burst.max(1),
+            touch_user_fraction: touch_user_fraction.clamp(0.0, 1.0),
+            menu_use_prob: menu_use_prob.clamp(0.0, 1.0),
+            form_use_prob: form_use_prob.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The application name (as used in the paper's figures).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The application category.
+    pub fn category(&self) -> AppCategory {
+        self.category
+    }
+
+    /// Whether the application is part of the 12-app "seen" suite used for
+    /// characterisation and training (Sec. 3), as opposed to the six unseen
+    /// evaluation-only applications (Sec. 6.1).
+    pub fn is_seen(&self) -> bool {
+        self.seen
+    }
+
+    /// The page-construction parameters.
+    pub fn page_params(&self) -> &PageParams {
+        &self.page
+    }
+
+    /// Per-app compute-intensity multiplier.
+    pub fn compute_intensity(&self) -> f64 {
+        self.compute_intensity
+    }
+
+    /// Probability of a heavy-tail (Type I candidate) event.
+    pub fn heavy_tail_prob(&self) -> f64 {
+        self.heavy_tail_prob
+    }
+
+    /// Typical number of move events between consecutive taps.
+    pub fn scroll_burst(&self) -> u32 {
+        self.scroll_burst
+    }
+
+    /// Fraction of sessions that use touch manifestations.
+    pub fn touch_user_fraction(&self) -> f64 {
+        self.touch_user_fraction
+    }
+
+    /// Probability that a tap targets the collapsible menu.
+    pub fn menu_use_prob(&self) -> f64 {
+        self.menu_use_prob
+    }
+
+    /// Probability that the session submits the form after a page load.
+    pub fn form_use_prob(&self) -> f64 {
+        self.form_use_prob
+    }
+
+    /// Builds the representative page DOM for this application.
+    pub fn build_page(&self) -> BuiltPage {
+        let p = &self.page;
+        let mut builder = PageBuilder::new(360).nav_bar(p.nav_links);
+        if p.menu_items > 0 {
+            builder = builder.collapsible_menu(p.menu_items);
+        }
+        if p.has_form {
+            builder = builder.search_form();
+        }
+        if p.has_video {
+            builder = builder.video_player(220);
+        } else {
+            builder = builder.hero_image(160);
+        }
+        builder = builder.article_list(p.articles, p.with_images).button_row(3);
+        if p.text_height > 0 {
+            builder = builder.text_block(p.text_height);
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pes_dom::geometry::Viewport;
+    use pes_dom::DomAnalyzer;
+
+    fn profile(category: AppCategory) -> AppProfile {
+        AppProfile::new(
+            "test-app",
+            category,
+            true,
+            PageParams {
+                nav_links: 4,
+                articles: 10,
+                with_images: true,
+                menu_items: 5,
+                has_form: category == AppCategory::Search,
+                has_video: category == AppCategory::Video,
+                text_height: 1_500,
+            },
+            1.0,
+            0.1,
+            3,
+            0.5,
+            0.2,
+            0.3,
+        )
+    }
+
+    #[test]
+    fn constructor_clamps_degenerate_values() {
+        let p = AppProfile::new(
+            "x",
+            AppCategory::News,
+            false,
+            PageParams {
+                nav_links: 1,
+                articles: 1,
+                with_images: false,
+                menu_items: 0,
+                has_form: false,
+                has_video: false,
+                text_height: 0,
+            },
+            -3.0,
+            7.0,
+            0,
+            -1.0,
+            2.0,
+            -0.5,
+        );
+        assert!(p.compute_intensity() > 0.0);
+        assert_eq!(p.heavy_tail_prob(), 1.0);
+        assert_eq!(p.scroll_burst(), 1);
+        assert_eq!(p.touch_user_fraction(), 0.0);
+        assert_eq!(p.menu_use_prob(), 1.0);
+        assert_eq!(p.form_use_prob(), 0.0);
+        assert!(!p.is_seen());
+    }
+
+    #[test]
+    fn built_pages_match_their_parameters() {
+        let p = profile(AppCategory::News);
+        let page = p.build_page();
+        assert_eq!(page.links.len(), 4 + 10);
+        assert_eq!(page.menu_items.len(), 5);
+        assert!(page.submit_buttons.is_empty());
+        let search = profile(AppCategory::Search).build_page();
+        assert_eq!(search.submit_buttons.len(), 1);
+        let video = profile(AppCategory::Video).build_page();
+        // Video pages expose the player as an interactive control.
+        assert!(video.buttons.len() >= 4);
+    }
+
+    #[test]
+    fn built_pages_have_plausible_viewport_features() {
+        for category in AppCategory::ALL {
+            let page = profile(category).build_page();
+            let features = DomAnalyzer::new().viewport_features(&page.tree, &Viewport::phone());
+            assert!(
+                features.clickable_region_fraction > 0.02,
+                "{category:?} has too little clickable area"
+            );
+            assert!(features.scrollable, "{category:?} page should scroll");
+        }
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let p = profile(AppCategory::Shopping);
+        assert_eq!(p.name(), "test-app");
+        assert_eq!(p.category(), AppCategory::Shopping);
+        assert!(p.is_seen());
+        assert_eq!(p.scroll_burst(), 3);
+        assert!((p.compute_intensity() - 1.0).abs() < 1e-12);
+        assert_eq!(p.page_params().articles, 10);
+    }
+}

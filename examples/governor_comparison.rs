@@ -1,0 +1,47 @@
+//! Compare every scheduling policy across the full 18-application suite and
+//! print the Fig. 11 / Fig. 12 style summary (energy normalised to the
+//! Interactive governor, QoS violation rates) plus the Fig. 13 Pareto points.
+//!
+//! Run with `cargo run --release --example governor_comparison [traces_per_app]`.
+
+use pes::sim::{fig13_pareto, full_comparison, ExperimentContext};
+
+fn main() {
+    let traces_per_app: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    println!("building experiment context (training predictor)...");
+    let ctx = ExperimentContext::new(traces_per_app);
+    println!("running all five policies over 18 applications x {traces_per_app} traces...\n");
+    let comparisons = full_comparison(&ctx);
+
+    println!(
+        "{:<16} {:>6} {:>12} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "app", "seen", "Interactive", "EBS", "PES", "Oracle", "viol EBS", "viol PES", "viol Orc"
+    );
+    for c in &comparisons {
+        println!(
+            "{:<16} {:>6} {:>11.0}mJ {:>7.2} {:>7.2} {:>7.2} | {:>7.1}% {:>7.1}% {:>7.1}%",
+            c.app,
+            c.seen,
+            c.energy_of("Interactive").unwrap_or(0.0),
+            c.normalized_energy("EBS").unwrap_or(1.0),
+            c.normalized_energy("PES").unwrap_or(1.0),
+            c.normalized_energy("Oracle").unwrap_or(1.0),
+            100.0 * c.violation_of("EBS").unwrap_or(0.0),
+            100.0 * c.violation_of("PES").unwrap_or(0.0),
+            100.0 * c.violation_of("Oracle").unwrap_or(0.0),
+        );
+    }
+
+    println!("\nPareto points (seen-suite averages, Fig. 13):");
+    for (policy, energy, violation) in fig13_pareto(&comparisons) {
+        println!(
+            "  {:<12} normalised energy {:>5.2}   QoS violation {:>5.1}%",
+            policy,
+            energy,
+            100.0 * violation
+        );
+    }
+}

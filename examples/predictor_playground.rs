@@ -1,0 +1,67 @@
+//! Inspect the event predictor: per-application accuracy (Fig. 8), the effect
+//! of DOM (LNES) masking, and a live multi-step prediction from a session
+//! prefix.
+//!
+//! Run with `cargo run --release --example predictor_playground`.
+
+use pes::predictor::{evaluate_accuracy, LearnerConfig, SessionState, Trainer};
+use pes::workload::{AppCatalog, TraceGenerator, EVAL_SEED_BASE};
+
+fn main() {
+    let catalog = AppCatalog::paper_suite();
+    println!("training the global event-sequence model...");
+    let trainer = Trainer::new();
+    let learner = trainer.train_learner(&catalog, LearnerConfig::paper_defaults());
+    let learner_no_dom =
+        trainer.train_learner(&catalog, LearnerConfig::paper_defaults().with_lnes(false));
+    let generator = TraceGenerator::new();
+
+    println!("\nper-application one-step prediction accuracy (evaluation traces):");
+    println!("{:<16} {:>6} {:>12} {:>16}", "app", "seen", "with DOM", "without DOM");
+    let mut seen_acc = Vec::new();
+    let mut unseen_acc = Vec::new();
+    for app in catalog.apps() {
+        let page = app.build_page();
+        let traces = generator.generate_many(app, &page, EVAL_SEED_BASE, 3);
+        let with_dom = evaluate_accuracy(&learner, &page, &traces);
+        let without_dom = evaluate_accuracy(&learner_no_dom, &page, &traces);
+        println!(
+            "{:<16} {:>6} {:>11.1}% {:>15.1}%",
+            app.name(),
+            app.is_seen(),
+            100.0 * with_dom,
+            100.0 * without_dom
+        );
+        if app.is_seen() {
+            seen_acc.push(with_dom);
+        } else {
+            unseen_acc.push(with_dom);
+        }
+    }
+    let avg = |v: &[f64]| 100.0 * v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "\naverage accuracy: seen {:.1}%   unseen {:.1}%   (paper: 91.3% / 89.2%)",
+        avg(&seen_acc),
+        avg(&unseen_acc)
+    );
+
+    // Live multi-step prediction after a short session prefix.
+    let app = catalog.find("amazon").unwrap();
+    let page = app.build_page();
+    let trace = generator.generate(app, &page, EVAL_SEED_BASE + 9);
+    let mut state = SessionState::new(page.tree.clone());
+    let prefix = trace.len().min(6);
+    for ev in &trace.events()[..prefix] {
+        state.observe(ev);
+    }
+    println!("\nafter observing the first {prefix} events of an {} session, PES predicts:", app.name());
+    for (i, p) in learner.predict_sequence(&state).iter().enumerate() {
+        println!(
+            "  +{}: {:<12} confidence {:.2} (cumulative {:.2})",
+            i + 1,
+            p.event_type.to_string(),
+            p.confidence,
+            p.cumulative_confidence
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Cross-crate integration tests: the full PES stack (workload → predictor →
+//! optimizer → speculative execution → metrics) against the reactive
+//! baselines.
+
+use pes::acmp::Platform;
+use pes::core::{OracleScheduler, PesConfig, PesScheduler};
+use pes::predictor::{LearnerConfig, Trainer, TrainingConfig};
+use pes::schedulers::{Ebs, InteractiveGovernor, OndemandGovernor};
+use pes::sim::{classify_events, distribution, run_reactive};
+use pes::webrt::QosPolicy;
+use pes::workload::{AppCatalog, TraceGenerator, EVAL_SEED_BASE};
+
+fn quick_learner(catalog: &AppCatalog) -> pes::predictor::EventSequenceLearner {
+    Trainer::with_config(TrainingConfig {
+        traces_per_app: 3,
+        epochs: 25,
+        ..Default::default()
+    })
+    .train_learner(catalog, LearnerConfig::paper_defaults())
+}
+
+#[test]
+fn pes_improves_on_ebs_for_energy_and_qos_across_several_apps() {
+    let catalog = AppCatalog::paper_suite();
+    let platform = Platform::exynos_5410();
+    let qos = QosPolicy::paper_defaults();
+    let learner = quick_learner(&catalog);
+    let pes = PesScheduler::new(learner, PesConfig::paper_defaults());
+    let generator = TraceGenerator::new();
+
+    let mut pes_energy = 0.0;
+    let mut ebs_energy = 0.0;
+    let mut interactive_energy = 0.0;
+    let mut pes_violations = 0usize;
+    let mut ebs_violations = 0usize;
+    let mut events = 0usize;
+
+    for app_name in ["cnn", "bbc", "ebay", "sina", "youtube"] {
+        let app = catalog.find(app_name).unwrap();
+        let page = app.build_page();
+        for seed in 0..2 {
+            let trace = generator.generate(app, &page, EVAL_SEED_BASE + seed);
+            events += trace.len();
+            let i = run_reactive(&platform, &trace, &mut InteractiveGovernor::new(), &qos);
+            interactive_energy += i.total_energy.as_millijoules();
+            let e = run_reactive(&platform, &trace, &mut Ebs::new(&platform), &qos);
+            ebs_energy += e.total_energy.as_millijoules();
+            ebs_violations += e.violations();
+            let p = pes.run_trace(&platform, &page, &trace, &qos);
+            pes_energy += p.total_energy.as_millijoules();
+            pes_violations += p.violations;
+        }
+    }
+
+    assert!(events > 100, "enough events to make the comparison meaningful");
+    assert!(
+        pes_energy < ebs_energy,
+        "PES should use less energy than EBS ({pes_energy:.0} vs {ebs_energy:.0} mJ)"
+    );
+    assert!(
+        pes_energy < interactive_energy,
+        "PES should use less energy than Interactive"
+    );
+    assert!(
+        ebs_energy < interactive_energy,
+        "EBS should use less energy than Interactive"
+    );
+    assert!(
+        pes_violations < ebs_violations,
+        "PES should violate QoS less often than EBS ({pes_violations} vs {ebs_violations})"
+    );
+}
+
+#[test]
+fn oracle_dominates_every_policy_it_is_compared_against() {
+    let catalog = AppCatalog::paper_suite();
+    let platform = Platform::exynos_5410();
+    let qos = QosPolicy::paper_defaults();
+    let learner = quick_learner(&catalog);
+    let pes = PesScheduler::new(learner, PesConfig::paper_defaults());
+    let oracle = OracleScheduler::new();
+    let generator = TraceGenerator::new();
+
+    let app = catalog.find("espn").unwrap();
+    let page = app.build_page();
+    let trace = generator.generate(app, &page, EVAL_SEED_BASE + 21);
+
+    let pes_report = pes.run_trace(&platform, &page, &trace, &qos);
+    let oracle_report = oracle.run_trace(&platform, &page, &trace, &qos);
+
+    assert!(oracle_report.violations <= pes_report.violations);
+    assert!(
+        oracle_report.total_energy.as_microjoules()
+            <= pes_report.total_energy.as_microjoules() * 1.05
+    );
+    assert_eq!(oracle_report.mispredictions, 0);
+    // The oracle's "prediction" is the actual future, so its online accuracy
+    // is perfect whenever it speculates at all.
+    assert!(oracle_report.predictions == 0 || oracle_report.prediction_accuracy() > 0.999);
+}
+
+#[test]
+fn event_type_distribution_matches_the_motivation_narrative() {
+    // Under EBS a meaningful fraction of events is Type I/II/III, and Type IV
+    // (benign) events dominate — the Sec. 4.3 observation that motivates a
+    // proactive scheduler.
+    let catalog = AppCatalog::paper_suite();
+    let platform = Platform::exynos_5410();
+    let dvfs = pes::acmp::DvfsModel::new(&platform);
+    let qos = QosPolicy::paper_defaults();
+    let generator = TraceGenerator::new();
+    let mut classes = Vec::new();
+    for app in catalog.seen_apps() {
+        let page = app.build_page();
+        let trace = generator.generate(app, &page, EVAL_SEED_BASE + 33);
+        let report = run_reactive(&platform, &trace, &mut Ebs::new(&platform), &qos);
+        classes.extend(classify_events(&report, trace.events(), &dvfs, &qos));
+    }
+    let dist = distribution(&classes);
+    assert!(dist.qos_missing() > 0.03, "{dist:?}");
+    assert!(dist.qos_missing() < 0.5, "{dist:?}");
+    assert!(dist.type_iv > 0.4, "{dist:?}");
+}
+
+#[test]
+fn ondemand_trades_qos_for_energy_relative_to_interactive() {
+    let catalog = AppCatalog::paper_suite();
+    let platform = Platform::exynos_5410();
+    let qos = QosPolicy::paper_defaults();
+    let generator = TraceGenerator::new();
+    let mut ondemand_energy = 0.0;
+    let mut interactive_energy = 0.0;
+    let mut ondemand_violations = 0usize;
+    let mut interactive_violations = 0usize;
+    for app_name in ["cnn", "msn", "taobao"] {
+        let app = catalog.find(app_name).unwrap();
+        let page = app.build_page();
+        let trace = generator.generate(app, &page, EVAL_SEED_BASE + 2);
+        let od = run_reactive(&platform, &trace, &mut OndemandGovernor::new(), &qos);
+        let ia = run_reactive(&platform, &trace, &mut InteractiveGovernor::new(), &qos);
+        ondemand_energy += od.total_energy.as_millijoules();
+        interactive_energy += ia.total_energy.as_millijoules();
+        ondemand_violations += od.violations();
+        interactive_violations += ia.violations();
+    }
+    assert!(ondemand_energy < interactive_energy);
+    assert!(ondemand_violations >= interactive_violations);
+}
+
+#[test]
+fn disabling_dom_analysis_never_helps_prediction() {
+    let catalog = AppCatalog::paper_suite();
+    let generator = TraceGenerator::new();
+    let trainer = Trainer::with_config(TrainingConfig {
+        traces_per_app: 3,
+        epochs: 25,
+        ..Default::default()
+    });
+    let with_dom = trainer.train_learner(&catalog, LearnerConfig::paper_defaults());
+    let without_dom =
+        trainer.train_learner(&catalog, LearnerConfig::paper_defaults().with_lnes(false));
+    let mut acc_with = 0.0;
+    let mut acc_without = 0.0;
+    let mut n = 0.0;
+    for app in catalog.seen_apps().take(6) {
+        let page = app.build_page();
+        let traces = generator.generate_many(app, &page, EVAL_SEED_BASE, 2);
+        acc_with += pes::predictor::evaluate_accuracy(&with_dom, &page, &traces);
+        acc_without += pes::predictor::evaluate_accuracy(&without_dom, &page, &traces);
+        n += 1.0;
+    }
+    assert!(acc_with / n + 1e-9 >= acc_without / n);
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the core invariants, using proptest.
+
+use proptest::prelude::*;
+
+use pes::acmp::units::{CpuCycles, FreqMhz, TimeUs};
+use pes::acmp::{AcmpConfig, CoreKind, CpuDemand, DvfsModel, Platform};
+use pes::dom::{DomAnalyzer, PageBuilder, Viewport};
+use pes::ilp::{ScheduleItem, ScheduleOption, ScheduleProblem};
+use pes::webrt::VsyncClock;
+
+proptest! {
+    /// Eqn. 1: latency is non-increasing in effective throughput for any demand.
+    #[test]
+    fn latency_monotone_in_throughput(mem_ms in 0u64..500, mcycles in 0u64..5_000) {
+        let platform = Platform::exynos_5410();
+        let model = DvfsModel::new(&platform);
+        let demand = CpuDemand::new(TimeUs::from_millis(mem_ms), CpuCycles::new(mcycles * 1_000_000));
+        let latencies: Vec<u64> = platform
+            .configs()
+            .iter()
+            .map(|cfg| model.execution_time(&demand, cfg).as_micros())
+            .collect();
+        prop_assert!(latencies.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    /// Demand recovery from two exact observations reproduces the demand.
+    #[test]
+    fn demand_recovery_is_consistent(
+        mem_ms in 1u64..300,
+        mcycles in 50u64..4_000,
+        f1_idx in 0usize..5,
+        f2_idx in 6usize..10,
+    ) {
+        let platform = Platform::exynos_5410();
+        let model = DvfsModel::new(&platform);
+        let big = platform.cluster_for(CoreKind::BigA15).unwrap();
+        let demand = CpuDemand::new(TimeUs::from_millis(mem_ms), CpuCycles::new(mcycles * 1_000_000));
+        let cfg_a = AcmpConfig::new(CoreKind::BigA15, big.frequencies()[f1_idx]);
+        let cfg_b = AcmpConfig::new(CoreKind::BigA15, big.frequencies()[f2_idx]);
+        let t_a = model.execution_time(&demand, &cfg_a);
+        let t_b = model.execution_time(&demand, &cfg_b);
+        let recovered = model.recover_demand((cfg_a, t_a), (cfg_b, t_b)).unwrap();
+        let rel = |a: u64, b: u64| (a as f64 - b as f64).abs() / (b as f64).max(1.0);
+        prop_assert!(rel(recovered.ref_cycles().get(), demand.ref_cycles().get()) < 0.05);
+    }
+
+    /// The next VSync never precedes frame readiness and is at most one
+    /// period away.
+    #[test]
+    fn vsync_wait_is_bounded(ready_us in 0u64..10_000_000) {
+        let clock = VsyncClock::sixty_hz();
+        let ready = TimeUs::from_micros(ready_us);
+        let shown = clock.next_refresh_at_or_after(ready);
+        prop_assert!(shown >= ready);
+        prop_assert!(shown - ready < clock.period());
+        prop_assert_eq!(shown.as_micros() % clock.period().as_micros(), 0);
+    }
+
+    /// The specialised scheduler solver never returns an infeasible schedule
+    /// when the greedy policy finds a feasible one, and never costs more than
+    /// greedy at equal violations.
+    #[test]
+    fn optimal_schedule_dominates_greedy(
+        durations in proptest::collection::vec((10_000u64..400_000, 1u64..10), 1..6),
+        slack_ms in 50u64..2_000,
+    ) {
+        let items: Vec<ScheduleItem> = durations
+            .iter()
+            .enumerate()
+            .map(|(i, (dur, cost))| ScheduleItem {
+                release_us: i as u64 * 100_000,
+                deadline_us: (i as u64 + 1) * 100_000 + slack_ms * 1_000,
+                options: vec![
+                    ScheduleOption { choice: 0, duration_us: *dur, cost: *cost as f64 },
+                    ScheduleOption { choice: 1, duration_us: dur / 3, cost: *cost as f64 * 3.0 },
+                ],
+            })
+            .collect();
+        let problem = ScheduleProblem::new(0, items);
+        let optimal = problem.solve().unwrap();
+        let greedy = problem.solve_greedy().unwrap();
+        prop_assert!(optimal.violations <= greedy.violations);
+        if optimal.violations == greedy.violations {
+            prop_assert!(optimal.total_cost <= greedy.total_cost + 1e-9);
+        }
+        // Completion times are monotone.
+        prop_assert!(optimal.finish_us.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// The LNES only ever contains events registered on visible nodes (plus
+    /// the synthetic document-level scroll/navigate entries on the root).
+    #[test]
+    fn lnes_only_contains_visible_targets(
+        nav_links in 1usize..8,
+        articles in 0usize..20,
+        menu_items in 0usize..8,
+        scroll_to in 0i64..4_000,
+    ) {
+        let page = PageBuilder::new(360)
+            .nav_bar(nav_links)
+            .collapsible_menu(menu_items)
+            .article_list(articles, true)
+            .text_block(1_500)
+            .build();
+        let mut viewport = Viewport::phone();
+        viewport.scroll_to(scroll_to);
+        let lnes = DomAnalyzer::new().lnes(&page.tree, &viewport);
+        for possible in lnes.events() {
+            if possible.node == page.tree.root() {
+                continue;
+            }
+            prop_assert!(page.tree.is_effectively_visible(possible.node, &viewport));
+        }
+    }
+
+    /// Energy accounting is additive: metering two intervals equals metering
+    /// them separately.
+    #[test]
+    fn energy_metering_is_additive(ms_a in 1u64..500, ms_b in 1u64..500, cfg_idx in 0usize..17) {
+        use pes::acmp::{ActivityKind, EnergyMeter};
+        let platform = Platform::exynos_5410();
+        let cfg = platform.configs()[cfg_idx % platform.configs().len()];
+        let mut combined = EnergyMeter::new(&platform);
+        combined.record_busy(&cfg, TimeUs::from_millis(ms_a + ms_b), ActivityKind::UsefulWork);
+        let mut split = EnergyMeter::new(&platform);
+        split.record_busy(&cfg, TimeUs::from_millis(ms_a), ActivityKind::UsefulWork);
+        split.record_busy(&cfg, TimeUs::from_millis(ms_b), ActivityKind::UsefulWork);
+        let diff = (combined.total().as_microjoules() - split.total().as_microjoules()).abs();
+        prop_assert!(diff < 1.0, "difference {diff} uJ");
+    }
+
+    /// Frequencies snap onto the ladder and never exceed its bounds.
+    #[test]
+    fn frequency_snapping_stays_on_the_ladder(target in 0u32..3_000) {
+        let platform = Platform::exynos_5410();
+        for cluster in platform.clusters() {
+            let snapped = cluster.snap_up(FreqMhz::new(target));
+            prop_assert!(cluster.frequencies().contains(&snapped));
+        }
+    }
+}
