@@ -3,7 +3,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::units::FreqMhz;
 
@@ -22,7 +21,7 @@ use crate::units::FreqMhz;
 /// assert!(!CoreKind::LittleA7.is_big());
 /// assert_eq!(CoreKind::BigA15.to_string(), "A15(big)");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CoreKind {
     /// Out-of-order Cortex-A15 (the Exynos 5410 "big" cluster).
     BigA15,
@@ -91,7 +90,7 @@ impl fmt::Display for CoreKind {
 /// assert_eq!(cfg.core(), CoreKind::BigA15);
 /// assert_eq!(cfg.frequency().as_mhz(), 1800);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AcmpConfig {
     core: CoreKind,
     frequency: FreqMhz,
@@ -140,7 +139,7 @@ impl fmt::Display for AcmpConfig {
 /// let id = ConfigId::new(3);
 /// assert_eq!(id.index(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ConfigId(usize);
 
 impl ConfigId {

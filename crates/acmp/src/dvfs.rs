@@ -6,7 +6,6 @@
 //! *recover* the demand from two latency observations at different
 //! frequencies by solving the two-equation system described in Sec. 5.3.
 
-use serde::{Deserialize, Serialize};
 
 use crate::config::AcmpConfig;
 use crate::error::AcmpError;
@@ -30,7 +29,7 @@ use crate::units::{CpuCycles, EnergyUj, FreqMhz, PowerMw, TimeUs};
 /// let d = CpuDemand::new(TimeUs::from_millis(5), CpuCycles::new(100_000_000));
 /// assert_eq!(d.t_mem(), TimeUs::from_millis(5));
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CpuDemand {
     t_mem: TimeUs,
     ref_cycles: CpuCycles,

@@ -8,14 +8,13 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 
 use crate::config::{AcmpConfig, CoreKind};
 use crate::platform::Platform;
 use crate::units::{EnergyUj, PowerMw, TimeUs};
 
 /// The kind of activity an energy sample is attributed to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ActivityKind {
     /// Executing an event that was (or will be) committed to the display.
     UsefulWork,

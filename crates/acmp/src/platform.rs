@@ -1,7 +1,6 @@
 //! ACMP platform descriptions: clusters, frequency tables and the derived
 //! per-configuration latency/power trade-off space (Sec. 3 and Sec. 4.1).
 
-use serde::{Deserialize, Serialize};
 
 use crate::config::{AcmpConfig, ConfigId, CoreKind};
 use crate::error::AcmpError;
@@ -21,7 +20,7 @@ use crate::units::{FreqMhz, PowerMw};
 /// assert_eq!(big.core_kind(), CoreKind::BigA15);
 /// assert_eq!(big.frequencies().len(), 11); // 800..=1800 MHz in 100 MHz steps
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     core_kind: CoreKind,
     core_count: usize,
@@ -212,7 +211,7 @@ impl ClusterSpec {
 /// let fastest = exynos.max_performance_config();
 /// assert_eq!(fastest.frequency().as_mhz(), 1800);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Platform {
     name: String,
     clusters: Vec<ClusterSpec>,

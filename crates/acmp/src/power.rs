@@ -11,7 +11,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 
 use crate::config::{AcmpConfig, CoreKind};
 use crate::units::{FreqMhz, PowerMw};
@@ -30,7 +29,7 @@ use crate::units::{FreqMhz, PowerMw};
 /// let high = p.active_power(FreqMhz::new(1800));
 /// assert!(high.as_milliwatts() > low.as_milliwatts());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CorePowerParams {
     /// Effective switching capacitance in mW / (MHz · V²).
     pub capacitance: f64,
@@ -158,7 +157,7 @@ impl CorePowerParams {
 /// let restored = PowerTable::from_json(&json).unwrap();
 /// assert_eq!(table, restored);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PowerTable {
     active_mw: BTreeMap<String, f64>,
     idle_mw: BTreeMap<String, f64>,

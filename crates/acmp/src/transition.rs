@@ -5,7 +5,6 @@
 //! captured here so the simulator charges them in time *and* energy whenever
 //! a scheduler re-configures the hardware between events.
 
-use serde::{Deserialize, Serialize};
 
 use crate::config::AcmpConfig;
 use crate::units::TimeUs;
@@ -25,7 +24,7 @@ use crate::units::TimeUs;
 /// assert_eq!(model.cost(&a, &a), pes_acmp::units::TimeUs::ZERO);
 /// assert!(model.cost(&a, &c) > model.cost(&a, &b));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TransitionModel {
     dvfs_switch: TimeUs,
     core_migration: TimeUs,

@@ -9,7 +9,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
 
 /// A point in time or a duration, in integer microseconds.
 ///
@@ -26,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(vsync < TimeUs::from_millis(17));
 /// ```
 #[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct TimeUs(u64);
 
@@ -164,7 +163,7 @@ impl Sum for TimeUs {
 /// assert_eq!(work.time_at(FreqMhz::new(1800)).as_micros(), 1_000);
 /// ```
 #[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct CpuCycles(u64);
 
@@ -227,7 +226,7 @@ impl fmt::Display for CpuCycles {
 /// assert!(f > FreqMhz::new(600));
 /// ```
 #[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct FreqMhz(u32);
 
@@ -270,7 +269,7 @@ impl fmt::Display for FreqMhz {
 /// let e = p.energy_over(TimeUs::from_millis(2));
 /// assert!((e.as_millijoules() - 2.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd)]
 pub struct PowerMw(f64);
 
 impl PowerMw {
@@ -330,7 +329,7 @@ impl fmt::Display for PowerMw {
 /// let b = EnergyUj::new(500.0);
 /// assert!(((a + b).as_millijoules() - 2.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd)]
 pub struct EnergyUj(f64);
 
 impl EnergyUj {

@@ -7,7 +7,7 @@ use std::hint::black_box;
 
 use pes_acmp::{DvfsModel, Platform};
 use pes_core::{PesConfig, PesScheduler};
-use pes_ilp::{ScheduleItem, ScheduleOption, ScheduleProblem};
+use pes_ilp::{ScheduleItem, ScheduleOption, ScheduleProblem, ScheduleSolution, SolveScratch};
 use pes_predictor::{LearnerConfig, SessionState, Trainer, TrainingConfig};
 use pes_schedulers::{Ebs, ScheduleContext, Scheduler};
 use pes_webrt::QosPolicy;
@@ -59,6 +59,65 @@ fn optimizer_solve(c: &mut Criterion) {
     });
 }
 
+/// A PES-style window of `n` events × 17 ACMP configurations with a convex
+/// (DVFS-like) energy/latency trade-off and tight cumulative deadlines
+/// (~55 % slack) so the branch-and-bound genuinely searches — a slack-rich
+/// window is solved by the first greedy dive and measures nothing.
+fn pressured_window(n: u64) -> ScheduleProblem {
+    let items: Vec<ScheduleItem> = (0..n)
+        .map(|i| ScheduleItem {
+            release_us: i * 60_000,
+            deadline_us: (i + 1) * 154_000,
+            options: (0..17)
+                .map(|j| ScheduleOption {
+                    choice: j,
+                    duration_us: 280_000u64.saturating_sub(j as u64 * 12_000),
+                    cost: 1.0 + 0.25 * (j as f64).powf(1.7),
+                })
+                .collect(),
+        })
+        .collect();
+    ScheduleProblem::new(0, items)
+}
+
+/// Sweeps the optimisation window size (2–12 events × 17 configs), comparing
+/// the optimised allocation-free solver against the retained pre-optimisation
+/// reference.
+///
+/// Two tiers: `exact/*` solves 2–6-event windows to optimality with no node
+/// cap (the honest speedup — the 6×17 PES window is the paper-scale case);
+/// `capped/*` runs 7–12-event windows under the runtime's 200 k node budget
+/// (`PesConfig::optimizer_node_limit`), measuring the bounded worst-case
+/// per-decision latency after which the runtime falls back to greedy.
+/// Record a baseline with `BENCH_JSON=BENCH_solver.json cargo bench ...`.
+fn schedule_window_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_window_scaling");
+    group.sample_size(10);
+    for n in [2u64, 3, 4, 5, 6] {
+        let problem = pressured_window(n);
+        let mut scratch = SolveScratch::new();
+        let mut solution = ScheduleSolution::default();
+        group.bench_function(&format!("exact/optimised/{n}x17"), |b| {
+            b.iter(|| black_box(problem.solve_with(&mut scratch, &mut solution).is_ok()))
+        });
+        group.bench_function(&format!("exact/reference/{n}x17"), |b| {
+            b.iter(|| black_box(problem.solve_reference().is_ok()))
+        });
+    }
+    for n in [7u64, 8, 10, 12] {
+        let problem = pressured_window(n).with_node_limit(200_000);
+        let mut scratch = SolveScratch::new();
+        let mut solution = ScheduleSolution::default();
+        group.bench_function(&format!("capped/optimised/{n}x17"), |b| {
+            b.iter(|| black_box(problem.solve_with(&mut scratch, &mut solution).is_ok()))
+        });
+        group.bench_function(&format!("capped/reference/{n}x17"), |b| {
+            b.iter(|| black_box(problem.solve_reference().is_ok()))
+        });
+    }
+    group.finish();
+}
+
 fn scheduling_decisions(c: &mut Criterion) {
     let platform = Platform::exynos_5410();
     let dvfs = DvfsModel::new(&platform);
@@ -96,6 +155,6 @@ fn scheduling_decisions(c: &mut Criterion) {
 criterion_group! {
     name = overheads;
     config = Criterion::default().sample_size(20);
-    targets = predictor_inference, optimizer_solve, scheduling_decisions
+    targets = predictor_inference, optimizer_solve, schedule_window_scaling, scheduling_decisions
 }
 criterion_main!(overheads);

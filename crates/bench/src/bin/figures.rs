@@ -4,10 +4,15 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p pes-bench --release --bin figures -- [all|fig2|fig3|table1|fig8|ablation-dom|
+//! cargo run -p pes_bench --release --bin figures -- [all|fig2|fig3|table1|fig8|ablation-dom|
 //!                                                    fig9|fig10|fig11|fig12|fig13|fig14|tx2|overheads]
-//!                                                   [--traces N]
+//!                                                   [--traces N] [--serial]
 //! ```
+//!
+//! The experiment drivers fan their `(application, trace, scheduler)` units
+//! out over scoped threads (one worker per core by default; override with the
+//! `PES_THREADS` environment variable). `--serial` forces `PES_THREADS=1`;
+//! the output is byte-identical either way, only the wall clock changes.
 
 use pes_bench::{mean, pct, std_dev};
 use pes_core::PesConfig;
@@ -18,6 +23,10 @@ use pes_sim::{
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--serial") {
+        // Must happen before any worker threads exist.
+        std::env::set_var("PES_THREADS", "1");
+    }
     let traces = args
         .iter()
         .position(|a| a == "--traces")
@@ -32,7 +41,11 @@ fn main() {
     let which = if which.is_empty() { vec!["all"] } else { which };
     let wants = |name: &str| which.contains(&"all") || which.contains(&name);
 
-    eprintln!("# building experiment context ({traces} evaluation traces per app)...");
+    eprintln!(
+        "# building experiment context ({traces} evaluation traces per app, {} worker thread(s))...",
+        pes_sim::parallelism()
+    );
+    let started = std::time::Instant::now();
     let ctx = ExperimentContext::new(traces);
 
     if wants("table1") {
@@ -70,6 +83,11 @@ fn main() {
     if wants("overheads") {
         overheads(&ctx, comparisons.as_deref());
     }
+    eprintln!(
+        "# done in {:.1}s ({} worker thread(s))",
+        started.elapsed().as_secs_f64(),
+        pes_sim::parallelism()
+    );
 }
 
 fn table1() {

@@ -77,6 +77,20 @@ impl PendingFrameBuffer {
         self.frames.drain(..).collect()
     }
 
+    /// Allocation-free squash: visits every pending frame in order (so the
+    /// caller can re-attribute its energy as misprediction waste), then
+    /// clears the buffer. Returns the number of frames squashed. This is the
+    /// variant the runtime's hot path uses; [`PendingFrameBuffer::squash_all`]
+    /// remains for callers that want ownership.
+    pub fn squash_with(&mut self, mut visit: impl FnMut(&PendingFrame)) -> usize {
+        let squashed = self.frames.len();
+        for frame in &self.frames {
+            visit(frame);
+        }
+        self.frames.clear();
+        squashed
+    }
+
     /// Records the buffer occupancy as observed when the `event_index`-th
     /// actual event arrives (the Fig. 9 time series).
     pub fn record_occupancy(&mut self, event_index: usize) {
@@ -136,6 +150,19 @@ mod tests {
         assert_eq!(squashed.len(), 4);
         assert!(pfb.is_empty());
         assert!(pfb.front().is_none());
+    }
+
+    #[test]
+    fn squash_with_visits_in_order_without_consuming_ownership() {
+        let mut pfb = PendingFrameBuffer::new();
+        pfb.push(frame(EventType::TouchMove));
+        pfb.push(frame(EventType::Scroll));
+        let mut seen = Vec::new();
+        let squashed = pfb.squash_with(|f| seen.push(f.predicted_type));
+        assert_eq!(squashed, 2);
+        assert_eq!(seen, vec![EventType::TouchMove, EventType::Scroll]);
+        assert!(pfb.is_empty());
+        assert_eq!(pfb.squash_with(|_| unreachable!("buffer is empty")), 0);
     }
 
     #[test]

@@ -8,7 +8,6 @@
 //! events by statically applying their memoized effects through the
 //! [`SemanticTree`], which is what lets PES predict several events ahead.
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::DomError;
 use crate::events::EventType;
@@ -18,7 +17,7 @@ use crate::tree::{DomTree, NodeId};
 
 /// One candidate next event: an event type on a concrete (visible) node, or
 /// a document-level event such as scrolling.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PossibleEvent {
     /// The node the event would fire on (the document root for global
     /// events such as scrolling).
@@ -29,7 +28,7 @@ pub struct PossibleEvent {
 
 /// The Likely-Next-Event-Set: all events that the application logic allows as
 /// the immediate next event given the current (or projected) DOM state.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Lnes {
     events: Vec<PossibleEvent>,
 }
@@ -77,7 +76,7 @@ impl Lnes {
 
 /// Application-inherent features of the current viewport (the first two rows
 /// of Table 1).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ViewportFeatures {
     /// Fraction of the viewport area covered by clickable elements.
     pub clickable_region_fraction: f64,

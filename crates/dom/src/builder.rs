@@ -5,7 +5,6 @@
 //! controllable amounts of clickable area, links, collapsible menus and
 //! forms — the knobs that drive both the Table 1 features and the LNES.
 
-use serde::{Deserialize, Serialize};
 
 use crate::events::EventType;
 use crate::geometry::{Rect, Viewport};
@@ -14,7 +13,7 @@ use crate::tree::{CallbackEffect, DomTree, NodeId, NodeKind};
 
 /// A fully built page: the DOM tree, its Semantic Tree, and the node groups
 /// that the workload generator needs to target interactions at.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BuiltPage {
     /// The page DOM.
     pub tree: DomTree,

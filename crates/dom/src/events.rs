@@ -9,11 +9,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// A user-visible interaction primitive (Sec. 5.5: loading, tapping, moving,
 /// plus submit as the form-completion action used in the Sec. 5.1 example).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Interaction {
     /// Page loading / navigation.
     Load,
@@ -59,7 +58,7 @@ impl fmt::Display for Interaction {
 /// assert_eq!(EventType::TouchMove.interaction(), Interaction::Move);
 /// assert!(EventType::Load.is_navigation());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum EventType {
     /// Initial page load (`onload`).
     Load,

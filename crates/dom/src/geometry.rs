@@ -5,7 +5,6 @@
 //! ("clickable region percentage in the viewport", "visible link percentage
 //! in the viewport") are defined in terms of on-screen area.
 
-use serde::{Deserialize, Serialize};
 
 /// An axis-aligned rectangle in document coordinates (CSS pixels).
 ///
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(a.area(), 5_000);
 /// assert_eq!(a.intersection(&b).map(|r| r.area()), Some(50 * 25));
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Rect {
     x: i64,
     y: i64,
@@ -131,7 +130,7 @@ impl Rect {
 /// vp.scroll_by(1_900);
 /// assert!(vp.is_visible(&below_fold));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Viewport {
     width: i64,
     height: i64,

@@ -10,7 +10,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::DomError;
 use crate::events::EventType;
@@ -20,7 +19,7 @@ use crate::tree::{CallbackEffect, DomTree, NodeId};
 /// The semantic role of a node as exposed by the Accessibility Tree: enough
 /// to tell "a clickable button that toggles a dropdown" apart from "a piece
 /// of text" (Sec. 5.5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SemanticRole {
     /// Not interactive at all.
     Static,
@@ -37,7 +36,7 @@ pub enum SemanticRole {
 }
 
 /// One entry of the Semantic Tree: the memoized effect of an event listener.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SemanticEntry {
     /// The node the listener is registered on.
     pub node: NodeId,
@@ -73,7 +72,7 @@ pub struct SemanticEntry {
 ///     Some(CallbackEffect::ToggleVisibility(menu))
 /// );
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SemanticTree {
     entries: BTreeMap<(NodeId, EventType), SemanticEntry>,
 }

@@ -10,7 +10,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::DomError;
 use crate::events::EventType;
@@ -30,13 +29,19 @@ use crate::geometry::{Rect, Viewport};
 /// tree.append_child(root, id).unwrap();
 /// assert_eq!(tree.node(id).unwrap().kind(), NodeKind::Button);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(usize);
 
 impl NodeId {
     /// Returns the raw arena index.
     pub fn index(self) -> usize {
         self.0
+    }
+
+    /// Rebuilds an id from a raw arena index (trace deserialisation). The id
+    /// is only meaningful against the tree it originally came from.
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(index)
     }
 }
 
@@ -47,7 +52,7 @@ impl fmt::Display for NodeId {
 }
 
 /// The element class of a DOM node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum NodeKind {
     /// The document root.
     Document,
@@ -98,7 +103,7 @@ impl NodeKind {
 
 /// The memoized semantic effect of an event callback (Sec. 5.2 / Fig. 7): what
 /// the DOM will look like after the callback runs, without evaluating it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CallbackEffect {
     /// The callback has no structural effect on the DOM.
     None,
@@ -117,7 +122,7 @@ pub enum CallbackEffect {
 }
 
 /// One DOM node: kind, geometry, display state, listeners and tree links.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DomNode {
     kind: NodeKind,
     rect: Rect,
@@ -208,7 +213,7 @@ impl DomNode {
 /// assert!(tree.is_effectively_visible(button, &vp));
 /// assert!(tree.node(button).unwrap().is_clickable());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DomTree {
     nodes: Vec<DomNode>,
     root: NodeId,

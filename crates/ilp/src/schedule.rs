@@ -9,6 +9,33 @@
 //! than the generic 0/1 ILP encoding (the Sec. 5.5 argument for a custom
 //! solver). Times are plain microseconds and costs are abstract (energy in
 //! microjoules in the PES use), keeping this crate dependency-free.
+//!
+//! # Solver architecture
+//!
+//! `solve` sits on the critical path of every PES scheduling decision
+//! (Sec. 5.5 budgets ~10 ms amortised per solve), so the branch-and-bound is
+//! engineered to be allocation-free per search node:
+//!
+//! * the cost-sorted option order and the admissible lower-bound tables
+//!   (per-item minimum durations/costs and duration-sorted prefix-minimum
+//!   cost arrays) are computed **once per problem** at construction and
+//!   cached in [`ScheduleProblem`], so repeated solves of the same window —
+//!   the common case in the PES runtime, which re-plans overlapping windows
+//!   — skip the per-call sort entirely;
+//! * the search reuses one scratch assignment buffer and copies it into a
+//!   preallocated incumbent buffer instead of cloning a fresh `Vec` at every
+//!   improved incumbent;
+//! * unavoidable future deadline misses are detected early from the
+//!   minimum-duration slack table, pruning entire subtrees whose violation
+//!   count can no longer beat the incumbent (the bound is admissible, so
+//!   pruning never changes the returned optimum);
+//! * [`ScheduleProblem::solve_with`] accepts a caller-owned
+//!   [`SolveScratch`], letting the runtime keep one scratch arena alive
+//!   across all solves of a session replay.
+//!
+//! The pre-optimisation solver is retained as
+//! [`ScheduleProblem::solve_reference`] so property tests can assert the
+//! optimised search returns identical schedules.
 
 use crate::error::IlpError;
 use crate::linear::{Comparison, Constraint, LinearExpr};
@@ -41,7 +68,7 @@ pub struct ScheduleItem {
 }
 
 /// A solved schedule.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ScheduleSolution {
     /// For each event, the index into its `options` vector.
     pub selected: Vec<usize>,
@@ -56,6 +83,47 @@ pub struct ScheduleSolution {
     pub violations: usize,
     /// Number of search nodes explored.
     pub nodes_explored: usize,
+}
+
+/// Reusable search state for [`ScheduleProblem::solve_with`]: the scratch
+/// assignment, the incumbent buffer and the node counter. Keeping one of
+/// these alive across solves makes the branch-and-bound allocation-free
+/// after the first window of a given size.
+#[derive(Debug, Clone, Default)]
+pub struct SolveScratch {
+    /// Current partial assignment (option index per item).
+    selected: Vec<usize>,
+    /// Best complete assignment found so far.
+    best_selected: Vec<usize>,
+    /// Penalised cost of `best_selected`; `f64::INFINITY` when no incumbent.
+    best_penalised: f64,
+    /// Whether `best_selected` holds a complete incumbent.
+    has_best: bool,
+    /// Pruning cap derived from the greedy schedule's value: any subtree
+    /// whose lower bound reaches this can't contain the optimum. Kept
+    /// slightly above the greedy value so the first optimal leaf is never
+    /// pruned even on exact ties — the cap only prunes, it is never returned.
+    prune_cap: f64,
+    /// Search nodes visited.
+    nodes: usize,
+}
+
+impl SolveScratch {
+    /// Creates an empty scratch arena.
+    pub fn new() -> Self {
+        SolveScratch::default()
+    }
+
+    fn reset(&mut self, n: usize, prune_cap: f64) {
+        self.selected.clear();
+        self.selected.resize(n, 0);
+        self.best_selected.clear();
+        self.best_selected.resize(n, 0);
+        self.best_penalised = f64::INFINITY;
+        self.has_best = false;
+        self.prune_cap = prune_cap;
+        self.nodes = 0;
+    }
 }
 
 /// The scheduling problem: a window of events starting no earlier than
@@ -95,7 +163,44 @@ pub struct ScheduleProblem {
     start_us: u64,
     items: Vec<ScheduleItem>,
     node_limit: usize,
+    /// Cost-sorted option indices for every item, flattened; item `i`'s order
+    /// lives at `order[order_offsets[i]..order_offsets[i + 1]]`. Computed
+    /// once at construction so repeated solves skip the per-call sort.
+    order: Vec<u32>,
+    /// Offsets into `order`, one per item plus a trailing end offset.
+    order_offsets: Vec<u32>,
+    /// Fastest option duration per item: drives the earliest-finish chain of
+    /// the admissible lower bound.
+    min_duration: Vec<u64>,
+    /// Cheapest option cost per item: the cost floor once an item's deadline
+    /// is already unavoidably missed.
+    min_cost: Vec<f64>,
+    /// Option durations per item, sorted ascending, flattened.
+    dur_sorted: Vec<u64>,
+    /// `dur_cheapest[k]`: cheapest cost among the options of the same item
+    /// that are at least as fast as `dur_sorted[k]` (prefix minimum), so
+    /// "cheapest option fitting a budget" is one binary search.
+    dur_cheapest: Vec<f64>,
+    /// Offsets into `dur_sorted`/`dur_cheapest`, one per item plus an end.
+    dur_offsets: Vec<u32>,
+    /// `suffix_min_cost[i]`: plain cost floor of items `i..`, used as the
+    /// lower bound's tail beyond [`BOUND_SCAN_LIMIT`].
+    suffix_min_cost: Vec<f64>,
 }
+
+/// How many remaining items the per-node lower bound inspects in detail;
+/// the tail beyond this contributes the precomputed suffix minimum cost.
+/// Caps per-node bound work at `O(BOUND_SCAN_LIMIT · log m)` on deep
+/// windows while retaining full pruning power near the search frontier,
+/// where it matters. The bound still costs a few binary searches per node
+/// — several times the reference solver's O(1) lookup — so a search that
+/// exhausts its node budget takes correspondingly longer before falling
+/// back to greedy (measured ~4 ms vs ~1 ms at the 200 k budget; see
+/// EXPERIMENTS.md); the payoff is the order-of-magnitude node reduction on
+/// windows both solvers can finish. The capped bound still dominates the
+/// plain suffix-cost bound, so the search never explores more nodes than
+/// the reference.
+const BOUND_SCAN_LIMIT: usize = 6;
 
 /// Cost penalty applied per missed deadline so that minimising the penalised
 /// cost is lexicographic: first minimise violations, then energy.
@@ -103,11 +208,105 @@ const VIOLATION_PENALTY: f64 = 1.0e15;
 
 impl ScheduleProblem {
     /// Creates a problem whose first event may start at `start_us`.
+    ///
+    /// Construction precomputes the solver's caches (cost-sorted option
+    /// order, per-item minimum durations/costs, duration-sorted
+    /// prefix-minimum cost tables) in `O(n·m log m)` for `n` items of `m`
+    /// options — negligible next to the search itself, and paid once per
+    /// window rather than once per solve.
     pub fn new(start_us: u64, items: Vec<ScheduleItem>) -> Self {
+        let n = items.len();
+        let total_options: usize = items.iter().map(|i| i.options.len()).sum();
+
+        // Cost-sorted option order per item: the first dive is greedy and
+        // produces a good incumbent quickly. Dominated options — at least as
+        // slow AND at least as expensive as an option earlier in cost order —
+        // are dropped: such a branch can never strictly improve on the
+        // earlier option's subtree (a later start can only raise future cost
+        // and violations), so eliding it cannot change which incumbents the
+        // search accepts.
+        let mut order: Vec<u32> = Vec::with_capacity(total_options);
+        let mut order_offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut scratch_idx: Vec<u32> = Vec::new();
+        order_offsets.push(0);
+        for item in &items {
+            scratch_idx.clear();
+            scratch_idx.extend(0..item.options.len() as u32);
+            scratch_idx.sort_by(|&a, &b| {
+                item.options[a as usize]
+                    .cost
+                    .partial_cmp(&item.options[b as usize].cost)
+                    .expect("costs are finite")
+            });
+            let mut fastest_so_far = u64::MAX;
+            for &idx in &scratch_idx {
+                let duration = item.options[idx as usize].duration_us;
+                if duration < fastest_so_far {
+                    fastest_so_far = duration;
+                    order.push(idx);
+                }
+            }
+            order_offsets.push(order.len() as u32);
+        }
+
+        // Per-item minimum duration and cost: the building blocks of the
+        // admissible earliest-finish / cheapest-feasible lower bound.
+        let min_duration: Vec<u64> = items
+            .iter()
+            .map(|item| {
+                item.options
+                    .iter()
+                    .map(|o| o.duration_us)
+                    .min()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let min_cost: Vec<f64> = items
+            .iter()
+            .map(|item| {
+                item.options
+                    .iter()
+                    .map(|o| o.cost)
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+
+        // Duration-sorted options with a prefix-minimum cost, so "cheapest
+        // option no slower than a budget" is a single binary search.
+        let mut dur_sorted: Vec<u64> = Vec::with_capacity(total_options);
+        let mut dur_cheapest: Vec<f64> = Vec::with_capacity(total_options);
+        let mut dur_offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        dur_offsets.push(0);
+        for item in &items {
+            let mut by_duration: Vec<(u64, f64)> =
+                item.options.iter().map(|o| (o.duration_us, o.cost)).collect();
+            by_duration.sort_by_key(|&(duration, _)| duration);
+            let mut cheapest = f64::INFINITY;
+            for (duration, cost) in by_duration {
+                cheapest = cheapest.min(cost);
+                dur_sorted.push(duration);
+                dur_cheapest.push(cheapest);
+            }
+            dur_offsets.push(dur_sorted.len() as u32);
+        }
+
+        let mut suffix_min_cost = vec![0.0; n + 1];
+        for i in (0..n).rev() {
+            suffix_min_cost[i] = suffix_min_cost[i + 1] + min_cost[i];
+        }
+
         ScheduleProblem {
             start_us,
             items,
             node_limit: 5_000_000,
+            order,
+            order_offsets,
+            min_duration,
+            min_cost,
+            dur_sorted,
+            dur_cheapest,
+            dur_offsets,
+            suffix_min_cost,
         }
     }
 
@@ -116,10 +315,58 @@ impl ScheduleProblem {
         &self.items
     }
 
+    /// The window's start time in microseconds.
+    pub fn start_us(&self) -> u64 {
+        self.start_us
+    }
+
     /// Caps the number of branch-and-bound nodes.
     pub fn with_node_limit(mut self, limit: usize) -> Self {
         self.node_limit = limit.max(1);
         self
+    }
+
+    /// Admissible lower bound on `(cost, violations)` of items `index..` when
+    /// execution resumes at `cursor_us`.
+    ///
+    /// The bound walks the earliest-finish chain: each remaining item starts
+    /// no earlier than `max(chain, release)` and the chain advances by the
+    /// item's *fastest* option, so every actual schedule starts each item at
+    /// or after the chain's start. The item then contributes the cheapest
+    /// option fast enough to meet its deadline from that earliest start (one
+    /// binary search in the duration-sorted prefix-minimum table); if even
+    /// the fastest option misses, the miss is unavoidable and the item
+    /// contributes a violation plus its global cheapest cost. Both
+    /// relaxations under-approximate the true remaining objective, so
+    /// pruning on this bound never changes the returned optimum.
+    fn suffix_lower_bound(&self, index: usize, cursor_us: u64) -> (f64, usize) {
+        let mut chain = cursor_us;
+        let mut cost = 0.0;
+        let mut violations = 0usize;
+        let scan_end = (index + BOUND_SCAN_LIMIT).min(self.items.len());
+        for (j, item) in self
+            .items
+            .iter()
+            .enumerate()
+            .take(scan_end)
+            .skip(index)
+        {
+            let start = chain.max(item.release_us);
+            let budget = item.deadline_us.saturating_sub(start);
+            let lo = self.dur_offsets[j] as usize;
+            let hi = self.dur_offsets[j + 1] as usize;
+            let fitting = self.dur_sorted[lo..hi].partition_point(|&d| d <= budget);
+            if fitting == 0 {
+                violations += 1;
+                cost += self.min_cost[j];
+            } else {
+                cost += self.dur_cheapest[lo + fitting - 1];
+            }
+            chain = start + self.min_duration[j];
+        }
+        // Items beyond the scan horizon contribute their plain cost floor —
+        // still admissible, just cheaper to evaluate.
+        (cost + self.suffix_min_cost[scan_end], violations)
     }
 
     /// Solves the window with the specialised branch and bound.
@@ -134,11 +381,164 @@ impl ScheduleProblem {
     ///   has no options.
     /// * [`IlpError::NodeLimit`] when the search exceeds the node limit.
     pub fn solve(&self) -> Result<ScheduleSolution, IlpError> {
+        let mut scratch = SolveScratch::new();
+        let mut solution = ScheduleSolution::default();
+        self.solve_with(&mut scratch, &mut solution)?;
+        Ok(solution)
+    }
+
+    /// Allocation-free variant of [`ScheduleProblem::solve`]: the search
+    /// state lives in the caller's `scratch` and the result overwrites
+    /// `solution`, reusing both buffers' capacity across calls. This is the
+    /// entry point the PES runtime uses on its per-decision hot path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ScheduleProblem::solve`]. On error `solution` is left
+    /// cleared.
+    pub fn solve_with(
+        &self,
+        scratch: &mut SolveScratch,
+        solution: &mut ScheduleSolution,
+    ) -> Result<(), IlpError> {
+        solution.selected.clear();
+        solution.choices.clear();
+        solution.finish_us.clear();
+        solution.total_cost = 0.0;
+        solution.violations = 0;
+        solution.nodes_explored = 0;
         if self.items.is_empty() || self.items.iter().any(|i| i.options.is_empty()) {
             return Err(IlpError::EmptyProblem);
         }
-        // Pre-sort option order per item by cost so the first dive is greedy
-        // and produces a good incumbent quickly.
+        // The greedy schedule's value caps the search from the first node: a
+        // subtree whose lower bound reaches it can't beat the optimum (which
+        // is at most greedy). The margin keeps the cap strictly above the
+        // greedy value so an exactly-greedy-valued optimum is never pruned.
+        let greedy = self.greedy_value();
+        let prune_cap = greedy + (greedy.abs() * 1e-12).max(1e-6);
+        scratch.reset(self.items.len(), prune_cap);
+        self.branch(scratch, 0, self.start_us, 0.0, 0)?;
+        debug_assert!(scratch.has_best, "at least one full assignment is explored");
+
+        let penalised = scratch.best_penalised;
+        solution.violations = (penalised / VIOLATION_PENALTY).round() as usize;
+        let mut cursor = self.start_us;
+        for (item, &sel) in self.items.iter().zip(&scratch.best_selected) {
+            let opt = item.options[sel];
+            let start = cursor.max(item.release_us);
+            cursor = start + opt.duration_us;
+            solution.selected.push(sel);
+            solution.choices.push(opt.choice);
+            solution.finish_us.push(cursor);
+            solution.total_cost += opt.cost;
+        }
+        solution.nodes_explored = scratch.nodes;
+        Ok(())
+    }
+
+    fn branch(
+        &self,
+        scratch: &mut SolveScratch,
+        index: usize,
+        cursor_us: u64,
+        cost: f64,
+        violations: usize,
+    ) -> Result<(), IlpError> {
+        scratch.nodes += 1;
+        if scratch.nodes > self.node_limit {
+            return Err(IlpError::NodeLimit(self.node_limit));
+        }
+        let penalised = cost + violations as f64 * VIOLATION_PENALTY;
+        // Bound: taking the cheapest deadline-respecting remaining options in
+        // the best case, and counting only the future misses that are already
+        // unavoidable, can this branch still beat the incumbent (or, before
+        // one exists, the greedy cap)? The bound is admissible, so the
+        // returned optimum is identical to the unpruned search's.
+        {
+            let threshold = if scratch.has_best {
+                (scratch.best_penalised - 1e-9).min(scratch.prune_cap)
+            } else {
+                scratch.prune_cap
+            };
+            let (suffix_cost, unavoidable) = self.suffix_lower_bound(index, cursor_us);
+            let lower_bound = penalised + suffix_cost + unavoidable as f64 * VIOLATION_PENALTY;
+            if lower_bound >= threshold {
+                return Ok(());
+            }
+        }
+        if index == self.items.len() {
+            if !scratch.has_best || penalised < scratch.best_penalised - 1e-9 {
+                scratch.best_selected.copy_from_slice(&scratch.selected);
+                scratch.best_penalised = penalised;
+                scratch.has_best = true;
+            }
+            return Ok(());
+        }
+        let item = &self.items[index];
+        for k in self.order_offsets[index] as usize..self.order_offsets[index + 1] as usize {
+            let opt_idx = self.order[k] as usize;
+            let opt = item.options[opt_idx];
+            let start = cursor_us.max(item.release_us);
+            let finish = start + opt.duration_us;
+            let missed = finish > item.deadline_us;
+            scratch.selected[index] = opt_idx;
+            self.branch(
+                scratch,
+                index + 1,
+                finish,
+                cost + opt.cost,
+                violations + usize::from(missed),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// The penalised value of the greedy (EBS-like) schedule, computed
+    /// without allocating: it seeds the branch-and-bound's pruning cap. Only
+    /// the value is kept — never the greedy selection — so the incumbent
+    /// chain (and therefore the returned schedule) matches the reference
+    /// search exactly.
+    fn greedy_value(&self) -> f64 {
+        let mut cursor = self.start_us;
+        let mut cost = 0.0;
+        let mut violations = 0usize;
+        for item in &self.items {
+            let start = cursor.max(item.release_us);
+            let feasible = item
+                .options
+                .iter()
+                .filter(|o| start + o.duration_us <= item.deadline_us)
+                .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite"));
+            let opt = match feasible {
+                Some(o) => o,
+                None => item
+                    .options
+                    .iter()
+                    .min_by_key(|o| o.duration_us)
+                    .expect("non-empty options"),
+            };
+            cursor = start + opt.duration_us;
+            if cursor > item.deadline_us {
+                violations += 1;
+            }
+            cost += opt.cost;
+        }
+        cost + violations as f64 * VIOLATION_PENALTY
+    }
+
+    /// The pre-optimisation branch-and-bound, retained verbatim as a
+    /// validation reference: per-call option sorting, suffix-cost-only
+    /// pruning and an incumbent clone per improvement. Property tests assert
+    /// [`ScheduleProblem::solve`] returns identical schedules; benches
+    /// measure the speedup against it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ScheduleProblem::solve`].
+    pub fn solve_reference(&self) -> Result<ScheduleSolution, IlpError> {
+        if self.items.is_empty() || self.items.iter().any(|i| i.options.is_empty()) {
+            return Err(IlpError::EmptyProblem);
+        }
         let mut order: Vec<Vec<usize>> = Vec::with_capacity(self.items.len());
         for item in &self.items {
             let mut idx: Vec<usize> = (0..item.options.len()).collect();
@@ -150,7 +550,6 @@ impl ScheduleProblem {
             });
             order.push(idx);
         }
-        // Suffix minimum cost: lower bound on the remaining cost from item i.
         let mut suffix_min_cost = vec![0.0; self.items.len() + 1];
         for i in (0..self.items.len()).rev() {
             let min_cost = self.items[i]
@@ -160,22 +559,12 @@ impl ScheduleProblem {
                 .fold(f64::INFINITY, f64::min);
             suffix_min_cost[i] = suffix_min_cost[i + 1] + min_cost;
         }
-        // Suffix minimum duration: used to detect unavoidable future misses
-        // early (admissible, so pruning stays exact for the violation count).
-        let mut state = BranchState {
+        let mut state = ReferenceState {
             selected: vec![0; self.items.len()],
             best: None,
             nodes: 0,
         };
-        self.branch(
-            &mut state,
-            0,
-            self.start_us,
-            0.0,
-            0,
-            &order,
-            &suffix_min_cost,
-        )?;
+        self.branch_reference(&mut state, 0, self.start_us, 0.0, 0, &order, &suffix_min_cost)?;
         let (selected, penalised) = state.best.expect("at least one full assignment is explored");
         let violations = (penalised / VIOLATION_PENALTY).round() as usize;
         let mut finish_us = Vec::with_capacity(self.items.len());
@@ -201,9 +590,9 @@ impl ScheduleProblem {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn branch(
+    fn branch_reference(
         &self,
-        state: &mut BranchState,
+        state: &mut ReferenceState,
         index: usize,
         cursor_us: u64,
         cost: f64,
@@ -216,8 +605,6 @@ impl ScheduleProblem {
             return Err(IlpError::NodeLimit(self.node_limit));
         }
         let penalised = cost + violations as f64 * VIOLATION_PENALTY;
-        // Bound: even with the cheapest remaining options and no further
-        // violations, can this branch beat the incumbent?
         if let Some((_, best)) = &state.best {
             if penalised + suffix_min_cost[index] >= *best - 1e-9 {
                 return Ok(());
@@ -240,7 +627,7 @@ impl ScheduleProblem {
             let finish = start + opt.duration_us;
             let missed = finish > item.deadline_us;
             state.selected[index] = opt_idx;
-            self.branch(
+            self.branch_reference(
                 state,
                 index + 1,
                 finish,
@@ -343,7 +730,7 @@ impl ScheduleProblem {
     }
 }
 
-struct BranchState {
+struct ReferenceState {
     selected: Vec<usize>,
     best: Option<(Vec<usize>, f64)>,
     nodes: usize,
@@ -482,6 +869,7 @@ mod tests {
             .collect();
         let problem = ScheduleProblem::new(0, items).with_node_limit(5);
         assert!(matches!(problem.solve(), Err(IlpError::NodeLimit(5))));
+        assert!(matches!(problem.solve_reference(), Err(IlpError::NodeLimit(5))));
     }
 
     #[test]
@@ -501,6 +889,34 @@ mod tests {
             offset += item.options.len();
         }
         assert!((generic_cost - specialised.total_cost).abs() < 1e-6);
+    }
+
+    #[test]
+    fn optimised_solver_matches_the_reference_on_fig2() {
+        let problem = ScheduleProblem::new(0, fig2_like_items());
+        let optimised = problem.solve().unwrap();
+        let reference = problem.solve_reference().unwrap();
+        assert_eq!(optimised.selected, reference.selected);
+        assert_eq!(optimised.choices, reference.choices);
+        assert_eq!(optimised.finish_us, reference.finish_us);
+        assert_eq!(optimised.violations, reference.violations);
+        assert!((optimised.total_cost - reference.total_cost).abs() < 1e-12);
+        assert!(
+            optimised.nodes_explored <= reference.nodes_explored,
+            "the optimised search must not explore more nodes"
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_returns_the_same_solution() {
+        let problem = ScheduleProblem::new(0, fig2_like_items());
+        let fresh = problem.solve().unwrap();
+        let mut scratch = SolveScratch::new();
+        let mut reused = ScheduleSolution::default();
+        for _ in 0..3 {
+            problem.solve_with(&mut scratch, &mut reused).unwrap();
+            assert_eq!(reused, fresh);
+        }
     }
 
     #[test]

@@ -11,7 +11,6 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
 
 use pes_dom::{DomAnalyzer, DomTree, EventType, NodeId, Viewport};
 use pes_webrt::WebEvent;
@@ -32,7 +31,7 @@ pub type FeatureVector = Vec<f64>;
 pub const FEATURE_DIM: usize = 7 + EventType::ALL.len();
 
 /// A sliding window over the most recent events of the interaction session.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct HistoryWindow {
     events: VecDeque<(EventType, Option<(i64, i64)>)>,
 }

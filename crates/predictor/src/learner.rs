@@ -8,7 +8,6 @@
 //! per-event confidences drops below the configured threshold (70 % by
 //! default). The number of events predicted ahead is the *prediction degree*.
 
-use serde::{Deserialize, Serialize};
 
 use pes_acmp::units::TimeUs;
 use pes_acmp::CpuDemand;
@@ -19,7 +18,7 @@ use crate::features::SessionState;
 use crate::logistic::OneVsRestClassifier;
 
 /// One predicted future event.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PredictedEvent {
     /// The predicted event type.
     pub event_type: EventType,
@@ -31,7 +30,7 @@ pub struct PredictedEvent {
 }
 
 /// Configuration of the sequence learner.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LearnerConfig {
     /// Prediction stops once the cumulative confidence of the sequence would
     /// fall below this threshold (the paper uses 70 %).
@@ -182,14 +181,12 @@ mod tests {
     /// A hand-built classifier that is always very confident the next event
     /// is a scroll.
     fn confident_scroll_classifier() -> OneVsRestClassifier {
-        let mut clf = OneVsRestClassifier::zeros(FEATURE_DIM);
         let mut models: Vec<LogisticModel> = Vec::new();
         for e in EventType::ALL {
             let bias = if e == EventType::Scroll { 4.0 } else { -4.0 };
             models.push(LogisticModel::from_coefficients(vec![0.0; FEATURE_DIM], bias));
         }
-        // Rebuild through the public API: train is not needed, construct anew.
-        clf = OneVsRestClassifier::zeros(FEATURE_DIM);
+        let mut clf = OneVsRestClassifier::zeros(FEATURE_DIM);
         // Replace by re-creating: OneVsRestClassifier does not expose mutable
         // models, so emulate confidence via training on a biased dataset.
         let dataset: Vec<(Vec<f64>, EventType)> = (0..400)

@@ -10,14 +10,13 @@
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 use pes_dom::EventType;
 
 use crate::features::FeatureVector;
 
 /// A single binary logistic model `p = sigmoid(w · x + b)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogisticModel {
     weights: Vec<f64>,
     bias: f64,
@@ -102,7 +101,7 @@ impl LogisticModel {
 /// assert!(EventType::ALL.contains(&event));
 /// assert!(confidence > 0.0 && confidence <= 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OneVsRestClassifier {
     models: Vec<LogisticModel>,
     dim: usize,

@@ -8,7 +8,6 @@
 //! synthetic traces: training traces come from the [`pes_workload::TRAINING_SEED_BASE`]
 //! seed range, evaluation traces from the disjoint [`pes_workload::EVAL_SEED_BASE`] range.
 
-use serde::{Deserialize, Serialize};
 
 use pes_dom::{BuiltPage, EventType};
 use pes_workload::{AppCatalog, AppProfile, Trace, TraceGenerator, TRAINING_SEED_BASE};
@@ -18,7 +17,7 @@ use crate::learner::{EventSequenceLearner, LearnerConfig};
 use crate::logistic::OneVsRestClassifier;
 
 /// Training hyper-parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainingConfig {
     /// Training traces generated per seen application (the paper records
     /// "over 100" traces across 12 applications, i.e. roughly 9 per app).

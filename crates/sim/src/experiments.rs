@@ -2,6 +2,14 @@
 //! evaluation (Sec. 4 and Sec. 6). The `figures` binary in `pes-bench`
 //! formats the structures returned here into the text tables recorded in
 //! EXPERIMENTS.md.
+//!
+//! Every session replay in the suite is deterministic and independent —
+//! traces are generated per `(application, trace index)` seed and schedulers
+//! share no mutable state — so the heavy drivers fan their
+//! `(application, trace, scheduler)` tuples out over [`crate::par_map`]
+//! scoped threads and fold the per-unit results back **in serial order**.
+//! The output is byte-identical to the old nested `for` loops
+//! (`PES_THREADS=1` forces that serial path); only the wall clock changes.
 
 use pes_acmp::units::TimeUs;
 use pes_acmp::{CpuDemand, DvfsModel, Platform};
@@ -13,6 +21,7 @@ use pes_webrt::{EventId, QosPolicy, WebEvent};
 use pes_workload::{AppCatalog, Trace, TraceGenerator, EVAL_SEED_BASE};
 
 use crate::classify::{classify_events, distribution, ClassDistribution};
+use crate::parallel::par_map;
 use crate::reactive::run_reactive;
 
 /// Shared state for all experiments: the platform, the QoS policy, the
@@ -60,6 +69,20 @@ impl ExperimentContext {
             TraceGenerator::new().generate_many(app, &page, EVAL_SEED_BASE, self.traces_per_app);
         (page, traces)
     }
+}
+
+/// Rebuilds the page and the seeded evaluation trace for one fan-out unit.
+/// Every parallel driver uses this single definition of the per-unit seed
+/// scheme (`EVAL_SEED_BASE + trace index`), matching
+/// [`ExperimentContext::eval_traces`]' serial `generate_many` seeds — so the
+/// fan-outs cannot drift from the serial driver.
+fn eval_trace_unit(
+    app: &pes_workload::AppProfile,
+    trace_idx: usize,
+) -> (pes_dom::BuiltPage, Trace) {
+    let page = app.build_page();
+    let trace = TraceGenerator::new().generate(app, &page, EVAL_SEED_BASE + trace_idx as u64);
+    (page, trace)
 }
 
 // ---------------------------------------------------------------------------
@@ -197,21 +220,28 @@ pub fn fig2_case_study(ctx: &ExperimentContext) -> CaseStudy {
 // Fig. 3 — event-type distribution under EBS
 // ---------------------------------------------------------------------------
 
-/// Per-application event-type distribution (Fig. 3).
+/// Per-application event-type distribution (Fig. 3). One fan-out unit per
+/// `(application, trace)` pair, each replaying its seeded trace under EBS.
 pub fn fig3_event_types(ctx: &ExperimentContext) -> Vec<(String, ClassDistribution)> {
     let dvfs = DvfsModel::new(&ctx.platform);
-    let mut out = Vec::new();
-    for app in ctx.catalog.seen_apps() {
-        let (page, traces) = ctx.eval_traces(app);
-        let _ = &page;
-        let mut classes = Vec::new();
-        for trace in &traces {
-            let report = run_reactive(&ctx.platform, trace, &mut Ebs::new(&ctx.platform), &ctx.qos);
-            classes.extend(classify_events(&report, trace.events(), &dvfs, &ctx.qos));
-        }
-        out.push((app.name().to_string(), distribution(&classes)));
-    }
-    out
+    let seen: Vec<&pes_workload::AppProfile> = ctx.catalog.seen_apps().collect();
+    let traces = ctx.traces_per_app;
+    let per_trace: Vec<Vec<crate::EventClass>> = par_map(seen.len() * traces, |unit| {
+        let app = seen[unit / traces];
+        let (_page, trace) = eval_trace_unit(app, unit % traces);
+        let report = run_reactive(&ctx.platform, &trace, &mut Ebs::new(&ctx.platform), &ctx.qos);
+        classify_events(&report, trace.events(), &dvfs, &ctx.qos)
+    });
+    seen.iter()
+        .enumerate()
+        .map(|(app_idx, app)| {
+            let mut classes = Vec::new();
+            for trace_classes in &per_trace[app_idx * traces..(app_idx + 1) * traces] {
+                classes.extend(trace_classes.iter().cloned());
+            }
+            (app.name().to_string(), distribution(&classes))
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -219,25 +249,27 @@ pub fn fig3_event_types(ctx: &ExperimentContext) -> Vec<(String, ClassDistributi
 // ---------------------------------------------------------------------------
 
 /// Per-application predictor accuracy (Fig. 8). Set `use_lnes` to `false`
-/// for the Sec. 6.5 "predictor design" ablation (no DOM analysis).
+/// for the Sec. 6.5 "predictor design" ablation (no DOM analysis). One
+/// fan-out unit per application.
 pub fn fig8_accuracy(ctx: &ExperimentContext, use_lnes: bool) -> Vec<(String, bool, f64)> {
     let mut learner = ctx.learner.clone();
     learner.set_config(LearnerConfig::paper_defaults().with_lnes(use_lnes));
-    let generator = TraceGenerator::new();
-    ctx.catalog
-        .apps()
-        .iter()
-        .map(|app| {
-            let page = app.build_page();
-            let traces =
-                generator.generate_many(app, &page, EVAL_SEED_BASE, ctx.traces_per_app.max(2));
-            (
-                app.name().to_string(),
-                app.is_seen(),
-                evaluate_accuracy(&learner, &page, &traces),
-            )
-        })
-        .collect()
+    let apps = ctx.catalog.apps();
+    par_map(apps.len(), |app_idx| {
+        let app = &apps[app_idx];
+        let page = app.build_page();
+        let traces = TraceGenerator::new().generate_many(
+            app,
+            &page,
+            EVAL_SEED_BASE,
+            ctx.traces_per_app.max(2),
+        );
+        (
+            app.name().to_string(),
+            app.is_seen(),
+            evaluate_accuracy(&learner, &page, &traces),
+        )
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -258,22 +290,25 @@ pub fn fig9_pfb_trace(ctx: &ExperimentContext, app_name: &str) -> Vec<(usize, us
 }
 
 /// Per-application average misprediction waste in milliseconds (Fig. 10),
-/// plus the waste-energy fraction (the Sec. 6.3 1.8 %–2.2 % number).
+/// plus the waste-energy fraction (the Sec. 6.3 1.8 %–2.2 % number). One
+/// fan-out unit per `(application, trace)` pair.
 pub fn fig10_waste(ctx: &ExperimentContext) -> Vec<(String, bool, f64, f64)> {
     let pes = PesScheduler::new(ctx.learner.clone(), PesConfig::paper_defaults());
-    ctx.catalog
-        .apps()
-        .iter()
-        .map(|app| {
-            let (page, traces) = ctx.eval_traces(app);
-            let mut waste_ms = Vec::new();
-            let mut waste_fraction = Vec::new();
-            for trace in &traces {
-                let report = pes.run_trace(&ctx.platform, &page, trace, &ctx.qos);
-                waste_ms.push(report.average_waste_ms());
-                waste_fraction.push(report.waste_energy_fraction());
-            }
-            let avg = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    let apps = ctx.catalog.apps();
+    let traces = ctx.traces_per_app;
+    let per_trace: Vec<(f64, f64)> = par_map(apps.len() * traces, |unit| {
+        let app = &apps[unit / traces];
+        let (page, trace) = eval_trace_unit(app, unit % traces);
+        let report = pes.run_trace(&ctx.platform, &page, &trace, &ctx.qos);
+        (report.average_waste_ms(), report.waste_energy_fraction())
+    });
+    let avg = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    apps.iter()
+        .enumerate()
+        .map(|(app_idx, app)| {
+            let slice = &per_trace[app_idx * traces..(app_idx + 1) * traces];
+            let waste_ms: Vec<f64> = slice.iter().map(|(ms, _)| *ms).collect();
+            let waste_fraction: Vec<f64> = slice.iter().map(|(_, frac)| *frac).collect();
             (
                 app.name().to_string(),
                 app.is_seen(),
@@ -329,47 +364,74 @@ pub fn full_comparison(ctx: &ExperimentContext) -> Vec<AppComparison> {
     full_comparison_with_config(ctx, PesConfig::paper_defaults())
 }
 
+/// The policy names of the headline comparison, in presentation order.
+const COMPARISON_POLICIES: [&str; 5] = ["Interactive", "Ondemand", "EBS", "PES", "Oracle"];
+
 /// Same as [`full_comparison`] but with an explicit PES configuration (used
 /// by the Fig. 14 sensitivity sweep and the ablations).
+///
+/// This is the heaviest driver of the suite: `18 apps × N traces × 5
+/// schedulers` independent replays. It fans one unit of work per
+/// `(application, trace, scheduler)` tuple over scoped threads — each unit
+/// regenerates its trace from the per-trace seed, so the fan-out is
+/// deterministic — and folds the per-unit `(energy, violations, events)`
+/// triples back in the serial loop's order, keeping the result byte-identical
+/// to the serial driver.
 pub fn full_comparison_with_config(
     ctx: &ExperimentContext,
     pes_config: PesConfig,
 ) -> Vec<AppComparison> {
     let pes = PesScheduler::new(ctx.learner.clone(), pes_config);
     let oracle = OracleScheduler::new();
-    ctx.catalog
-        .apps()
-        .iter()
-        .map(|app| {
-            let (page, traces) = ctx.eval_traces(app);
-            let mut totals: Vec<(String, f64, f64, usize)> = Vec::new();
-            let mut add = |policy: &str, energy_mj: f64, violations: usize, events: usize| {
-                match totals.iter_mut().find(|(p, ..)| p == policy) {
-                    Some(entry) => {
-                        entry.1 += energy_mj;
-                        entry.2 += violations as f64;
-                        entry.3 += events;
-                    }
-                    None => totals.push((policy.to_string(), energy_mj, violations as f64, events)),
+    let apps = ctx.catalog.apps();
+    let traces = ctx.traces_per_app;
+    let policies = COMPARISON_POLICIES.len();
+    let per_unit: Vec<(f64, usize, usize)> = par_map(apps.len() * traces * policies, |unit| {
+        let app = &apps[unit / (traces * policies)];
+        let trace_idx = (unit / policies) % traces;
+        let policy = COMPARISON_POLICIES[unit % policies];
+        let (page, trace) = eval_trace_unit(app, trace_idx);
+        let events = trace.len();
+        match policy {
+            "Interactive" => {
+                let r = run_reactive(&ctx.platform, &trace, &mut InteractiveGovernor::new(), &ctx.qos);
+                (r.total_energy.as_millijoules(), r.violations(), events)
+            }
+            "Ondemand" => {
+                let r = run_reactive(&ctx.platform, &trace, &mut OndemandGovernor::new(), &ctx.qos);
+                (r.total_energy.as_millijoules(), r.violations(), events)
+            }
+            "EBS" => {
+                let r = run_reactive(&ctx.platform, &trace, &mut Ebs::new(&ctx.platform), &ctx.qos);
+                (r.total_energy.as_millijoules(), r.violations(), events)
+            }
+            "PES" => {
+                let r = pes.run_trace(&ctx.platform, &page, &trace, &ctx.qos);
+                (r.total_energy.as_millijoules(), r.violations, events)
+            }
+            _ => {
+                let r = oracle.run_trace(&ctx.platform, &page, &trace, &ctx.qos);
+                (r.total_energy.as_millijoules(), r.violations, events)
+            }
+        }
+    });
+    apps.iter()
+        .enumerate()
+        .map(|(app_idx, app)| {
+            let mut totals: Vec<(String, f64, f64, usize)> = COMPARISON_POLICIES
+                .iter()
+                .map(|p| (p.to_string(), 0.0, 0.0, 0))
+                .collect();
+            // Accumulate trace-major, policy-minor: the exact float-addition
+            // order of the old serial nested loops.
+            for trace_idx in 0..traces {
+                for (policy_idx, entry) in totals.iter_mut().enumerate() {
+                    let (energy_mj, violations, events) =
+                        per_unit[(app_idx * traces + trace_idx) * policies + policy_idx];
+                    entry.1 += energy_mj;
+                    entry.2 += violations as f64;
+                    entry.3 += events;
                 }
-            };
-            for trace in &traces {
-                let interactive = run_reactive(
-                    &ctx.platform,
-                    trace,
-                    &mut InteractiveGovernor::new(),
-                    &ctx.qos,
-                );
-                add("Interactive", interactive.total_energy.as_millijoules(), interactive.violations(), trace.len());
-                let ondemand =
-                    run_reactive(&ctx.platform, trace, &mut OndemandGovernor::new(), &ctx.qos);
-                add("Ondemand", ondemand.total_energy.as_millijoules(), ondemand.violations(), trace.len());
-                let ebs = run_reactive(&ctx.platform, trace, &mut Ebs::new(&ctx.platform), &ctx.qos);
-                add("EBS", ebs.total_energy.as_millijoules(), ebs.violations(), trace.len());
-                let pes_report = pes.run_trace(&ctx.platform, &page, trace, &ctx.qos);
-                add("PES", pes_report.total_energy.as_millijoules(), pes_report.violations, trace.len());
-                let oracle_report = oracle.run_trace(&ctx.platform, &page, trace, &ctx.qos);
-                add("Oracle", oracle_report.total_energy.as_millijoules(), oracle_report.violations, trace.len());
             }
             AppComparison {
                 app: app.name().to_string(),
@@ -422,13 +484,16 @@ pub struct SensitivityPoint {
 }
 
 /// Sweeps the prediction confidence threshold (Fig. 14). To bound runtime the
-/// sweep uses the first `apps` seen applications.
+/// sweep uses the first `apps` seen applications. Each threshold fans one
+/// unit per `(application, trace)` pair (EBS + PES replay) over scoped
+/// threads and folds the sums in serial order.
 pub fn fig14_sensitivity(
     ctx: &ExperimentContext,
     thresholds: &[f64],
     apps: usize,
 ) -> Vec<SensitivityPoint> {
     let subset: Vec<&pes_workload::AppProfile> = ctx.catalog.seen_apps().take(apps.max(1)).collect();
+    let traces = ctx.traces_per_app;
     thresholds
         .iter()
         .map(|&threshold| {
@@ -436,20 +501,28 @@ pub fn fig14_sensitivity(
                 ctx.learner.clone(),
                 PesConfig::paper_defaults().with_confidence_threshold(threshold),
             );
+            let per_unit: Vec<(f64, usize, f64, usize)> =
+                par_map(subset.len() * traces, |unit| {
+                    let app = subset[unit / traces];
+                    let (page, trace) = eval_trace_unit(app, unit % traces);
+                    let e = run_reactive(&ctx.platform, &trace, &mut Ebs::new(&ctx.platform), &ctx.qos);
+                    let p = pes.run_trace(&ctx.platform, &page, &trace, &ctx.qos);
+                    (
+                        e.total_energy.as_millijoules(),
+                        e.violations(),
+                        p.total_energy.as_millijoules(),
+                        p.violations,
+                    )
+                });
             let mut pes_energy = 0.0;
             let mut ebs_energy = 0.0;
             let mut pes_violations = 0usize;
             let mut ebs_violations = 0usize;
-            for app in &subset {
-                let (page, traces) = ctx.eval_traces(app);
-                for trace in &traces {
-                    let e = run_reactive(&ctx.platform, trace, &mut Ebs::new(&ctx.platform), &ctx.qos);
-                    ebs_energy += e.total_energy.as_millijoules();
-                    ebs_violations += e.violations();
-                    let p = pes.run_trace(&ctx.platform, &page, trace, &ctx.qos);
-                    pes_energy += p.total_energy.as_millijoules();
-                    pes_violations += p.violations;
-                }
+            for (ebs_e, ebs_v, pes_e, pes_v) in per_unit {
+                ebs_energy += ebs_e;
+                ebs_violations += ebs_v;
+                pes_energy += pes_e;
+                pes_violations += pes_v;
             }
             SensitivityPoint {
                 threshold,
@@ -515,6 +588,25 @@ mod tests {
         };
         assert_eq!(with_dom.len(), 18);
         assert!(avg(&with_dom) + 1e-9 >= avg(&without_dom));
+    }
+
+    #[test]
+    fn parallel_fan_out_is_deterministic() {
+        // The fan-out must produce identical results run-to-run regardless of
+        // how units interleave across worker threads, and identical to the
+        // forced-serial path.
+        let ctx = tiny_ctx();
+        let parallel_a = full_comparison(&ctx);
+        let parallel_b = full_comparison(&ctx);
+        assert_eq!(parallel_a, parallel_b, "parallel driver must be deterministic");
+        // Force the serial path (PES_THREADS=1 short-circuits par_map into a
+        // plain `(0..n).map(f)` loop) and compare byte-for-byte. Rust's std
+        // synchronises environment access internally, and a concurrent test
+        // observing PES_THREADS=1 merely runs serially for a moment.
+        std::env::set_var("PES_THREADS", "1");
+        let serial = full_comparison(&ctx);
+        std::env::remove_var("PES_THREADS");
+        assert_eq!(parallel_a, serial, "parallel output must match the serial driver");
     }
 
     #[test]

@@ -32,9 +32,11 @@
 
 pub mod classify;
 pub mod experiments;
+pub mod parallel;
 pub mod reactive;
 
 pub use classify::{classify_events, distribution, ClassDistribution, EventClass};
+pub use parallel::{par_map, par_map_with, parallelism};
 pub use experiments::{
     fig10_waste, fig13_pareto, fig14_sensitivity, fig2_case_study, fig2_trace, fig3_event_types,
     fig8_accuracy, fig9_pfb_trace, full_comparison, full_comparison_with_config, AppComparison,

@@ -6,7 +6,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use pes_acmp::units::TimeUs;
 use pes_acmp::CpuDemand;
@@ -14,7 +13,7 @@ use pes_dom::{EventType, NodeId};
 
 /// A monotonically increasing event identifier, unique within one trace.
 #[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct EventId(u64);
 
@@ -63,7 +62,7 @@ impl fmt::Display for EventId {
 /// assert!(ev.event_type().is_tap());
 /// assert_eq!(ev.arrival(), TimeUs::from_millis(100));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WebEvent {
     id: EventId,
     event_type: EventType,

@@ -4,14 +4,13 @@
 //! input and parked in the Pending Frame Buffer until the input arrives and
 //! either commits or squashes it (Sec. 5.1, Sec. 5.4).
 
-use serde::{Deserialize, Serialize};
 
 use pes_acmp::units::TimeUs;
 
 use crate::event::EventId;
 
 /// The lifecycle state of a frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrameState {
     /// The frame is ready but waiting for its (predicted) input to arrive.
     Pending,
@@ -34,7 +33,7 @@ pub enum FrameState {
 /// frame.commit(TimeUs::from_millis(150));
 /// assert!(frame.is_committed());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Frame {
     event: EventId,
     ready_at: TimeUs,

@@ -6,14 +6,13 @@
 //! paint/composite, taps by callback execution — and the whole pipeline runs
 //! on the single ACMP configuration chosen by the scheduler for the event.
 
-use serde::{Deserialize, Serialize};
 
 use pes_acmp::units::TimeUs;
 use pes_acmp::{AcmpConfig, CpuDemand, DvfsModel};
 use pes_dom::Interaction;
 
 /// One stage of the rendering pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RenderStage {
     /// The JavaScript event callback.
     Callback,
@@ -53,7 +52,7 @@ impl RenderStage {
 /// let total: f64 = RenderStage::ALL.iter().map(|s| profile.fraction(*s)).sum();
 /// assert!((total - 1.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StageProfile {
     fractions: [f64; 5],
 }
@@ -99,7 +98,7 @@ impl StageProfile {
 }
 
 /// The timing of one stage of a pipeline execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StageTiming {
     /// The stage.
     pub stage: RenderStage,
@@ -110,7 +109,7 @@ pub struct StageTiming {
 }
 
 /// The result of pushing one event through the rendering pipeline.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PipelineExecution {
     /// When the pipeline started executing.
     pub started_at: TimeUs,

@@ -4,7 +4,6 @@
 //! *move* as the maximally tolerable delays; exceeding the target counts as a
 //! QoS violation (Sec. 6.1).
 
-use serde::{Deserialize, Serialize};
 
 use pes_acmp::units::TimeUs;
 use pes_dom::{EventType, Interaction};
@@ -21,7 +20,7 @@ use pes_dom::{EventType, Interaction};
 /// assert_eq!(policy.target(Interaction::Tap).as_millis_f64(), 300.0);
 /// assert_eq!(policy.target_for_event(EventType::Scroll).as_millis_f64(), 33.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QosPolicy {
     load: TimeUs,
     tap: TimeUs,
@@ -87,7 +86,7 @@ impl Default for QosPolicy {
 }
 
 /// The outcome of one event execution with respect to its QoS target.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QosOutcome {
     /// When the user triggered the interaction.
     pub triggered_at: TimeUs,

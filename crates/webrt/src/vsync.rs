@@ -5,7 +5,6 @@
 //! (Sec. 2, Fig. 1). The event latency therefore includes an idle period
 //! between frame readiness and the next VSync.
 
-use serde::{Deserialize, Serialize};
 
 use pes_acmp::units::TimeUs;
 
@@ -22,7 +21,7 @@ use pes_acmp::units::TimeUs;
 /// let shown = clock.next_refresh_at_or_after(TimeUs::from_millis(20));
 /// assert_eq!(shown.as_micros(), 33_334);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VsyncClock {
     period: TimeUs,
 }

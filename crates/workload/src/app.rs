@@ -7,13 +7,12 @@
 //! behaviour), and user-behaviour tendencies (which drive the temporal
 //! correlation the predictor learns).
 
-use serde::{Deserialize, Serialize};
 
 use pes_dom::{BuiltPage, PageBuilder};
 
 /// The broad category of an application; categories share page shapes and
 /// user-behaviour patterns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AppCategory {
     /// News front pages (cnn, bbc, msn, ...): long scrollable lists of
     /// article links.
@@ -40,7 +39,7 @@ impl AppCategory {
 }
 
 /// Page-construction knobs handed to [`PageBuilder`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PageParams {
     /// Number of navigation links in the header.
     pub nav_links: usize,
@@ -70,7 +69,7 @@ pub struct PageParams {
 /// let page = cnn.build_page();
 /// assert!(!page.links.is_empty());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppProfile {
     name: String,
     category: AppCategory,

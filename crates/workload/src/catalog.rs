@@ -5,7 +5,6 @@
 //! compute-light, amazon has a large clickable area and is harder to predict,
 //! slashdot is sparse and highly predictable).
 
-use serde::{Deserialize, Serialize};
 
 use crate::app::{AppCategory, AppProfile, PageParams};
 
@@ -22,7 +21,7 @@ use crate::app::{AppCategory, AppProfile, PageParams};
 /// assert!(catalog.find("slashdot").is_some());
 /// assert!(catalog.find("not-a-real-app").is_none());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppCatalog {
     apps: Vec<AppProfile>,
 }

@@ -9,7 +9,6 @@
 //! configuration can serve in time.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use pes_acmp::units::{CpuCycles, TimeUs};
 use pes_acmp::CpuDemand;
@@ -18,7 +17,7 @@ use pes_dom::{EventType, Interaction};
 use crate::app::AppProfile;
 
 /// Demand ranges for one interaction class.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DemandRange {
     /// Minimum memory time in microseconds.
     pub t_mem_min_us: u64,
@@ -48,7 +47,7 @@ pub struct DemandRange {
 /// let demand = model.sample(&mut rng, cnn, EventType::Click);
 /// assert!(demand.ref_cycles().get() > 0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DemandModel {
     load: DemandRange,
     tap: DemandRange,

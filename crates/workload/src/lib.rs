@@ -68,7 +68,7 @@ mod tests {
     fn training_and_evaluation_seed_ranges_are_disjoint() {
         // ~100 training traces and a handful of evaluation traces per app
         // never collide.
-        assert!(TRAINING_SEED_BASE + 100_000 < EVAL_SEED_BASE);
+        const { assert!(TRAINING_SEED_BASE + 100_000 < EVAL_SEED_BASE) }
     }
 
     #[test]

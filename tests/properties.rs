@@ -139,3 +139,121 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Solver equivalence properties: the optimised branch-and-bound vs the
+// generic 0/1 ILP encoding and vs the retained pre-optimisation reference.
+// ---------------------------------------------------------------------------
+
+/// Builds a window from `(duration, cost)` seeds: each event offers a cheap
+/// slow option and an expensive fast option, with staggered releases and a
+/// per-event slack budget.
+fn window_from_specs(specs: &[(u64, u64)], slack_ms: u64) -> ScheduleProblem {
+    let items: Vec<ScheduleItem> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, (duration, cost))| ScheduleItem {
+            release_us: i as u64 * 100_000,
+            deadline_us: (i as u64 + 1) * 100_000 + slack_ms * 1_000,
+            options: vec![
+                ScheduleOption { choice: 0, duration_us: *duration, cost: *cost as f64 },
+                ScheduleOption { choice: 1, duration_us: duration / 3, cost: *cost as f64 * 3.0 },
+            ],
+        })
+        .collect();
+    ScheduleProblem::new(0, items)
+}
+
+proptest! {
+    /// The specialised branch-and-bound and the generic 0/1 ILP encoding
+    /// (Eqn. 2/4) agree on the optimal cost of feasible random instances.
+    #[test]
+    fn specialised_and_generic_ilp_agree_on_random_instances(
+        specs in proptest::collection::vec((20_000u64..200_000, 1u64..9), 1..5),
+        slack_ms in 150u64..1_500,
+    ) {
+        let problem = window_from_specs(&specs, slack_ms);
+        let specialised = problem.solve().unwrap();
+        if specialised.violations == 0 {
+            // The generic encoding has hard deadline constraints, so it only
+            // has a solution when the instance is feasible.
+            let generic = problem.to_generic_ilp().solve().unwrap();
+            let mut generic_cost = 0.0;
+            let mut offset = 0;
+            for item in problem.items() {
+                let picked: Vec<usize> = (0..item.options.len())
+                    .filter(|j| generic.assignment[offset + j])
+                    .collect();
+                prop_assert_eq!(picked.len(), 1, "exactly one option per event");
+                generic_cost += item.options[picked[0]].cost;
+                offset += item.options.len();
+            }
+            prop_assert!(
+                (generic_cost - specialised.total_cost).abs() < 1e-6,
+                "generic {generic_cost} vs specialised {}",
+                specialised.total_cost
+            );
+        } else {
+            prop_assert!(problem.to_generic_ilp().solve().is_err(),
+                "infeasible windows must have no generic ILP solution");
+        }
+    }
+
+    /// The optimised solver (cached option order, greedy pruning cap,
+    /// earliest-finish lower bound, scratch reuse) returns bit-identical
+    /// schedules to the pre-optimisation reference search, never exploring
+    /// more nodes.
+    #[test]
+    fn optimised_solver_is_bit_identical_to_reference(
+        specs in proptest::collection::vec((15_000u64..350_000, 1u64..10), 1..6),
+        slack_ms in 40u64..2_000,
+    ) {
+        let problem = window_from_specs(&specs, slack_ms);
+        let optimised = problem.solve().unwrap();
+        let reference = problem.solve_reference().unwrap();
+        prop_assert_eq!(&optimised.selected, &reference.selected);
+        prop_assert_eq!(&optimised.choices, &reference.choices);
+        prop_assert_eq!(&optimised.finish_us, &reference.finish_us);
+        prop_assert_eq!(optimised.violations, reference.violations);
+        prop_assert!(optimised.total_cost.to_bits() == reference.total_cost.to_bits(),
+            "total cost must be bit-identical");
+        prop_assert!(optimised.nodes_explored <= reference.nodes_explored);
+    }
+}
+
+/// The Fig. 2-like fixture of the solver's unit suite, checked end-to-end at
+/// the workspace level: the optimised solver must reproduce the reference
+/// schedule exactly (the `nodes_explored` diagnostic aside, every field of
+/// the two `ScheduleSolution`s is equal).
+#[test]
+fn optimised_solver_matches_reference_on_fig2_fixture() {
+    let items = vec![
+        ScheduleItem {
+            release_us: 0,
+            deadline_us: 3_000_000,
+            options: vec![
+                ScheduleOption { choice: 0, duration_us: 2_500_000, cost: 10.0 },
+                ScheduleOption { choice: 1, duration_us: 1_000_000, cost: 25.0 },
+            ],
+        },
+        ScheduleItem {
+            release_us: 500_000,
+            deadline_us: 1_800_000,
+            options: vec![
+                ScheduleOption { choice: 0, duration_us: 1_500_000, cost: 8.0 },
+                ScheduleOption { choice: 1, duration_us: 700_000, cost: 20.0 },
+            ],
+        },
+    ];
+    let problem = ScheduleProblem::new(0, items);
+    let optimised = problem.solve().unwrap();
+    let reference = problem.solve_reference().unwrap();
+    assert_eq!(optimised.selected, reference.selected);
+    assert_eq!(optimised.choices, reference.choices);
+    assert_eq!(optimised.finish_us, reference.finish_us);
+    assert_eq!(optimised.violations, reference.violations);
+    assert_eq!(optimised.total_cost.to_bits(), reference.total_cost.to_bits());
+    assert!(optimised.nodes_explored <= reference.nodes_explored);
+    assert_eq!(optimised.violations, 0, "the Fig. 2 window is feasible");
+    assert_eq!(optimised.choices, vec![1, 1], "both events need their fast option");
+}

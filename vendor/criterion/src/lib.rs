@@ -1,0 +1,256 @@
+//! A minimal, dependency-free stand-in for the subset of the `criterion`
+//! benchmark API this workspace uses. The build environment has no crates.io
+//! access, so the workspace vendors this harness instead of the real crate.
+//!
+//! Supported surface: `Criterion::default().sample_size(..)`,
+//! `bench_function`, `benchmark_group` (+ `sample_size` / `bench_function` /
+//! `finish`), `criterion_group!` (both the plain and the
+//! `name/config/targets` forms) and `criterion_main!`.
+//!
+//! Each benchmark is warmed up, auto-calibrated to a per-sample batch size,
+//! then timed for `sample_size` samples; mean/median/min are printed in
+//! criterion-like form. When the `BENCH_JSON` environment variable names a
+//! file, one JSON line per benchmark is appended to it — that is how the
+//! repository records `BENCH_solver.json` baselines.
+
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export for convenience parity with the real crate.
+pub use std::hint::black_box;
+
+/// The benchmark harness configuration and runner.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    group: Option<String>,
+    /// Substring filter from the command line (`cargo bench -- <filter>`);
+    /// benchmarks whose full name does not contain it are skipped.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            group: None,
+            filter: std::env::args()
+                .skip(1)
+                .find(|a| !a.starts_with('-') && a != "bench"),
+        }
+    }
+}
+
+/// One measured benchmark summary in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+struct Summary {
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_name = match &self.group {
+            Some(group) => format!("{group}/{name}"),
+            None => name.to_string(),
+        };
+        if let Some(filter) = &self.filter {
+            if !full_name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            summary: None,
+        };
+        f(&mut bencher);
+        let summary = bencher
+            .summary
+            .expect("benchmark closure must call Bencher::iter");
+        report(&full_name, &summary);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: Criterion {
+                sample_size: self.sample_size,
+                group: Some(name.to_string()),
+                filter: self.filter.clone(),
+            },
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: Criterion,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.criterion.bench_function(name, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code to
+/// measure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    summary: Option<Summary>,
+}
+
+/// Target wall-clock duration of one timed sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+/// Warm-up budget before calibration.
+const WARMUP: Duration = Duration::from_millis(100);
+
+impl Bencher {
+    /// Measures `f`, running it enough times per sample to obtain a stable
+    /// wall-clock reading.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate the per-iteration time.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < WARMUP && warmup_iters < 1_000_000 {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+        let iters_per_sample = ((TARGET_SAMPLE.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let median_ns = samples_ns[samples_ns.len() / 2];
+        self.summary = Some(Summary {
+            mean_ns,
+            median_ns,
+            min_ns: samples_ns[0],
+            samples: samples_ns.len(),
+            iters_per_sample,
+        });
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, s: &Summary) {
+    println!(
+        "{name:<60} time: [{} {} {}]  ({} samples x {} iters)",
+        human(s.min_ns),
+        human(s.median_ns),
+        human(s.mean_ns),
+        s.samples,
+        s.iters_per_sample
+    );
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            let _ = writeln!(
+                file,
+                "{{\"name\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}}}",
+                name.replace('"', "'"),
+                s.mean_ns,
+                s.median_ns,
+                s.min_ns,
+                s.samples
+            );
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares the benchmark `main` entry point, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_a_summary() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("inner", |b| b.iter(|| black_box(0u64)));
+        group.finish();
+    }
+}

@@ -1,0 +1,190 @@
+//! A minimal, dependency-free, offline stand-in for the subset of the `rand`
+//! crate API this workspace uses (`Rng::gen_range`, `Rng::gen_bool`,
+//! `SeedableRng::seed_from_u64` and `seq::SliceRandom::shuffle`).
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! this shim instead of the real crate. Streams are deterministic for a given
+//! seed but are *not* bit-compatible with upstream `rand`; every consumer in
+//! this repository only relies on seeded determinism, never on upstream
+//! stream values.
+
+#![warn(missing_docs)]
+
+/// The low-level source of randomness: a stream of `u32`/`u64` words.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A range that can be sampled uniformly, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[lo, hi]` (inclusive), via rejection-free multiply-shift
+/// with a widening multiply; bias is negligible for the span sizes used here
+/// and, more importantly, the result is deterministic per seed.
+fn uniform_u64_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: u64, hi: u64) -> u64 {
+    debug_assert!(lo <= hi, "empty sample range");
+    let span = hi.wrapping_sub(lo).wrapping_add(1);
+    if span == 0 {
+        // Full u64 range.
+        return rng.next_u64();
+    }
+    let wide = u128::from(rng.next_u64()) * u128::from(span);
+    lo + (wide >> 64) as u64
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                uniform_u64_inclusive(rng, self.start as u64, self.end as u64 - 1) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                uniform_u64_inclusive(rng, lo as u64, hi as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Map to order-preserving unsigned space by flipping the sign bit.
+                const FLIP: u128 = 1 << (<$u>::BITS - 1);
+                let lo = (self.start as $u) as u128 ^ FLIP;
+                let hi = (self.end as $u) as u128 ^ FLIP;
+                let v = uniform_u64_inclusive(rng, lo as u64, (hi - 1) as u64);
+                ((v as u128 ^ FLIP) as $u) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_signed!(i32 => u32, i64 => u64);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// High-level sampling helpers, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of RNGs from seeds, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sequence-related helpers (`shuffle`).
+pub mod seq {
+    use super::RngCore;
+
+    /// Slice shuffling, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = super::uniform_u64_inclusive(rng, 0, i as u64) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    struct Lcg(u64);
+
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Lcg(7);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(10u64..=20);
+            assert!((10..=20).contains(&v));
+            let w: usize = rng.gen_range(0usize..3);
+            assert!(w < 3);
+            let x: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+            let f: f64 = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability_extremes() {
+        let mut rng = Lcg(3);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Lcg(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}
