@@ -217,17 +217,23 @@ impl<'p> DvfsModel<'p> {
         demand: &CpuDemand,
         budget: TimeUs,
     ) -> Option<AcmpConfig> {
-        self.platform
-            .configs()
-            .iter()
-            .filter(|cfg| self.execution_time(demand, cfg) <= budget)
-            .min_by(|a, b| {
-                self.marginal_energy(demand, a)
-                    .as_microjoules()
-                    .partial_cmp(&self.marginal_energy(demand, b).as_microjoules())
-                    .expect("energy is finite")
-            })
-            .copied()
+        // One energy evaluation per candidate (a `min_by` on the lazily
+        // recomputed energy costs two per comparison; this sits on every
+        // reactive scheduling decision). Strictly-less keeps `min_by`'s
+        // first-minimum tie-breaking.
+        let mut best: Option<(AcmpConfig, f64)> = None;
+        for cfg in self.platform.configs() {
+            if self.execution_time(demand, cfg) > budget {
+                continue;
+            }
+            let energy = self.marginal_energy(demand, cfg).as_microjoules();
+            assert!(energy.is_finite(), "energy is finite");
+            match best {
+                Some((_, cheapest)) if energy >= cheapest => {}
+                _ => best = Some((*cfg, energy)),
+            }
+        }
+        best.map(|(cfg, _)| cfg)
     }
 
     /// Latency of `demand` under the fastest configuration of the platform.

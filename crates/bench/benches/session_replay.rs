@@ -1,0 +1,144 @@
+//! End-to-end replay-throughput benchmarks: the cost of one figure-suite
+//! fan-out unit (one `(application, trace, scheduler)` session replay, as
+//! driven by `pes_sim::experiments`), one full headline-comparison row (all
+//! five policies over one trace), one prediction round, and the scenario
+//! artifacts (page + trace) themselves.
+//!
+//! The units replay the shared immutable artifacts out of a
+//! [`pes_sim::ScenarioCache`] — exactly what the experiment drivers do since
+//! the replay-throughput engine landed. `BENCH_replay.json` keeps both these
+//! numbers and the regenerate-per-unit/clone-per-round medians recorded
+//! before the change, under `session_replay/<phase>/...` names. The phase
+//! segment comes from the `BENCH_PHASE` environment variable (default
+//! `after`), so refreshing the current rows is
+//! `BENCH_JSON=BENCH_replay.json cargo bench -p pes_bench --bench
+//! session_replay`, and the `before/` rows were recorded by running the
+//! pre-change bench (which regenerated its artifacts per unit) with
+//! `BENCH_PHASE=before`. See EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pes_acmp::Platform;
+use pes_core::{OracleScheduler, PesConfig, PesScheduler};
+use pes_predictor::{LearnerConfig, PredictScratch, SessionState, Trainer, TrainingConfig};
+use pes_schedulers::{Ebs, InteractiveGovernor, OndemandGovernor};
+use pes_sim::{run_reactive, ScenarioCache};
+use pes_webrt::QosPolicy;
+use pes_workload::{AppCatalog, TraceGenerator, EVAL_SEED_BASE};
+
+fn session_replay(c: &mut Criterion) {
+    let platform = Platform::exynos_5410();
+    let qos = QosPolicy::paper_defaults();
+    let catalog = AppCatalog::paper_suite();
+    let learner = Trainer::with_config(TrainingConfig {
+        traces_per_app: 3,
+        epochs: 20,
+        ..Default::default()
+    })
+    .train_learner(&catalog, LearnerConfig::paper_defaults());
+    let pes = PesScheduler::new(learner.clone(), PesConfig::paper_defaults());
+    let oracle = OracleScheduler::new();
+    let scenarios = ScenarioCache::build(&catalog, 1);
+    let app_idx = catalog
+        .apps()
+        .iter()
+        .position(|a| a.name() == "cnn")
+        .expect("cnn is in the paper suite");
+
+    let phase = std::env::var("BENCH_PHASE").unwrap_or_else(|_| "after".to_string());
+    let mut group = c.benchmark_group(&format!("session_replay/{phase}"));
+    group.sample_size(10);
+
+    // One figure-suite fan-out unit per policy, exactly as the drivers
+    // execute it: the shared page and trace are fetched from the scenario
+    // cache (an `Arc` clone each), then the session is replayed under the
+    // scheduler.
+    group.bench_function("fig3_unit/Interactive", |b| {
+        b.iter(|| {
+            let trace = scenarios.trace(app_idx, 0);
+            black_box(run_reactive(&platform, &trace, &mut InteractiveGovernor::new(), &qos))
+        })
+    });
+    group.bench_function("fig3_unit/EBS", |b| {
+        b.iter(|| {
+            let trace = scenarios.trace(app_idx, 0);
+            black_box(run_reactive(&platform, &trace, &mut Ebs::new(&platform), &qos))
+        })
+    });
+    group.bench_function("fig3_unit/PES", |b| {
+        b.iter(|| {
+            let page = scenarios.page(app_idx);
+            let trace = scenarios.trace(app_idx, 0);
+            black_box(pes.run_trace(&platform, &page, &trace, &qos))
+        })
+    });
+    group.bench_function("fig3_unit/Oracle", |b| {
+        b.iter(|| {
+            let page = scenarios.page(app_idx);
+            let trace = scenarios.trace(app_idx, 0);
+            black_box(oracle.run_trace(&platform, &page, &trace, &qos))
+        })
+    });
+
+    // One full headline-comparison row: all five policies over one
+    // (application, trace) pair, as fanned out by `full_comparison`.
+    group.bench_function("fig3_row/all_policies", |b| {
+        b.iter(|| {
+            let mut energy = 0.0;
+            for policy in 0..5 {
+                let page = scenarios.page(app_idx);
+                let trace = scenarios.trace(app_idx, 0);
+                energy += match policy {
+                    0 => run_reactive(&platform, &trace, &mut InteractiveGovernor::new(), &qos)
+                        .total_energy
+                        .as_millijoules(),
+                    1 => run_reactive(&platform, &trace, &mut OndemandGovernor::new(), &qos)
+                        .total_energy
+                        .as_millijoules(),
+                    2 => run_reactive(&platform, &trace, &mut Ebs::new(&platform), &qos)
+                        .total_energy
+                        .as_millijoules(),
+                    3 => pes.run_trace(&platform, &page, &trace, &qos).total_energy.as_millijoules(),
+                    _ => oracle
+                        .run_trace(&platform, &page, &trace, &qos)
+                        .total_energy
+                        .as_millijoules(),
+                };
+            }
+            black_box(energy)
+        })
+    });
+
+    // One prediction round from a mid-session state: what every speculation
+    // round of a PES replay pays. Clone-free: the round runs in a reusable
+    // scratch whose session shares the live session's DOM.
+    let page = scenarios.page(app_idx);
+    let trace = scenarios.trace(app_idx, 0);
+    let mut state = SessionState::new(page.tree.clone());
+    for ev in trace.events().iter().take(6) {
+        state.observe(ev);
+    }
+    let mut scratch = PredictScratch::new();
+    group.bench_function("prediction_round", |b| {
+        b.iter(|| black_box(learner.predict_sequence_with(black_box(&state), &mut scratch).len()))
+    });
+
+    // The scenario artifacts alone: what regenerating them per unit used to
+    // cost (and what the cache now pays once per (app, trace index)).
+    let app = &catalog.apps()[app_idx];
+    group.bench_function("scenario_artifacts/page_plus_trace", |b| {
+        b.iter(|| {
+            let page = app.build_page();
+            black_box(TraceGenerator::new().generate(app, &page, EVAL_SEED_BASE))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = replay;
+    config = Criterion::default().sample_size(10);
+    targets = session_replay
+}
+criterion_main!(replay);

@@ -309,11 +309,12 @@ fn tx2(traces: usize) {
 
 fn overheads(ctx: &ExperimentContext, comparisons: Option<&[AppComparison]>) {
     println!("\n== Sec. 6.3 runtime overheads (see also `cargo bench -p pes-bench`) ==");
-    // Prediction degree and solver work measured on one representative app.
+    // Prediction degree and solver work measured on one representative app,
+    // replayed from the shared scenario artifacts.
     let pes = pes_core::PesScheduler::new(ctx.learner.clone(), PesConfig::paper_defaults());
-    if let Some(app) = ctx.catalog.find("cnn") {
-        let page = app.build_page();
-        let trace = pes_workload::TraceGenerator::new().generate(app, &page, pes_workload::EVAL_SEED_BASE);
+    if let Some(app_idx) = ctx.app_index("cnn") {
+        let page = ctx.scenarios.page(app_idx);
+        let trace = ctx.scenarios.trace(app_idx, 0);
         let report = pes.run_trace(&ctx.platform, &page, &trace, &ctx.qos);
         println!(
             "cnn session: prediction rounds {}, average degree {:.1}, optimizer B&B nodes {} total",

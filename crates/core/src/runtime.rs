@@ -15,7 +15,7 @@ use pes_acmp::units::{EnergyUj, TimeUs};
 use pes_acmp::{AcmpConfig, ActivityKind, CpuDemand, Platform};
 use pes_dom::{BuiltPage, EventType};
 use pes_ilp::{IlpError, ScheduleItem, ScheduleOption, ScheduleProblem, ScheduleSolution, SolveScratch};
-use pes_predictor::{EventSequenceLearner, LearnerConfig, SessionState};
+use pes_predictor::{EventSequenceLearner, LearnerConfig, PredictScratch, SessionState};
 use pes_schedulers::DemandProfiler;
 use pes_webrt::{EventId, ExecutionEngine, QosOutcome, QosPolicy, WebEvent};
 use pes_workload::Trace;
@@ -233,6 +233,12 @@ struct RunScratch {
     kinds_buf: Vec<(EventType, CpuDemand)>,
     /// Predicted `(event type, demand)` pairs for the current round.
     predicted_buf: Vec<(EventType, CpuDemand)>,
+    /// Sequence-learner buffers: prediction rounds run without cloning the
+    /// session state or allocating.
+    predict_scratch: PredictScratch,
+    /// Scratch session for planning past an outstanding event, reused across
+    /// events instead of cloning the live session each time.
+    session_scratch: Option<SessionState>,
 }
 
 /// How the runtime knows about the future.
@@ -548,10 +554,12 @@ impl ProactiveRuntime {
     }
 
     /// Predicts the upcoming event sequence from the current state into
-    /// `out` (cleared first; the buffer is reused across rounds).
+    /// `out` (cleared first; both it and the learner's `predict_scratch`
+    /// buffers are reused across rounds, so a round is allocation-free).
     fn predict_types(
         &self,
         out: &mut Vec<(EventType, CpuDemand)>,
+        predict_scratch: &mut PredictScratch,
         session: &SessionState,
         profiler: &DemandProfiler,
         events: &[WebEvent],
@@ -561,8 +569,8 @@ impl ProactiveRuntime {
         match &self.knowledge {
             Knowledge::Learned(learner) => out.extend(
                 learner
-                    .predict_sequence(session)
-                    .into_iter()
+                    .predict_sequence_with(session, predict_scratch)
+                    .iter()
                     .map_while(|p| {
                         profiler
                             .estimate(p.event_type)
@@ -660,6 +668,7 @@ impl ProactiveRuntime {
         let window_start = outstanding.map_or(now, |ev| now.max(ev.arrival()));
         self.predict_types(
             &mut rs.predicted_buf,
+            &mut rs.predict_scratch,
             session,
             profiler,
             events,
@@ -750,8 +759,17 @@ impl ProactiveRuntime {
         ev: &WebEvent,
     ) -> (AcmpConfig, usize) {
         // Predict the events that follow `ev` from the state in which `ev`
-        // has already been observed.
-        let mut scratch_session = session.clone();
+        // has already been observed. The scratch session is taken out of the
+        // run scratch (and put back below) so it can be rebuilt in place —
+        // it shares the live session's DOM, so this is allocation-free in
+        // the steady state.
+        let mut scratch_session = match rs.session_scratch.take() {
+            Some(mut scratch) => {
+                scratch.clone_from(session);
+                scratch
+            }
+            None => session.clone(),
+        };
         scratch_session.observe(ev);
         let (_degree, nodes) = self.plan_round(
             rs,
@@ -765,6 +783,7 @@ impl ProactiveRuntime {
             gap_ewma,
             Some(ev),
         );
+        rs.session_scratch = Some(scratch_session);
         match plan.pop_front() {
             Some(first) => (first.config, nodes),
             None => (

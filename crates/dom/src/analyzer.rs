@@ -10,7 +10,7 @@
 
 
 use crate::error::DomError;
-use crate::events::EventType;
+use crate::events::{EventType, EventTypeSet};
 use crate::geometry::Viewport;
 use crate::semantic::SemanticTree;
 use crate::tree::{DomTree, NodeId};
@@ -174,26 +174,69 @@ impl DomAnalyzer {
         Lnes { events }
     }
 
+    /// The distinct event *types* of the LNES, as a bitmask. Semantically
+    /// identical to `self.lnes(tree, viewport).event_types()` but computed in
+    /// one allocation-free pass — this is what the sequence learner consults
+    /// on every step of every prediction round.
+    pub fn lnes_types(&self, tree: &DomTree, viewport: &Viewport) -> EventTypeSet {
+        let mut types = EventTypeSet::EMPTY;
+        let mut navigation_possible = false;
+        for (id, node) in tree.iter() {
+            if !tree.is_effectively_visible(id, viewport) {
+                continue;
+            }
+            for (event, effect) in node.listeners() {
+                types.insert(event);
+                if matches!(
+                    effect,
+                    crate::tree::CallbackEffect::Navigate | crate::tree::CallbackEffect::SubmitForm
+                ) {
+                    navigation_possible = true;
+                }
+            }
+        }
+        if self.include_global_scroll
+            && tree.document_height() > viewport.height() + viewport.scroll_y()
+        {
+            types.insert(EventType::Scroll);
+            types.insert(EventType::TouchMove);
+        }
+        if navigation_possible {
+            types.insert(EventType::Navigate);
+        }
+        types
+    }
+
     /// Computes the viewport features of Table 1 for the current DOM state.
+    /// One pass over the tree, no intermediate node lists: the learner
+    /// extracts these features on every prediction step.
     pub fn viewport_features(&self, tree: &DomTree, viewport: &Viewport) -> ViewportFeatures {
         let viewport_area = viewport.area().max(1) as f64;
-        let clickables = tree.visible_clickable_nodes(viewport);
-        let links = tree.visible_link_nodes(viewport);
-        let clickable_area: i64 = clickables
-            .iter()
-            .filter_map(|id| tree.node(*id).ok())
-            .map(|n| viewport.visible_area(&n.rect()))
-            .sum();
-        let link_area: i64 = links
-            .iter()
-            .filter_map(|id| tree.node(*id).ok())
-            .map(|n| viewport.visible_area(&n.rect()))
-            .sum();
+        let mut clickable_area: i64 = 0;
+        let mut link_area: i64 = 0;
+        let mut clickable_count = 0usize;
+        let mut link_count = 0usize;
+        for (id, node) in tree.iter() {
+            let clickable = node.is_clickable();
+            let link = node.kind().is_link();
+            if !(clickable || link) || !tree.is_effectively_visible(id, viewport) {
+                continue;
+            }
+            let area = viewport.visible_area(&node.rect());
+            if clickable {
+                clickable_area += area;
+                clickable_count += 1;
+            }
+            if link {
+                link_area += area;
+                link_count += 1;
+            }
+        }
         ViewportFeatures {
             clickable_region_fraction: (clickable_area as f64 / viewport_area).clamp(0.0, 1.0),
             visible_link_fraction: (link_area as f64 / viewport_area).clamp(0.0, 1.0),
-            visible_clickable_count: clickables.len(),
-            visible_link_count: links.len(),
+            visible_clickable_count: clickable_count,
+            visible_link_count: link_count,
             scrollable: tree.document_height() > viewport.height() + viewport.scroll_y(),
         }
     }
@@ -289,6 +332,48 @@ mod tests {
         assert!(lnes.allows(EventType::TouchMove));
         let no_scroll = DomAnalyzer::without_global_scroll().lnes(&tree, &Viewport::phone());
         assert!(!no_scroll.allows(EventType::Scroll));
+    }
+
+    #[test]
+    fn lnes_types_mask_matches_the_full_lnes() {
+        let (tree, ..) = sample_page();
+        for analyzer in [DomAnalyzer::new(), DomAnalyzer::without_global_scroll()] {
+            for scroll in [0, 500, 1_900, 3_000] {
+                let mut vp = Viewport::phone();
+                vp.scroll_to(scroll);
+                let via_lnes: EventTypeSet =
+                    analyzer.lnes(&tree, &vp).event_types().into_iter().collect();
+                assert_eq!(
+                    analyzer.lnes_types(&tree, &vp),
+                    via_lnes,
+                    "mask must agree with the Lnes at scroll {scroll}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn viewport_features_counts_match_the_node_list_helpers() {
+        // `viewport_features` inlines the visibility/clickable filters that
+        // `DomTree::visible_clickable_nodes` / `visible_link_nodes` expose as
+        // node lists; pin the two implementations together so they cannot
+        // drift.
+        let (tree, ..) = sample_page();
+        for scroll in [0, 500, 1_900] {
+            let mut vp = Viewport::phone();
+            vp.scroll_to(scroll);
+            let features = DomAnalyzer::new().viewport_features(&tree, &vp);
+            assert_eq!(
+                features.visible_clickable_count,
+                tree.visible_clickable_nodes(&vp).len(),
+                "clickable count at scroll {scroll}"
+            );
+            assert_eq!(
+                features.visible_link_count,
+                tree.visible_link_nodes(&vp).len(),
+                "link count at scroll {scroll}"
+            );
+        }
     }
 
     #[test]

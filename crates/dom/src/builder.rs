@@ -6,6 +6,8 @@
 //! forms — the knobs that drive both the Table 1 features and the LNES.
 
 
+use std::sync::Arc;
+
 use crate::events::EventType;
 use crate::geometry::{Rect, Viewport};
 use crate::semantic::SemanticTree;
@@ -15,8 +17,11 @@ use crate::tree::{CallbackEffect, DomTree, NodeId, NodeKind};
 /// that the workload generator needs to target interactions at.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BuiltPage {
-    /// The page DOM.
-    pub tree: DomTree,
+    /// The page DOM, shared immutably. Sessions that need to mutate the DOM
+    /// (the predictor's `SessionState`) hold their own handle and clone
+    /// copy-on-write, so a page built once can back any number of concurrent
+    /// replays without per-replay tree copies.
+    pub tree: Arc<DomTree>,
     /// The Semantic Tree memoizing every listener's effect.
     pub semantic: SemanticTree,
     /// Navigation links (header plus article links).
@@ -316,7 +321,7 @@ impl PageBuilder {
         let semantic = SemanticTree::build(&self.tree);
         let document_height = self.tree.document_height();
         BuiltPage {
-            tree: self.tree,
+            tree: Arc::new(self.tree),
             semantic,
             links: self.links,
             buttons: self.buttons,
@@ -391,7 +396,7 @@ mod tests {
     fn menu_items_start_hidden_and_expand_on_toggle() {
         let page = news_page();
         let vp = Viewport::phone();
-        let mut tree = page.tree.clone();
+        let mut tree = (*page.tree).clone();
         let item = page.menu_items[0];
         assert!(!tree.is_effectively_displayed(item));
         let button = page.menu_buttons[0];

@@ -152,6 +152,71 @@ impl fmt::Display for EventType {
     }
 }
 
+/// A compact set of [`EventType`]s (one bit per class index).
+///
+/// The predictor masks its candidate classes with the types present in the
+/// Likely-Next-Event-Set on every step of every prediction round; carrying
+/// the set as a bitmask keeps that hot path allocation-free.
+///
+/// # Examples
+///
+/// ```
+/// use pes_dom::{EventType, EventTypeSet};
+///
+/// let mut set = EventTypeSet::EMPTY;
+/// set.insert(EventType::Click);
+/// assert!(set.contains(EventType::Click));
+/// assert!(!set.contains(EventType::Scroll));
+/// assert_eq!(set.iter().collect::<Vec<_>>(), vec![EventType::Click]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct EventTypeSet(u8);
+
+impl EventTypeSet {
+    /// The empty set.
+    pub const EMPTY: EventTypeSet = EventTypeSet(0);
+
+    /// The set containing every event type. (`u8::MAX >> (8 - len)` rather
+    /// than `(1 << len) - 1` so the mask only fails to compile when the
+    /// event vocabulary genuinely outgrows the `u8` — at 9 variants, not 8.)
+    pub const ALL: EventTypeSet = EventTypeSet(u8::MAX >> (8 - EventType::ALL.len()));
+
+    /// Adds an event type to the set.
+    pub fn insert(&mut self, event: EventType) {
+        self.0 |= 1 << event.class_index();
+    }
+
+    /// Whether the set contains the event type.
+    pub fn contains(self, event: EventType) -> bool {
+        self.0 & (1 << event.class_index()) != 0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of event types in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// The member types in class-index order.
+    pub fn iter(self) -> impl Iterator<Item = EventType> {
+        EventType::ALL.into_iter().filter(move |e| self.contains(*e))
+    }
+}
+
+impl FromIterator<EventType> for EventTypeSet {
+    fn from_iter<I: IntoIterator<Item = EventType>>(iter: I) -> Self {
+        let mut set = EventTypeSet::EMPTY;
+        for e in iter {
+            set.insert(e);
+        }
+        set
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +267,26 @@ mod tests {
         assert_eq!(EventType::Click.to_string(), "onclick");
         assert_eq!(EventType::Submit.to_string(), "onsubmit");
         assert_eq!(Interaction::Tap.to_string(), "tap");
+    }
+
+    #[test]
+    fn event_type_set_behaves_like_a_set() {
+        let mut set = EventTypeSet::EMPTY;
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+        set.insert(EventType::Scroll);
+        set.insert(EventType::Scroll);
+        set.insert(EventType::Navigate);
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(EventType::Scroll));
+        assert!(!set.contains(EventType::Click));
+        // Iteration is in class-index order, mirroring `EventType::ALL`.
+        assert_eq!(
+            set.iter().collect::<Vec<_>>(),
+            vec![EventType::Navigate, EventType::Scroll]
+        );
+        assert_eq!(EventTypeSet::ALL.len(), EventType::ALL.len());
+        let collected: EventTypeSet = EventType::ALL.into_iter().collect();
+        assert_eq!(collected, EventTypeSet::ALL);
     }
 }

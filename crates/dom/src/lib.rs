@@ -62,7 +62,7 @@ pub mod tree;
 pub use analyzer::{DomAnalyzer, Lnes, PossibleEvent, ViewportFeatures};
 pub use builder::{BuiltPage, PageBuilder};
 pub use error::DomError;
-pub use events::{EventType, Interaction};
+pub use events::{EventType, EventTypeSet, Interaction};
 pub use geometry::{Rect, Viewport};
 pub use semantic::{SemanticEntry, SemanticRole, SemanticTree};
 pub use tree::{CallbackEffect, DomNode, DomTree, NodeId, NodeKind};

@@ -121,6 +121,16 @@ pub enum CallbackEffect {
     MutateContent,
 }
 
+impl CallbackEffect {
+    /// Whether applying this effect mutates the DOM tree itself, as opposed
+    /// to only the viewport (or nothing at all). Callers holding a shared
+    /// tree use this to avoid a copy-on-write clone for the viewport-only
+    /// effects, which dominate real sessions (scrolling, navigation).
+    pub fn mutates_tree(self) -> bool {
+        matches!(self, CallbackEffect::ToggleVisibility(_))
+    }
+}
+
 /// One DOM node: kind, geometry, display state, listeners and tree links.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DomNode {
@@ -455,21 +465,33 @@ impl DomTree {
         viewport: &mut Viewport,
     ) -> Result<bool, DomError> {
         match effect {
-            CallbackEffect::None | CallbackEffect::MutateContent => Ok(false),
             CallbackEffect::ToggleVisibility(target) => {
                 self.toggle_displayed(target)?;
                 Ok(true)
             }
+            other => Ok(DomTree::apply_viewport_effect(other, viewport)),
+        }
+    }
+
+    /// Applies the viewport-only part of an effect (the variants for which
+    /// [`CallbackEffect::mutates_tree`] is `false`): scrolling moves the
+    /// viewport, navigation/submission resets the scroll position (the
+    /// document replacement itself is modelled by the workload crate).
+    /// Returns `true` when the scroll position changed. Tree-mutating
+    /// effects are ignored here — route those through
+    /// [`DomTree::apply_effect`].
+    pub fn apply_viewport_effect(effect: CallbackEffect, viewport: &mut Viewport) -> bool {
+        match effect {
+            CallbackEffect::None
+            | CallbackEffect::MutateContent
+            | CallbackEffect::ToggleVisibility(_) => false,
             CallbackEffect::Navigate | CallbackEffect::SubmitForm => {
-                // Navigation replaces the document; modelled by the workload
-                // crate which swaps in a new DomTree. Here we only reset the
-                // scroll position.
                 viewport.scroll_to(0);
-                Ok(true)
+                true
             }
             CallbackEffect::ScrollBy(dy) => {
                 viewport.scroll_by(dy);
-                Ok(true)
+                true
             }
         }
     }

@@ -31,7 +31,16 @@
 //!   pruning never changes the returned optimum);
 //! * [`ScheduleProblem::solve_with`] accepts a caller-owned
 //!   [`SolveScratch`], letting the runtime keep one scratch arena alive
-//!   across all solves of a session replay.
+//!   across all solves of a session replay;
+//! * under a node budget, an **adaptive probe** periodically projects the
+//!   search's total size from the fraction of the enumeration space already
+//!   covered; once the projection exceeds the budget — meaning the outcome
+//!   will be the budget-exhausted greedy fallback no matter how hard the
+//!   bound prunes — the search drops the earliest-finish scan bound and
+//!   burns its remaining nodes through a lean suffix-floor-only loop,
+//!   faster per node than the reference solver. Searches the bound *does*
+//!   finish (the PES-scale 6×17 window under the runtime's 200 k budget)
+//!   keep it and return the exact optimum.
 //!
 //! The pre-optimisation solver is retained as
 //! [`ScheduleProblem::solve_reference`] so property tests can assert the
@@ -106,6 +115,27 @@ pub struct SolveScratch {
     prune_cap: f64,
     /// Search nodes visited.
     nodes: usize,
+    /// Whether the earliest-finish scan bound is still in use. Starts `true`;
+    /// flips to `false` when the adaptive probe concludes the search cannot
+    /// finish within the node budget, after which the search continues in
+    /// [`ScheduleProblem::branch_cheap`] with only the suffix-floor bound
+    /// (see [`ScheduleProblem::solve_with`]).
+    use_scan_bound: bool,
+    /// Fraction of the enumeration space already covered (sum of the
+    /// subtree weights of every pruned subtree and visited leaf). Drives the
+    /// adaptive probe's completed-nodes projection.
+    progress: f64,
+    /// `(nodes, progress)` at the first adaptive probe. The projection is
+    /// computed on the *residual* space past this baseline: the first few
+    /// thousand nodes prune most of the high-weight subtrees near the root
+    /// (the greedy cap disposes of an item's expensive options in one node
+    /// each), so the raw `nodes / progress` ratio wildly underestimates how
+    /// dense the remaining space is.
+    probe_baseline: Option<(usize, f64)>,
+    /// Consecutive probes whose projection exceeded the node budget; the
+    /// scan bound is dropped on the second, so one noisy early estimate
+    /// cannot end a search the bound would finish.
+    hopeless_probes: u8,
 }
 
 impl SolveScratch {
@@ -123,6 +153,10 @@ impl SolveScratch {
         self.has_best = false;
         self.prune_cap = prune_cap;
         self.nodes = 0;
+        self.use_scan_bound = true;
+        self.progress = 0.0;
+        self.probe_baseline = None;
+        self.hopeless_probes = 0;
     }
 }
 
@@ -186,25 +220,46 @@ pub struct ScheduleProblem {
     /// `suffix_min_cost[i]`: plain cost floor of items `i..`, used as the
     /// lower bound's tail beyond [`BOUND_SCAN_LIMIT`].
     suffix_min_cost: Vec<f64>,
+    /// `1 / branching factor` per item (after dominated-option elimination):
+    /// the weight a child subtree contributes to the adaptive probe's
+    /// enumeration-space progress estimate.
+    inv_breadth: Vec<f64>,
 }
 
 /// How many remaining items the per-node lower bound inspects in detail;
 /// the tail beyond this contributes the precomputed suffix minimum cost.
 /// Caps per-node bound work at `O(BOUND_SCAN_LIMIT · log m)` on deep
 /// windows while retaining full pruning power near the search frontier,
-/// where it matters. The bound still costs a few binary searches per node
-/// — several times the reference solver's O(1) lookup — so a search that
-/// exhausts its node budget takes correspondingly longer before falling
-/// back to greedy (measured ~4 ms vs ~1 ms at the 200 k budget; see
-/// EXPERIMENTS.md); the payoff is the order-of-magnitude node reduction on
-/// windows both solvers can finish. The capped bound still dominates the
-/// plain suffix-cost bound, so the search never explores more nodes than
-/// the reference.
+/// where it matters. The bound costs a few binary searches per node —
+/// several times the reference solver's O(1) lookup — which is why the
+/// adaptive probe (see [`ScheduleProblem::solve_with`]) stops paying for it
+/// once a budget-bound search provably cannot finish. The capped bound
+/// still dominates the plain suffix-cost bound, so the search never
+/// explores more nodes than the reference.
 const BOUND_SCAN_LIMIT: usize = 6;
 
 /// Cost penalty applied per missed deadline so that minimising the penalised
 /// cost is lexicographic: first minimise violations, then energy.
 const VIOLATION_PENALTY: f64 = 1.0e15;
+
+/// The adaptive probe interval: every this many nodes the search projects
+/// its total size from the enumeration-space progress so far and, when the
+/// projection exceeds the node budget, stops paying for the earliest-finish
+/// scan bound (see [`ScheduleProblem::solve_with`]). Small enough that a
+/// budget-bound search spends only a few percent of the budget probing,
+/// large enough that searches the bound *does* finish (the PES 6×17 window
+/// completes in ~105 k nodes) see a stable estimate.
+const ADAPT_PROBE_INTERVAL: usize = 2048;
+
+/// Safety margin on the adaptive probe's projection: the scan bound is only
+/// dropped when the projected total exceeds this multiple of the node
+/// budget. The residual extrapolation overestimates searches whose pruning
+/// density improves as incumbents tighten (a 10-event window observed to
+/// finish at ~3.7 M nodes under a 5 M budget projects past 5 M mid-search),
+/// and a false flip turns a completable search into a greedy fallback. The
+/// hopeless capped windows this adaptation targets project at ≥ 4× their
+/// budget, so the margin costs them nothing.
+const ADAPT_PROJECTION_MARGIN: f64 = 2.0;
 
 impl ScheduleProblem {
     /// Creates a problem whose first event may start at `start_us`.
@@ -295,6 +350,13 @@ impl ScheduleProblem {
             suffix_min_cost[i] = suffix_min_cost[i + 1] + min_cost[i];
         }
 
+        let inv_breadth: Vec<f64> = (0..n)
+            .map(|i| {
+                let breadth = (order_offsets[i + 1] - order_offsets[i]).max(1);
+                1.0 / breadth as f64
+            })
+            .collect();
+
         ScheduleProblem {
             start_us,
             items,
@@ -307,6 +369,7 @@ impl ScheduleProblem {
             dur_cheapest,
             dur_offsets,
             suffix_min_cost,
+            inv_breadth,
         }
     }
 
@@ -417,7 +480,7 @@ impl ScheduleProblem {
         let greedy = self.greedy_value();
         let prune_cap = greedy + (greedy.abs() * 1e-12).max(1e-6);
         scratch.reset(self.items.len(), prune_cap);
-        self.branch(scratch, 0, self.start_us, 0.0, 0)?;
+        self.branch(scratch, 0, self.start_us, 0.0, 0, 1.0)?;
         debug_assert!(scratch.has_best, "at least one full assignment is explored");
 
         let penalised = scratch.best_penalised;
@@ -436,6 +499,47 @@ impl ScheduleProblem {
         Ok(())
     }
 
+    /// Adaptive probe, evaluated every [`ADAPT_PROBE_INTERVAL`] nodes while
+    /// the scan bound is on: projects the search's total node count and
+    /// drops the scan bound when the projection exceeds the node budget.
+    ///
+    /// The projection is a *residual* extrapolation. The first probe
+    /// snapshots `(nodes, progress)`; the greedy-capped search has by then
+    /// disposed of the high-weight subtrees near the root (an item's
+    /// too-expensive options each die in one node carrying 1/17th of the
+    /// space), so the space remaining past the baseline is where the real
+    /// work lives. Later probes extrapolate the node density observed on
+    /// that residual space. Two consecutive over-budget projections are
+    /// required, so one noisy estimate cannot end a search the bound would
+    /// finish.
+    fn adapt_probe(&self, scratch: &mut SolveScratch) {
+        match scratch.probe_baseline {
+            None => scratch.probe_baseline = Some((scratch.nodes, scratch.progress)),
+            Some((base_nodes, base_progress)) => {
+                let residual_span = 1.0 - base_progress;
+                let covered = if residual_span > 0.0 {
+                    (scratch.progress - base_progress) / residual_span
+                } else {
+                    1.0
+                };
+                let projected = if covered > 0.0 {
+                    base_nodes as f64 + (scratch.nodes - base_nodes) as f64 / covered
+                } else {
+                    f64::INFINITY
+                };
+                if projected > self.node_limit as f64 * ADAPT_PROJECTION_MARGIN {
+                    scratch.hopeless_probes += 1;
+                    if scratch.hopeless_probes >= 2 {
+                        scratch.use_scan_bound = false;
+                    }
+                } else {
+                    scratch.hopeless_probes = 0;
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn branch(
         &self,
         scratch: &mut SolveScratch,
@@ -443,30 +547,45 @@ impl ScheduleProblem {
         cursor_us: u64,
         cost: f64,
         violations: usize,
+        weight: f64,
     ) -> Result<(), IlpError> {
+        if !scratch.use_scan_bound {
+            // The adaptive probe concluded the search cannot finish within
+            // the node budget: pruning no longer changes the outcome (the
+            // budget-exhausted greedy fallback), so the rest of the search
+            // runs in the lean suffix-floor-only loop. Siblings of the
+            // frames still on the stack land here immediately.
+            return self.branch_cheap_entry(scratch, index, cursor_us, cost, violations);
+        }
         scratch.nodes += 1;
         if scratch.nodes > self.node_limit {
             return Err(IlpError::NodeLimit(self.node_limit));
         }
+        if scratch.nodes.is_multiple_of(ADAPT_PROBE_INTERVAL) {
+            self.adapt_probe(scratch);
+        }
         let penalised = cost + violations as f64 * VIOLATION_PENALTY;
-        // Bound: taking the cheapest deadline-respecting remaining options in
-        // the best case, and counting only the future misses that are already
-        // unavoidable, can this branch still beat the incumbent (or, before
-        // one exists, the greedy cap)? The bound is admissible, so the
-        // returned optimum is identical to the unpruned search's.
+        let threshold = if scratch.has_best {
+            (scratch.best_penalised - 1e-9).min(scratch.prune_cap)
+        } else {
+            scratch.prune_cap
+        };
+        // Earliest-finish scan bound: taking the cheapest deadline-respecting
+        // remaining options in the best case, and counting only the future
+        // misses that are already unavoidable, can this branch still beat
+        // the incumbent (or, before one exists, the greedy cap)? The bound
+        // is admissible, so the returned optimum is identical to the
+        // unpruned search's.
         {
-            let threshold = if scratch.has_best {
-                (scratch.best_penalised - 1e-9).min(scratch.prune_cap)
-            } else {
-                scratch.prune_cap
-            };
             let (suffix_cost, unavoidable) = self.suffix_lower_bound(index, cursor_us);
             let lower_bound = penalised + suffix_cost + unavoidable as f64 * VIOLATION_PENALTY;
             if lower_bound >= threshold {
+                scratch.progress += weight;
                 return Ok(());
             }
         }
         if index == self.items.len() {
+            scratch.progress += weight;
             if !scratch.has_best || penalised < scratch.best_penalised - 1e-9 {
                 scratch.best_selected.copy_from_slice(&scratch.selected);
                 scratch.best_penalised = penalised;
@@ -475,6 +594,7 @@ impl ScheduleProblem {
             return Ok(());
         }
         let item = &self.items[index];
+        let child_weight = weight * self.inv_breadth[index];
         for k in self.order_offsets[index] as usize..self.order_offsets[index + 1] as usize {
             let opt_idx = self.order[k] as usize;
             let opt = item.options[opt_idx];
@@ -488,7 +608,100 @@ impl ScheduleProblem {
                 finish,
                 cost + opt.cost,
                 violations + usize::from(missed),
+                child_weight,
             )?;
+        }
+        Ok(())
+    }
+
+    /// Entry point of the post-adaptation search: handles the node the
+    /// search was standing on when the scan bound was dropped (or a sibling
+    /// of a frame still on the stack) exactly as the recursive loop would —
+    /// count, bound, leaf — then continues in [`ScheduleProblem::branch_cheap`].
+    fn branch_cheap_entry(
+        &self,
+        scratch: &mut SolveScratch,
+        index: usize,
+        cursor_us: u64,
+        cost: f64,
+        violations: usize,
+    ) -> Result<(), IlpError> {
+        scratch.nodes += 1;
+        if scratch.nodes > self.node_limit {
+            return Err(IlpError::NodeLimit(self.node_limit));
+        }
+        let penalised = cost + violations as f64 * VIOLATION_PENALTY;
+        let threshold = if scratch.has_best {
+            (scratch.best_penalised - 1e-9).min(scratch.prune_cap)
+        } else {
+            scratch.prune_cap
+        };
+        if penalised + self.suffix_min_cost[index] >= threshold {
+            return Ok(());
+        }
+        if index == self.items.len() {
+            if penalised < scratch.best_penalised - 1e-9 {
+                scratch.best_selected.copy_from_slice(&scratch.selected);
+                scratch.best_penalised = penalised;
+                scratch.has_best = true;
+            }
+            return Ok(());
+        }
+        self.branch_cheap(scratch, index, cursor_us, cost, violations)
+    }
+
+    /// The post-adaptation search loop: identical enumeration, node
+    /// accounting and incumbent chain, but only the suffix-floor bound — the
+    /// same bound the reference solver uses — with each child's count, bound
+    /// test and leaf handling inlined into the parent loop. A pruned child
+    /// costs a handful of scalar operations instead of a function call, so a
+    /// budget-bound search burns its remaining nodes faster than
+    /// `solve_reference` burns its own. Because the suffix-floor bound is
+    /// admissible too, a search that completes down here still returns the
+    /// exact reference schedule.
+    ///
+    /// Precondition: the node at `index` is already counted, bound-checked
+    /// and known not to be a leaf.
+    fn branch_cheap(
+        &self,
+        scratch: &mut SolveScratch,
+        index: usize,
+        cursor_us: u64,
+        cost: f64,
+        violations: usize,
+    ) -> Result<(), IlpError> {
+        let item = &self.items[index];
+        let start = cursor_us.max(item.release_us);
+        let child_is_leaf = index + 1 == self.items.len();
+        for k in self.order_offsets[index] as usize..self.order_offsets[index + 1] as usize {
+            let opt_idx = self.order[k] as usize;
+            let opt = item.options[opt_idx];
+            let finish = start + opt.duration_us;
+            let child_cost = cost + opt.cost;
+            let child_violations = violations + usize::from(finish > item.deadline_us);
+            scratch.nodes += 1;
+            if scratch.nodes > self.node_limit {
+                return Err(IlpError::NodeLimit(self.node_limit));
+            }
+            let penalised = child_cost + child_violations as f64 * VIOLATION_PENALTY;
+            let threshold = if scratch.has_best {
+                (scratch.best_penalised - 1e-9).min(scratch.prune_cap)
+            } else {
+                scratch.prune_cap
+            };
+            if penalised + self.suffix_min_cost[index + 1] >= threshold {
+                continue;
+            }
+            scratch.selected[index] = opt_idx;
+            if child_is_leaf {
+                if penalised < scratch.best_penalised - 1e-9 {
+                    scratch.best_selected.copy_from_slice(&scratch.selected);
+                    scratch.best_penalised = penalised;
+                    scratch.has_best = true;
+                }
+                continue;
+            }
+            self.branch_cheap(scratch, index + 1, finish, child_cost, child_violations)?;
         }
         Ok(())
     }

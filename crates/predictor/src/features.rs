@@ -10,9 +10,9 @@
 //! user model used in this reproduction needs it explicitly — see DESIGN.md.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
-
-use pes_dom::{DomAnalyzer, DomTree, EventType, NodeId, Viewport};
+use pes_dom::{DomAnalyzer, DomTree, EventType, EventTypeSet, NodeId, Viewport};
 use pes_webrt::WebEvent;
 
 /// The number of recent events considered by the interaction-dependent
@@ -31,9 +31,23 @@ pub type FeatureVector = Vec<f64>;
 pub const FEATURE_DIM: usize = 7 + EventType::ALL.len();
 
 /// A sliding window over the most recent events of the interaction session.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Default, PartialEq)]
 pub struct HistoryWindow {
     events: VecDeque<(EventType, Option<(i64, i64)>)>,
+}
+
+impl Clone for HistoryWindow {
+    fn clone(&self) -> Self {
+        HistoryWindow {
+            events: self.events.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        // Entries are `Copy`, so this reuses the existing ring allocation —
+        // the prediction scratch clones a window every round.
+        self.events.clone_from(&source.events);
+    }
 }
 
 impl HistoryWindow {
@@ -124,17 +138,45 @@ impl HistoryWindow {
 /// application's DOM (mutated by observed events), the viewport, and the
 /// recent-event window. Both the online predictor and the offline trainer
 /// replay events through this state to obtain consistent features.
-#[derive(Debug, Clone)]
+///
+/// The DOM is held behind an [`Arc`] and cloned copy-on-write only when an
+/// observed event actually mutates the tree (menu toggles). Sessions over
+/// the same page — every replay of an application, and the scratch copy the
+/// learner feeds predictions back into — therefore share one tree, and
+/// cloning a `SessionState` costs a reference-count bump plus the small
+/// history window instead of a full DOM copy.
+#[derive(Debug)]
 pub struct SessionState {
-    tree: DomTree,
+    tree: Arc<DomTree>,
     viewport: Viewport,
     history: HistoryWindow,
     analyzer: DomAnalyzer,
 }
 
+impl Clone for SessionState {
+    fn clone(&self) -> Self {
+        SessionState {
+            tree: Arc::clone(&self.tree),
+            viewport: self.viewport,
+            history: self.history.clone(),
+            analyzer: self.analyzer,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        if !Arc::ptr_eq(&self.tree, &source.tree) {
+            self.tree = Arc::clone(&source.tree);
+        }
+        self.viewport = source.viewport;
+        self.history.clone_from(&source.history);
+        self.analyzer = source.analyzer;
+    }
+}
+
 impl SessionState {
-    /// Creates a session over a fresh copy of an application page.
-    pub fn new(tree: DomTree) -> Self {
+    /// Creates a session over a (shared) application page tree, e.g.
+    /// `SessionState::new(page.tree.clone())` for a [`pes_dom::BuiltPage`].
+    pub fn new(tree: Arc<DomTree>) -> Self {
         SessionState {
             tree,
             viewport: Viewport::phone(),
@@ -206,14 +248,32 @@ impl SessionState {
             }
         };
         if let Some(effect) = effect {
-            // Stale targets cannot occur for effects memoized on this tree.
-            let _ = self.tree.apply_effect(effect, &mut self.viewport);
+            if effect.mutates_tree() {
+                // Copy-on-write: only menu toggles and similar structural
+                // effects force this session onto a private tree copy.
+                // Stale targets cannot occur for effects memoized on this
+                // tree.
+                let _ = Arc::make_mut(&mut self.tree).apply_effect(effect, &mut self.viewport);
+            } else {
+                // Scrolls and navigations only move the viewport; the shared
+                // tree stays shared.
+                let _ = DomTree::apply_viewport_effect(effect, &mut self.viewport);
+            }
         }
     }
 
     /// The feature vector describing "what comes next" from the current
     /// state.
     pub fn features(&self) -> FeatureVector {
+        let mut features = Vec::with_capacity(FEATURE_DIM);
+        self.features_into(&mut features);
+        features
+    }
+
+    /// Writes the feature vector into `out` (cleared first), reusing the
+    /// buffer's capacity — the allocation-free path the learner uses on
+    /// every prediction step.
+    pub fn features_into(&self, out: &mut FeatureVector) {
         let vp = self.analyzer.viewport_features(&self.tree, &self.viewport);
         // Normalise the click distance by the viewport diagonal.
         let diag = ((self.viewport.width().pow(2) + self.viewport.height().pow(2)) as f64).sqrt();
@@ -222,7 +282,8 @@ impl SessionState {
             .click_distance()
             .map(|d| (d / diag).min(2.0))
             .unwrap_or(0.0);
-        let mut features = vec![
+        out.clear();
+        out.extend_from_slice(&[
             vp.clickable_region_fraction,
             vp.visible_link_fraction,
             distance,
@@ -230,19 +291,24 @@ impl SessionState {
             self.history.scrolls() as f64 / HISTORY_WINDOW as f64,
             self.history.events_since_last_navigation() as f64 / HISTORY_WINDOW as f64,
             self.history.events_since_last_tap() as f64 / HISTORY_WINDOW as f64,
-        ];
+        ]);
         let mut one_hot = [0.0; EventType::ALL.len()];
         if let Some(last) = self.history.last_event() {
             one_hot[last.class_index()] = 1.0;
         }
-        features.extend_from_slice(&one_hot);
-        debug_assert_eq!(features.len(), FEATURE_DIM);
-        features
+        out.extend_from_slice(&one_hot);
+        debug_assert_eq!(out.len(), FEATURE_DIM);
     }
 
     /// The Likely-Next-Event-Set for the current DOM state.
     pub fn lnes(&self) -> pes_dom::Lnes {
         self.analyzer.lnes(&self.tree, &self.viewport)
+    }
+
+    /// The event *types* of the Likely-Next-Event-Set as an allocation-free
+    /// bitmask — exactly the set `self.lnes().event_types()` would return.
+    pub fn allowed_types(&self) -> EventTypeSet {
+        self.analyzer.lnes_types(&self.tree, &self.viewport)
     }
 }
 

@@ -11,10 +11,10 @@
 
 use pes_acmp::units::TimeUs;
 use pes_acmp::CpuDemand;
-use pes_dom::EventType;
+use pes_dom::{EventType, EventTypeSet};
 use pes_webrt::{EventId, WebEvent};
 
-use crate::features::SessionState;
+use crate::features::{FeatureVector, SessionState, FEATURE_DIM};
 use crate::logistic::OneVsRestClassifier;
 
 /// One predicted future event.
@@ -72,6 +72,26 @@ impl LearnerConfig {
     }
 }
 
+/// Reusable buffers for [`EventSequenceLearner::predict_sequence_with`]: the
+/// scratch session the predictions are fed back into, the feature vector and
+/// the output sequence. Holding one of these per replay makes prediction
+/// rounds run without cloning the session state or allocating — the scratch
+/// session shares the live session's DOM through its `Arc` and only the
+/// small history window is copied per round.
+#[derive(Debug, Clone, Default)]
+pub struct PredictScratch {
+    session: Option<SessionState>,
+    features: FeatureVector,
+    out: Vec<PredictedEvent>,
+}
+
+impl PredictScratch {
+    /// Creates an empty scratch arena.
+    pub fn new() -> Self {
+        PredictScratch::default()
+    }
+}
+
 /// The event sequence learner.
 ///
 /// # Examples
@@ -121,30 +141,68 @@ impl EventSequenceLearner {
     /// Predicts the type of the immediate next event from the current session
     /// state, together with its confidence.
     pub fn predict_next(&self, state: &SessionState) -> (EventType, f64) {
-        let features = state.features();
+        let mut features = Vec::with_capacity(FEATURE_DIM);
+        self.predict_next_into(state, &mut features)
+    }
+
+    /// [`EventSequenceLearner::predict_next`] writing the features into a
+    /// caller-owned buffer: the allocation-free step of a prediction round.
+    fn predict_next_into(
+        &self,
+        state: &SessionState,
+        features: &mut FeatureVector,
+    ) -> (EventType, f64) {
+        state.features_into(features);
         let allowed = if self.config.use_lnes {
-            Some(state.lnes().event_types())
+            state.allowed_types()
         } else {
-            None
+            EventTypeSet::ALL
         };
-        self.classifier.predict(&features, allowed.as_deref())
+        self.classifier.predict_masked(features, allowed)
     }
 
     /// Predicts a sequence of future events. Prediction continues while the
     /// cumulative confidence stays at or above the threshold and the degree
     /// stays below the configured cap.
+    ///
+    /// Convenience form of [`EventSequenceLearner::predict_sequence_with`]
+    /// that allocates a fresh scratch; hot callers (the PES runtime) hold a
+    /// [`PredictScratch`] per replay instead.
     pub fn predict_sequence(&self, state: &SessionState) -> Vec<PredictedEvent> {
-        let mut scratch = state.clone();
-        let mut out = Vec::new();
+        let mut scratch = PredictScratch::new();
+        self.predict_sequence_with(state, &mut scratch);
+        std::mem::take(&mut scratch.out)
+    }
+
+    /// Predicts a sequence of future events using caller-owned buffers: no
+    /// session clone (the scratch session is rebuilt in place, sharing the
+    /// live session's DOM) and no per-round allocation in the steady state.
+    /// The returned slice lives in `scratch` and is valid until the next
+    /// call.
+    pub fn predict_sequence_with<'a>(
+        &self,
+        state: &SessionState,
+        scratch: &'a mut PredictScratch,
+    ) -> &'a [PredictedEvent] {
+        scratch.out.clear();
+        // Reuse the scratch session across rounds: `clone_from` bumps the
+        // shared tree's refcount and reuses the history window's ring buffer.
+        let session = match &mut scratch.session {
+            Some(session) => {
+                session.clone_from(state);
+                session
+            }
+            None => scratch.session.insert(state.clone()),
+        };
         let mut cumulative = 1.0;
         for step in 0..self.config.max_degree {
-            let (event_type, confidence) = self.predict_next(&scratch);
+            let (event_type, confidence) = self.predict_next_into(session, &mut scratch.features);
             let next_cumulative = cumulative * confidence;
             if next_cumulative < self.config.confidence_threshold {
                 break;
             }
             cumulative = next_cumulative;
-            out.push(PredictedEvent {
+            scratch.out.push(PredictedEvent {
                 event_type,
                 confidence,
                 cumulative_confidence: cumulative,
@@ -159,15 +217,25 @@ impl EventSequenceLearner {
                 TimeUs::ZERO,
                 CpuDemand::ZERO,
             );
-            scratch.observe(&synthetic);
+            session.observe(&synthetic);
         }
-        out
+        &scratch.out
     }
 
     /// The prediction degree (sequence length) the learner would produce from
     /// the given state.
     pub fn prediction_degree(&self, state: &SessionState) -> usize {
-        self.predict_sequence(state).len()
+        let mut scratch = PredictScratch::new();
+        self.prediction_degree_with(state, &mut scratch)
+    }
+
+    /// [`EventSequenceLearner::prediction_degree`] with caller-owned buffers.
+    pub fn prediction_degree_with(
+        &self,
+        state: &SessionState,
+        scratch: &mut PredictScratch,
+    ) -> usize {
+        self.predict_sequence_with(state, scratch).len()
     }
 }
 

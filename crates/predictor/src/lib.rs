@@ -42,7 +42,7 @@ pub mod logistic;
 pub mod trainer;
 
 pub use features::{FeatureVector, HistoryWindow, SessionState, FEATURE_DIM, HISTORY_WINDOW};
-pub use learner::{EventSequenceLearner, LearnerConfig, PredictedEvent};
+pub use learner::{EventSequenceLearner, LearnerConfig, PredictScratch, PredictedEvent};
 pub use logistic::{LogisticModel, OneVsRestClassifier};
 pub use trainer::{build_dataset, evaluate_accuracy, Trainer, TrainingConfig};
 

@@ -11,7 +11,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use pes_dom::EventType;
+use pes_dom::{EventType, EventTypeSet};
 
 use crate::features::FeatureVector;
 
@@ -140,21 +140,33 @@ impl OneVsRestClassifier {
     /// compete — this is the LNES masking of Sec. 5.2; if the mask is empty
     /// the full class set is used.
     pub fn predict(&self, features: &[f64], allowed: Option<&[EventType]>) -> (EventType, f64) {
-        let probs = self.probabilities(features);
-        let masked: Vec<(EventType, f64)> = match allowed {
-            Some(mask) if !mask.is_empty() => probs
-                .iter()
-                .copied()
-                .filter(|(e, _)| mask.contains(e))
-                .collect(),
-            _ => probs.clone(),
+        let mask = match allowed {
+            Some(types) => types.iter().copied().collect(),
+            None => EventTypeSet::ALL,
         };
-        let candidates = if masked.is_empty() { &probs } else { &masked };
-        candidates
-            .iter()
-            .copied()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("probabilities are finite"))
-            .expect("at least one class exists")
+        self.predict_masked(features, mask)
+    }
+
+    /// [`OneVsRestClassifier::predict`] with the mask as a bitset: the
+    /// allocation-free form the sequence learner calls on every step of
+    /// every prediction round. An empty mask falls back to the full class
+    /// set. Ties resolve to the later class in [`EventType::ALL`] order,
+    /// matching the slice-based `predict`.
+    pub fn predict_masked(&self, features: &[f64], allowed: EventTypeSet) -> (EventType, f64) {
+        let mask = if allowed.is_empty() { EventTypeSet::ALL } else { allowed };
+        let mut winner: Option<(EventType, f64)> = None;
+        for e in EventType::ALL {
+            if !mask.contains(e) {
+                continue;
+            }
+            let p = self.models[e.class_index()].predict_proba(features);
+            assert!(p.is_finite(), "probabilities are finite");
+            match winner {
+                Some((_, best)) if p < best => {}
+                _ => winner = Some((e, p)),
+            }
+        }
+        winner.expect("at least one class exists")
     }
 
     /// Trains the classifier with stochastic gradient descent.
@@ -174,14 +186,19 @@ impl OneVsRestClassifier {
         }
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut order: Vec<usize> = (0..dataset.len()).collect();
+        // One reusable sample buffer across all epochs and classes instead
+        // of an allocation per (epoch, class) pair.
+        let mut samples: Vec<(&FeatureVector, bool)> = Vec::with_capacity(dataset.len());
         for _ in 0..epochs {
             order.shuffle(&mut rng);
             for event_type in EventType::ALL {
                 let class = event_type.class_index();
-                let samples: Vec<(&FeatureVector, bool)> = order
-                    .iter()
-                    .map(|&i| (&dataset[i].0, dataset[i].1 == event_type))
-                    .collect();
+                samples.clear();
+                samples.extend(
+                    order
+                        .iter()
+                        .map(|&i| (&dataset[i].0, dataset[i].1 == event_type)),
+                );
                 self.models[class].sgd_epoch(&samples, lr, l2);
             }
         }

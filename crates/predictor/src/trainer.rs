@@ -49,7 +49,7 @@ impl Default for TrainingConfig {
 /// page load is never a prediction target (prediction starts once a session
 /// is underway).
 pub fn build_dataset(page: &BuiltPage, traces: &[Trace]) -> Vec<(FeatureVector, EventType)> {
-    let mut dataset = Vec::new();
+    let mut dataset = Vec::with_capacity(traces.iter().map(|t| t.len().saturating_sub(1)).sum());
     for trace in traces {
         let mut state = SessionState::new(page.tree.clone());
         for (i, event) in trace.events().iter().enumerate() {
@@ -133,14 +133,18 @@ fn app_offset(app: &AppProfile) -> u64 {
 /// One-step-ahead prediction accuracy over evaluation traces of a single
 /// application: the fraction of events whose type the learner predicts
 /// correctly from the state immediately before them (the Fig. 8 metric).
-pub fn evaluate_accuracy(
+///
+/// Accepts owned traces or shared `Arc<Trace>` handles (the form the
+/// experiment drivers' scenario cache holds).
+pub fn evaluate_accuracy<T: std::borrow::Borrow<Trace>>(
     learner: &EventSequenceLearner,
     page: &BuiltPage,
-    traces: &[Trace],
+    traces: &[T],
 ) -> f64 {
     let mut total = 0usize;
     let mut correct = 0usize;
     for trace in traces {
+        let trace = trace.borrow();
         let mut state = SessionState::new(page.tree.clone());
         for (i, event) in trace.events().iter().enumerate() {
             if i > 0 {
@@ -236,7 +240,7 @@ mod tests {
             OneVsRestClassifier::zeros(FEATURE_DIM),
             LearnerConfig::paper_defaults(),
         );
-        assert_eq!(evaluate_accuracy(&learner, &page, &[]), 0.0);
+        assert_eq!(evaluate_accuracy::<Trace>(&learner, &page, &[]), 0.0);
     }
 
     #[test]

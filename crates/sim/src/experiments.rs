@@ -4,12 +4,18 @@
 //! EXPERIMENTS.md.
 //!
 //! Every session replay in the suite is deterministic and independent —
-//! traces are generated per `(application, trace index)` seed and schedulers
-//! share no mutable state — so the heavy drivers fan their
+//! schedulers share no mutable state and every unit reads only immutable
+//! shared artifacts — so the heavy drivers fan their
 //! `(application, trace, scheduler)` tuples out over [`crate::par_map`]
 //! scoped threads and fold the per-unit results back **in serial order**.
 //! The output is byte-identical to the old nested `for` loops
 //! (`PES_THREADS=1` forces that serial path); only the wall clock changes.
+//!
+//! The pages and seeded traces the units replay come from the
+//! [`ScenarioCache`]: built once per context, shared via `Arc` across all
+//! schedulers and worker threads, and byte-identical to regenerating them
+//! per unit (enforced by `scenario_cache_matches_regenerated_artifacts` and
+//! `parallel_fan_out_is_deterministic` below).
 
 use pes_acmp::units::TimeUs;
 use pes_acmp::{CpuDemand, DvfsModel, Platform};
@@ -18,14 +24,16 @@ use pes_dom::EventType;
 use pes_predictor::{evaluate_accuracy, EventSequenceLearner, LearnerConfig, Trainer};
 use pes_schedulers::{Ebs, InteractiveGovernor, OndemandGovernor};
 use pes_webrt::{EventId, QosPolicy, WebEvent};
-use pes_workload::{AppCatalog, Trace, TraceGenerator, EVAL_SEED_BASE};
+use pes_workload::{AppCatalog, Trace};
 
 use crate::classify::{classify_events, distribution, ClassDistribution};
 use crate::parallel::par_map;
 use crate::reactive::run_reactive;
+use crate::scenario::ScenarioCache;
 
 /// Shared state for all experiments: the platform, the QoS policy, the
-/// application catalog and the (once-)trained predictor.
+/// application catalog, the (once-)trained predictor and the once-built
+/// scenario artifacts every driver replays.
 #[derive(Debug, Clone)]
 pub struct ExperimentContext {
     /// The hardware platform (Exynos 5410 by default).
@@ -36,8 +44,12 @@ pub struct ExperimentContext {
     pub catalog: AppCatalog,
     /// The trained event-sequence learner.
     pub learner: EventSequenceLearner,
-    /// Evaluation traces generated per application.
+    /// Evaluation traces used per application.
     pub traces_per_app: usize,
+    /// Shared immutable pages and evaluation traces, indexed by catalog
+    /// position. Holds `max(traces_per_app, 2)` traces per application (the
+    /// Fig. 8 accuracy driver needs at least two).
+    pub scenarios: ScenarioCache,
 }
 
 impl ExperimentContext {
@@ -47,42 +59,30 @@ impl ExperimentContext {
     pub fn new(traces_per_app: usize) -> Self {
         let catalog = AppCatalog::paper_suite();
         let learner = Trainer::new().train_learner(&catalog, LearnerConfig::paper_defaults());
+        let traces_per_app = traces_per_app.max(1);
+        let scenarios = ScenarioCache::build(&catalog, traces_per_app.max(2));
         ExperimentContext {
             platform: Platform::exynos_5410(),
             qos: QosPolicy::paper_defaults(),
             catalog,
             learner,
-            traces_per_app: traces_per_app.max(1),
+            traces_per_app,
+            scenarios,
         }
     }
 
     /// Switches the hardware model to the NVIDIA TX2 (Sec. 6.5 "other
-    /// devices").
+    /// devices"). The scenario artifacts depend only on the applications,
+    /// not the platform, so they are reused as-is.
     pub fn on_tx2(mut self) -> Self {
         self.platform = Platform::tx2_parker();
         self
     }
 
-    fn eval_traces(&self, app: &pes_workload::AppProfile) -> (pes_dom::BuiltPage, Vec<Trace>) {
-        let page = app.build_page();
-        let traces =
-            TraceGenerator::new().generate_many(app, &page, EVAL_SEED_BASE, self.traces_per_app);
-        (page, traces)
+    /// The catalog index of an application, by name.
+    pub fn app_index(&self, name: &str) -> Option<usize> {
+        self.catalog.apps().iter().position(|a| a.name() == name)
     }
-}
-
-/// Rebuilds the page and the seeded evaluation trace for one fan-out unit.
-/// Every parallel driver uses this single definition of the per-unit seed
-/// scheme (`EVAL_SEED_BASE + trace index`), matching
-/// [`ExperimentContext::eval_traces`]' serial `generate_many` seeds — so the
-/// fan-outs cannot drift from the serial driver.
-fn eval_trace_unit(
-    app: &pes_workload::AppProfile,
-    trace_idx: usize,
-) -> (pes_dom::BuiltPage, Trace) {
-    let page = app.build_page();
-    let trace = TraceGenerator::new().generate(app, &page, EVAL_SEED_BASE + trace_idx as u64);
-    (page, trace)
 }
 
 // ---------------------------------------------------------------------------
@@ -220,26 +220,39 @@ pub fn fig2_case_study(ctx: &ExperimentContext) -> CaseStudy {
 // Fig. 3 — event-type distribution under EBS
 // ---------------------------------------------------------------------------
 
+/// The catalog indices of the seen applications, in catalog order.
+fn seen_indices(ctx: &ExperimentContext) -> Vec<usize> {
+    ctx.catalog
+        .apps()
+        .iter()
+        .enumerate()
+        .filter(|(_, app)| app.is_seen())
+        .map(|(i, _)| i)
+        .collect()
+}
+
 /// Per-application event-type distribution (Fig. 3). One fan-out unit per
-/// `(application, trace)` pair, each replaying its seeded trace under EBS.
+/// `(application, trace)` pair, each replaying its shared trace under EBS.
 pub fn fig3_event_types(ctx: &ExperimentContext) -> Vec<(String, ClassDistribution)> {
     let dvfs = DvfsModel::new(&ctx.platform);
-    let seen: Vec<&pes_workload::AppProfile> = ctx.catalog.seen_apps().collect();
+    let seen = seen_indices(ctx);
     let traces = ctx.traces_per_app;
     let per_trace: Vec<Vec<crate::EventClass>> = par_map(seen.len() * traces, |unit| {
-        let app = seen[unit / traces];
-        let (_page, trace) = eval_trace_unit(app, unit % traces);
-        let report = run_reactive(&ctx.platform, &trace, &mut Ebs::new(&ctx.platform), &ctx.qos);
+        let trace = ctx.scenarios.trace_ref(seen[unit / traces], unit % traces);
+        let report = run_reactive(&ctx.platform, trace, &mut Ebs::new(&ctx.platform), &ctx.qos);
         classify_events(&report, trace.events(), &dvfs, &ctx.qos)
     });
     seen.iter()
         .enumerate()
-        .map(|(app_idx, app)| {
+        .map(|(row, &app_idx)| {
             let mut classes = Vec::new();
-            for trace_classes in &per_trace[app_idx * traces..(app_idx + 1) * traces] {
+            for trace_classes in &per_trace[row * traces..(row + 1) * traces] {
                 classes.extend(trace_classes.iter().cloned());
             }
-            (app.name().to_string(), distribution(&classes))
+            (
+                ctx.catalog.apps()[app_idx].name().to_string(),
+                distribution(&classes),
+            )
         })
         .collect()
 }
@@ -255,19 +268,17 @@ pub fn fig8_accuracy(ctx: &ExperimentContext, use_lnes: bool) -> Vec<(String, bo
     let mut learner = ctx.learner.clone();
     learner.set_config(LearnerConfig::paper_defaults().with_lnes(use_lnes));
     let apps = ctx.catalog.apps();
+    let traces = ctx.traces_per_app.max(2);
     par_map(apps.len(), |app_idx| {
         let app = &apps[app_idx];
-        let page = app.build_page();
-        let traces = TraceGenerator::new().generate_many(
-            app,
-            &page,
-            EVAL_SEED_BASE,
-            ctx.traces_per_app.max(2),
-        );
         (
             app.name().to_string(),
             app.is_seen(),
-            evaluate_accuracy(&learner, &page, &traces),
+            evaluate_accuracy(
+                &learner,
+                ctx.scenarios.page_ref(app_idx),
+                &ctx.scenarios.traces(app_idx)[..traces],
+            ),
         )
     })
 }
@@ -278,15 +289,13 @@ pub fn fig8_accuracy(ctx: &ExperimentContext, use_lnes: bool) -> Vec<(String, bo
 
 /// The PFB occupancy series for one application (Fig. 9 uses ebay).
 pub fn fig9_pfb_trace(ctx: &ExperimentContext, app_name: &str) -> Vec<(usize, usize)> {
-    let Some(app) = ctx.catalog.find(app_name) else {
+    let Some(app_idx) = ctx.app_index(app_name) else {
         return Vec::new();
     };
-    let (page, traces) = ctx.eval_traces(app);
     let pes = PesScheduler::new(ctx.learner.clone(), PesConfig::paper_defaults());
-    traces
-        .first()
-        .map(|trace| pes.run_trace(&ctx.platform, &page, trace, &ctx.qos).pfb_trace)
-        .unwrap_or_default()
+    let page = ctx.scenarios.page_ref(app_idx);
+    let trace = ctx.scenarios.trace_ref(app_idx, 0);
+    pes.run_trace(&ctx.platform, page, trace, &ctx.qos).pfb_trace
 }
 
 /// Per-application average misprediction waste in milliseconds (Fig. 10),
@@ -297,9 +306,9 @@ pub fn fig10_waste(ctx: &ExperimentContext) -> Vec<(String, bool, f64, f64)> {
     let apps = ctx.catalog.apps();
     let traces = ctx.traces_per_app;
     let per_trace: Vec<(f64, f64)> = par_map(apps.len() * traces, |unit| {
-        let app = &apps[unit / traces];
-        let (page, trace) = eval_trace_unit(app, unit % traces);
-        let report = pes.run_trace(&ctx.platform, &page, &trace, &ctx.qos);
+        let page = ctx.scenarios.page_ref(unit / traces);
+        let trace = ctx.scenarios.trace_ref(unit / traces, unit % traces);
+        let report = pes.run_trace(&ctx.platform, page, trace, &ctx.qos);
         (report.average_waste_ms(), report.waste_energy_fraction())
     });
     let avg = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
@@ -373,10 +382,12 @@ const COMPARISON_POLICIES: [&str; 5] = ["Interactive", "Ondemand", "EBS", "PES",
 /// This is the heaviest driver of the suite: `18 apps × N traces × 5
 /// schedulers` independent replays. It fans one unit of work per
 /// `(application, trace, scheduler)` tuple over scoped threads — each unit
-/// regenerates its trace from the per-trace seed, so the fan-out is
-/// deterministic — and folds the per-unit `(energy, violations, events)`
-/// triples back in the serial loop's order, keeping the result byte-identical
-/// to the serial driver.
+/// replays the shared immutable page and trace of its `(application, trace)`
+/// pair from the [`ScenarioCache`], so the fan-out is deterministic — and
+/// folds the per-unit `(energy, violations, events)` triples back in the
+/// serial loop's order, keeping the result byte-identical to the serial
+/// driver (and to the regenerate-per-unit driver this replaced; see
+/// `parallel_fan_out_is_deterministic`).
 pub fn full_comparison_with_config(
     ctx: &ExperimentContext,
     pes_config: PesConfig,
@@ -387,30 +398,31 @@ pub fn full_comparison_with_config(
     let traces = ctx.traces_per_app;
     let policies = COMPARISON_POLICIES.len();
     let per_unit: Vec<(f64, usize, usize)> = par_map(apps.len() * traces * policies, |unit| {
-        let app = &apps[unit / (traces * policies)];
+        let app_idx = unit / (traces * policies);
         let trace_idx = (unit / policies) % traces;
         let policy = COMPARISON_POLICIES[unit % policies];
-        let (page, trace) = eval_trace_unit(app, trace_idx);
+        let page = ctx.scenarios.page_ref(app_idx);
+        let trace = ctx.scenarios.trace_ref(app_idx, trace_idx);
         let events = trace.len();
         match policy {
             "Interactive" => {
-                let r = run_reactive(&ctx.platform, &trace, &mut InteractiveGovernor::new(), &ctx.qos);
+                let r = run_reactive(&ctx.platform, trace, &mut InteractiveGovernor::new(), &ctx.qos);
                 (r.total_energy.as_millijoules(), r.violations(), events)
             }
             "Ondemand" => {
-                let r = run_reactive(&ctx.platform, &trace, &mut OndemandGovernor::new(), &ctx.qos);
+                let r = run_reactive(&ctx.platform, trace, &mut OndemandGovernor::new(), &ctx.qos);
                 (r.total_energy.as_millijoules(), r.violations(), events)
             }
             "EBS" => {
-                let r = run_reactive(&ctx.platform, &trace, &mut Ebs::new(&ctx.platform), &ctx.qos);
+                let r = run_reactive(&ctx.platform, trace, &mut Ebs::new(&ctx.platform), &ctx.qos);
                 (r.total_energy.as_millijoules(), r.violations(), events)
             }
             "PES" => {
-                let r = pes.run_trace(&ctx.platform, &page, &trace, &ctx.qos);
+                let r = pes.run_trace(&ctx.platform, page, trace, &ctx.qos);
                 (r.total_energy.as_millijoules(), r.violations, events)
             }
             _ => {
-                let r = oracle.run_trace(&ctx.platform, &page, &trace, &ctx.qos);
+                let r = oracle.run_trace(&ctx.platform, page, trace, &ctx.qos);
                 (r.total_energy.as_millijoules(), r.violations, events)
             }
         }
@@ -492,7 +504,7 @@ pub fn fig14_sensitivity(
     thresholds: &[f64],
     apps: usize,
 ) -> Vec<SensitivityPoint> {
-    let subset: Vec<&pes_workload::AppProfile> = ctx.catalog.seen_apps().take(apps.max(1)).collect();
+    let subset: Vec<usize> = seen_indices(ctx).into_iter().take(apps.max(1)).collect();
     let traces = ctx.traces_per_app;
     thresholds
         .iter()
@@ -503,10 +515,11 @@ pub fn fig14_sensitivity(
             );
             let per_unit: Vec<(f64, usize, f64, usize)> =
                 par_map(subset.len() * traces, |unit| {
-                    let app = subset[unit / traces];
-                    let (page, trace) = eval_trace_unit(app, unit % traces);
-                    let e = run_reactive(&ctx.platform, &trace, &mut Ebs::new(&ctx.platform), &ctx.qos);
-                    let p = pes.run_trace(&ctx.platform, &page, &trace, &ctx.qos);
+                    let app_idx = subset[unit / traces];
+                    let page = ctx.scenarios.page_ref(app_idx);
+                    let trace = ctx.scenarios.trace_ref(app_idx, unit % traces);
+                    let e = run_reactive(&ctx.platform, trace, &mut Ebs::new(&ctx.platform), &ctx.qos);
+                    let p = pes.run_trace(&ctx.platform, page, trace, &ctx.qos);
                     (
                         e.total_energy.as_millijoules(),
                         e.violations(),
@@ -540,6 +553,7 @@ pub fn fig14_sensitivity(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pes_workload::{TraceGenerator, EVAL_SEED_BASE};
 
     fn tiny_ctx() -> ExperimentContext {
         let catalog = AppCatalog::paper_suite();
@@ -549,12 +563,14 @@ mod tests {
             ..Default::default()
         })
         .train_learner(&catalog, LearnerConfig::paper_defaults());
+        let scenarios = ScenarioCache::build(&catalog, 2);
         ExperimentContext {
             platform: Platform::exynos_5410(),
             qos: QosPolicy::paper_defaults(),
             catalog,
             learner,
             traces_per_app: 1,
+            scenarios,
         }
     }
 
@@ -590,6 +606,111 @@ mod tests {
         assert!(avg(&with_dom) + 1e-9 >= avg(&without_dom));
     }
 
+    /// The pre-`ScenarioCache` serial driver, kept verbatim in spirit: plain
+    /// nested loops that rebuild every unit's page and trace from the seed
+    /// scheme (`EVAL_SEED_BASE + trace index`) and fold trace-major,
+    /// policy-minor — the reference the shared-artifact fan-out must match
+    /// byte-for-byte.
+    fn full_comparison_regenerate_serial(ctx: &ExperimentContext) -> Vec<AppComparison> {
+        let pes = PesScheduler::new(ctx.learner.clone(), PesConfig::paper_defaults());
+        let oracle = OracleScheduler::new();
+        ctx.catalog
+            .apps()
+            .iter()
+            .map(|app| {
+                let mut totals: Vec<(String, f64, f64, usize)> = COMPARISON_POLICIES
+                    .iter()
+                    .map(|p| (p.to_string(), 0.0, 0.0, 0))
+                    .collect();
+                for trace_idx in 0..ctx.traces_per_app {
+                    let page = app.build_page();
+                    let trace = TraceGenerator::new().generate(
+                        app,
+                        &page,
+                        EVAL_SEED_BASE + trace_idx as u64,
+                    );
+                    for (policy_idx, policy) in COMPARISON_POLICIES.iter().enumerate() {
+                        let (energy_mj, violations) = match *policy {
+                            "Interactive" => {
+                                let r = run_reactive(
+                                    &ctx.platform,
+                                    &trace,
+                                    &mut InteractiveGovernor::new(),
+                                    &ctx.qos,
+                                );
+                                (r.total_energy.as_millijoules(), r.violations())
+                            }
+                            "Ondemand" => {
+                                let r = run_reactive(
+                                    &ctx.platform,
+                                    &trace,
+                                    &mut OndemandGovernor::new(),
+                                    &ctx.qos,
+                                );
+                                (r.total_energy.as_millijoules(), r.violations())
+                            }
+                            "EBS" => {
+                                let r = run_reactive(
+                                    &ctx.platform,
+                                    &trace,
+                                    &mut Ebs::new(&ctx.platform),
+                                    &ctx.qos,
+                                );
+                                (r.total_energy.as_millijoules(), r.violations())
+                            }
+                            "PES" => {
+                                let r = pes.run_trace(&ctx.platform, &page, &trace, &ctx.qos);
+                                (r.total_energy.as_millijoules(), r.violations)
+                            }
+                            _ => {
+                                let r = oracle.run_trace(&ctx.platform, &page, &trace, &ctx.qos);
+                                (r.total_energy.as_millijoules(), r.violations)
+                            }
+                        };
+                        let entry = &mut totals[policy_idx];
+                        entry.1 += energy_mj;
+                        entry.2 += violations as f64;
+                        entry.3 += trace.len();
+                    }
+                }
+                AppComparison {
+                    app: app.name().to_string(),
+                    seen: app.is_seen(),
+                    policies: totals
+                        .into_iter()
+                        .map(|(p, e, v, n)| (p, e, if n == 0 { 0.0 } else { v / n as f64 }))
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scenario_cache_matches_regenerated_artifacts() {
+        // Every page and trace the cache shares must be byte-identical to
+        // rebuilding it from scratch for one unit — the invariant that makes
+        // the shared-artifact fan-out equivalent to the old
+        // regenerate-per-unit drivers.
+        let ctx = tiny_ctx();
+        for (app_idx, app) in ctx.catalog.apps().iter().enumerate() {
+            let page = app.build_page();
+            assert_eq!(*ctx.scenarios.page_ref(app_idx), page, "page of {}", app.name());
+            for trace_idx in 0..ctx.scenarios.traces_per_app() {
+                let trace = TraceGenerator::new().generate(
+                    app,
+                    &page,
+                    EVAL_SEED_BASE + trace_idx as u64,
+                );
+                assert_eq!(
+                    *ctx.scenarios.trace_ref(app_idx, trace_idx),
+                    trace,
+                    "trace {trace_idx} of {}",
+                    app.name()
+                );
+            }
+        }
+    }
+
     #[test]
     fn parallel_fan_out_is_deterministic() {
         // The fan-out must produce identical results run-to-run regardless of
@@ -607,6 +728,13 @@ mod tests {
         let serial = full_comparison(&ctx);
         std::env::remove_var("PES_THREADS");
         assert_eq!(parallel_a, serial, "parallel output must match the serial driver");
+        // The shared-artifact fan-out must also be byte-identical to the old
+        // regenerate-per-unit serial nested loops.
+        let regenerated = full_comparison_regenerate_serial(&ctx);
+        assert_eq!(
+            parallel_a, regenerated,
+            "ScenarioCache-backed driver must match the regenerate-per-unit driver"
+        );
     }
 
     #[test]

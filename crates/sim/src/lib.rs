@@ -34,6 +34,7 @@ pub mod classify;
 pub mod experiments;
 pub mod parallel;
 pub mod reactive;
+pub mod scenario;
 
 pub use classify::{classify_events, distribution, ClassDistribution, EventClass};
 pub use parallel::{par_map, par_map_with, parallelism};
@@ -43,6 +44,7 @@ pub use experiments::{
     CaseStudy, ExperimentContext, SensitivityPoint, TimelineEntry,
 };
 pub use reactive::{run_reactive, ReactiveEventRecord, ReactiveReport};
+pub use scenario::ScenarioCache;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,149 @@
+//! Shared immutable scenario artifacts for the experiment drivers.
+//!
+//! The figure suite replays every `(application, trace, scheduler)` tuple
+//! independently; before this cache existed, each fan-out unit rebuilt its
+//! application's page DOM and re-synthesised its seeded trace from scratch —
+//! five times per `(application, trace)` pair in the headline comparison
+//! alone. [`ScenarioCache`] builds each application's [`BuiltPage`] once and
+//! each `(application, trace index)` trace once, and hands them out as
+//! cheap `Arc` clones to every scheduler and worker thread. The artifacts
+//! are deterministic functions of the catalog and the seed scheme
+//! (`EVAL_SEED_BASE + trace index`, the same seeds the serial
+//! `TraceGenerator::generate_many` path uses), so the cache is byte-for-byte
+//! equivalent to regenerating per unit — enforced by the
+//! `scenario_cache_matches_regenerated_artifacts` test in
+//! [`crate::experiments`].
+
+use std::sync::Arc;
+
+use pes_dom::BuiltPage;
+use pes_workload::{AppCatalog, Trace, TraceGenerator, EVAL_SEED_BASE};
+
+use crate::parallel::par_map;
+
+/// Once-built, immutably shared pages and evaluation traces for every
+/// application in a catalog, indexed by catalog position.
+///
+/// # Examples
+///
+/// ```
+/// use pes_sim::ScenarioCache;
+/// use pes_workload::AppCatalog;
+///
+/// let catalog = AppCatalog::paper_suite();
+/// let cache = ScenarioCache::build(&catalog, 2);
+/// assert_eq!(cache.traces_per_app(), 2);
+/// let page = cache.page(0);
+/// let trace = cache.trace(0, 1);
+/// assert_eq!(trace.app(), catalog.apps()[0].name());
+/// assert!(!page.links.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioCache {
+    pages: Vec<Arc<BuiltPage>>,
+    traces: Vec<Vec<Arc<Trace>>>,
+}
+
+impl ScenarioCache {
+    /// Builds the pages and `traces_per_app` evaluation traces for every
+    /// application in the catalog, fanning the per-application work over
+    /// scoped threads (building is deterministic per application, so the
+    /// result is independent of the worker count).
+    pub fn build(catalog: &AppCatalog, traces_per_app: usize) -> Self {
+        let apps = catalog.apps();
+        let traces_per_app = traces_per_app.max(1);
+        let mut pages = Vec::with_capacity(apps.len());
+        let mut traces = Vec::with_capacity(apps.len());
+        let built = par_map(apps.len(), |app_idx| {
+            let app = &apps[app_idx];
+            let page = app.build_page();
+            let app_traces: Vec<Arc<Trace>> = TraceGenerator::new()
+                .generate_many(app, &page, EVAL_SEED_BASE, traces_per_app)
+                .into_iter()
+                .map(Arc::new)
+                .collect();
+            (Arc::new(page), app_traces)
+        });
+        for (page, app_traces) in built {
+            pages.push(page);
+            traces.push(app_traces);
+        }
+        ScenarioCache { pages, traces }
+    }
+
+    /// Number of applications covered.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the cache covers no applications.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Number of evaluation traces held per application.
+    pub fn traces_per_app(&self) -> usize {
+        self.traces.first().map(|t| t.len()).unwrap_or(0)
+    }
+
+    /// The shared page of the application at `app_idx` (catalog order).
+    pub fn page(&self, app_idx: usize) -> Arc<BuiltPage> {
+        Arc::clone(&self.pages[app_idx])
+    }
+
+    /// The shared trace `trace_idx` of the application at `app_idx` (seed
+    /// `EVAL_SEED_BASE + trace_idx`).
+    pub fn trace(&self, app_idx: usize, trace_idx: usize) -> Arc<Trace> {
+        Arc::clone(&self.traces[app_idx][trace_idx])
+    }
+
+    /// All shared traces of the application at `app_idx`.
+    pub fn traces(&self, app_idx: usize) -> &[Arc<Trace>] {
+        &self.traces[app_idx]
+    }
+
+    /// Borrowed form of [`ScenarioCache::page`] for callers that only need
+    /// the page for the duration of one replay.
+    pub fn page_ref(&self, app_idx: usize) -> &BuiltPage {
+        &self.pages[app_idx]
+    }
+
+    /// Borrowed form of [`ScenarioCache::trace`].
+    pub fn trace_ref(&self, app_idx: usize, trace_idx: usize) -> &Trace {
+        &self.traces[app_idx][trace_idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_is_deterministic_and_shares_artifacts() {
+        let catalog = AppCatalog::paper_suite();
+        let a = ScenarioCache::build(&catalog, 2);
+        let b = ScenarioCache::build(&catalog, 2);
+        assert_eq!(a.len(), catalog.len());
+        assert_eq!(a.traces_per_app(), 2);
+        for app_idx in 0..a.len() {
+            assert_eq!(*a.page(app_idx), *b.page(app_idx));
+            for trace_idx in 0..2 {
+                assert_eq!(*a.trace(app_idx, trace_idx), *b.trace(app_idx, trace_idx));
+            }
+            // Handing out a page twice shares one allocation.
+            assert!(Arc::ptr_eq(&a.page(app_idx), &a.page(app_idx)));
+        }
+    }
+
+    #[test]
+    fn traces_use_the_serial_seed_scheme() {
+        let catalog = AppCatalog::paper_suite();
+        let cache = ScenarioCache::build(&catalog, 3);
+        let app = &catalog.apps()[4];
+        let page = app.build_page();
+        let serial = TraceGenerator::new().generate_many(app, &page, EVAL_SEED_BASE, 3);
+        for (trace_idx, expected) in serial.iter().enumerate() {
+            assert_eq!(&*cache.trace(4, trace_idx), expected);
+        }
+    }
+}

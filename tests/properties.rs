@@ -219,6 +219,51 @@ proptest! {
             "total cost must be bit-identical");
         prop_assert!(optimised.nodes_explored <= reference.nodes_explored);
     }
+
+    /// Under a node budget, the adaptive-bound solve (greedy fallback on
+    /// budget exhaustion, mirroring the PES runtime) never returns a worse
+    /// lexicographic `(violations, cost)` objective than the reference
+    /// solver run the same way. The instances are PES-shaped: 17-option
+    /// convex cost curves wide and tight enough that the 24 k-node budget
+    /// genuinely engages the adaptive probe on the hard cases.
+    #[test]
+    fn adaptive_capped_solve_never_worse_than_reference_capped(
+        n in 2u64..10,
+        base_dur in 150_000u64..350_000,
+        step in 5_000u64..15_000,
+        slack_pct in 40u64..160,
+        curve_tenths in 10u64..25,
+    ) {
+        let items: Vec<ScheduleItem> = (0..n)
+            .map(|i| ScheduleItem {
+                release_us: i * 60_000,
+                deadline_us: (i + 1) * (base_dur * slack_pct / 100),
+                options: (0..17)
+                    .map(|j| ScheduleOption {
+                        choice: j,
+                        duration_us: base_dur.saturating_sub(j as u64 * step),
+                        cost: 1.0 + 0.25 * (j as f64).powf(curve_tenths as f64 / 10.0),
+                    })
+                    .collect(),
+            })
+            .collect();
+        let problem = ScheduleProblem::new(0, items).with_node_limit(24_000);
+        let optimised = problem.solve().or_else(|_| problem.solve_greedy()).unwrap();
+        let reference = problem
+            .solve_reference()
+            .or_else(|_| problem.solve_greedy())
+            .unwrap();
+        prop_assert!(
+            optimised.violations < reference.violations
+                || (optimised.violations == reference.violations
+                    && optimised.total_cost <= reference.total_cost + 1e-9),
+            "adaptive capped objective ({}, {}) worse than reference capped ({}, {})",
+            optimised.violations,
+            optimised.total_cost,
+            reference.violations,
+            reference.total_cost
+        );
+    }
 }
 
 /// The Fig. 2-like fixture of the solver's unit suite, checked end-to-end at

@@ -11,7 +11,10 @@
 //! then timed for `sample_size` samples; mean/median/min are printed in
 //! criterion-like form. When the `BENCH_JSON` environment variable names a
 //! file, one JSON line per benchmark is appended to it — that is how the
-//! repository records `BENCH_solver.json` baselines.
+//! repository records `BENCH_solver.json` / `BENCH_replay.json` baselines.
+//! The `BENCH_SAMPLES` environment variable overrides every benchmark's
+//! sample count (CI smoke-runs the harnesses with `BENCH_SAMPLES=1` so a
+//! broken bench fails fast without burning minutes of measurement).
 
 #![warn(missing_docs)]
 
@@ -29,6 +32,8 @@ pub struct Criterion {
     /// Substring filter from the command line (`cargo bench -- <filter>`);
     /// benchmarks whose full name does not contain it are skipped.
     filter: Option<String>,
+    /// `BENCH_SAMPLES` override; wins over `sample_size(..)` calls.
+    forced_samples: Option<usize>,
 }
 
 impl Default for Criterion {
@@ -39,6 +44,10 @@ impl Default for Criterion {
             filter: std::env::args()
                 .skip(1)
                 .find(|a| !a.starts_with('-') && a != "bench"),
+            forced_samples: std::env::var("BENCH_SAMPLES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .filter(|&n| n >= 1),
         }
     }
 }
@@ -75,7 +84,7 @@ impl Criterion {
             }
         }
         let mut bencher = Bencher {
-            sample_size: self.sample_size,
+            sample_size: self.forced_samples.unwrap_or(self.sample_size),
             summary: None,
         };
         f(&mut bencher);
@@ -93,6 +102,7 @@ impl Criterion {
                 sample_size: self.sample_size,
                 group: Some(name.to_string()),
                 filter: self.filter.clone(),
+                forced_samples: self.forced_samples,
             },
             _parent: self,
         }
