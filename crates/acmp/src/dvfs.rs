@@ -74,6 +74,226 @@ impl CpuDemand {
     }
 }
 
+/// One rung of the precomputed [`DvfsLadder`]: a platform configuration with
+/// every demand-independent term of the Eqn. 1/5 math frozen at build time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderRung {
+    /// The configuration this rung describes, in platform config-table order.
+    pub config: AcmpConfig,
+    /// `1 / ipc_relative_to_a7`, the factor translating reference cycles
+    /// into cycles on this rung's core. Precomputed with the exact
+    /// expression the direct model uses, so scaled cycle counts are
+    /// bit-identical.
+    pub inv_ipc: f64,
+    /// Active power including the background cluster's idle floor — the
+    /// value [`DvfsModel::execution_power`] recomputes from the platform on
+    /// every call.
+    pub exec_power: PowerMw,
+}
+
+/// The per-configuration latency/energy of one concrete demand: one row of
+/// the decision table every reactive scheduling decision and every
+/// optimisation-window fill iterates over.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderPoint {
+    /// The configuration, in platform config-table order.
+    pub config: AcmpConfig,
+    /// Execution latency of the demand on that configuration (Eqn. 1).
+    pub time: TimeUs,
+    /// Marginal energy in microjoules (Eqn. 5 cost).
+    pub energy_uj: f64,
+}
+
+/// The precomputed per-configuration energy/latency ladder.
+///
+/// The direct [`DvfsModel`] methods walk the platform's cluster tables on
+/// every call — `marginal_energy` even re-derives the baseline idle power
+/// (an O(configs) scan with per-config power evaluations) each time, which
+/// put the 17-configuration loop of every reactive decision and every
+/// ILP-window fill at the top of the replay profiles. The ladder freezes all
+/// demand-independent terms once per platform; evaluating a demand across
+/// all configurations is then 17 fused multiply-adds. Every value is
+/// computed with the exact expressions of the direct model, so decisions are
+/// byte-identical (pinned by the exhaustive ladder test and the golden-trace
+/// tests).
+#[derive(Debug, Clone)]
+pub struct DvfsLadder {
+    rungs: Vec<LadderRung>,
+    baseline: PowerMw,
+}
+
+impl DvfsLadder {
+    fn build(platform: &Platform) -> Self {
+        let min_cfg = platform.min_power_config();
+        let baseline =
+            platform.idle_power(&min_cfg) + platform.background_idle_power(&min_cfg);
+        let rungs = platform
+            .configs()
+            .iter()
+            .map(|cfg| LadderRung {
+                config: *cfg,
+                inv_ipc: 1.0 / cfg.core().ipc_relative_to_a7(),
+                exec_power: platform.active_power(cfg) + platform.background_idle_power(cfg),
+            })
+            .collect();
+        DvfsLadder { rungs, baseline }
+    }
+
+    /// Number of configurations (rungs).
+    pub fn len(&self) -> usize {
+        self.rungs.len()
+    }
+
+    /// Whether the ladder has no rungs (never true for a valid platform).
+    pub fn is_empty(&self) -> bool {
+        self.rungs.is_empty()
+    }
+
+    /// The precomputed rungs, in platform config-table order.
+    pub fn rungs(&self) -> &[LadderRung] {
+        &self.rungs
+    }
+
+    /// The precomputed baseline idle power (the always-on floor charged
+    /// against gross energy in the marginal-energy objective).
+    pub fn baseline_idle_power(&self) -> PowerMw {
+        self.baseline
+    }
+
+    /// Latency of `demand` on rung `index` — identical to
+    /// [`DvfsModel::execution_time`] on that rung's configuration.
+    pub fn execution_time_at(&self, demand: &CpuDemand, index: usize) -> TimeUs {
+        let rung = &self.rungs[index];
+        demand.t_mem() + demand.ref_cycles().scale(rung.inv_ipc).time_at(rung.config.frequency())
+    }
+
+    /// Marginal energy of `demand` on rung `index` — identical to
+    /// [`DvfsModel::marginal_energy`] on that rung's configuration.
+    pub fn marginal_energy_at(&self, demand: &CpuDemand, index: usize) -> EnergyUj {
+        let time = self.execution_time_at(demand, index);
+        self.marginal_energy_over(index, time)
+    }
+
+    /// Marginal energy of occupying rung `index` for `time`.
+    fn marginal_energy_over(&self, index: usize, time: TimeUs) -> EnergyUj {
+        let gross = self.rungs[index].exec_power.energy_over(time);
+        let baseline = self.baseline.energy_over(time);
+        gross - baseline
+    }
+
+    /// Evaluates `demand` across every rung into `out` (cleared first,
+    /// allocation reused): the demand-bucketed memo rows a [`LadderCache`]
+    /// serves.
+    pub fn eval_into(&self, demand: &CpuDemand, out: &mut Vec<LadderPoint>) {
+        out.clear();
+        out.extend((0..self.rungs.len()).map(|i| {
+            let time = self.execution_time_at(demand, i);
+            LadderPoint {
+                config: self.rungs[i].config,
+                time,
+                energy_uj: self.marginal_energy_over(i, time).as_microjoules(),
+            }
+        }));
+    }
+
+    /// The cheapest (lowest marginal-energy) point finishing within
+    /// `budget`, or `None` when even the fastest misses it. Selection is
+    /// identical to [`DvfsModel::cheapest_config_within`] (both delegate to
+    /// the same selector): strictly-less comparison keeps the first minimum
+    /// on ties.
+    pub fn cheapest_within(points: &[LadderPoint], budget: TimeUs) -> Option<AcmpConfig> {
+        select_cheapest(
+            points.iter().map(|p| (p.time, p.energy_uj, p.config)),
+            budget,
+        )
+    }
+}
+
+/// The one authoritative budget selector: the cheapest configuration among
+/// `(latency, marginal energy µJ, config)` candidates whose latency fits
+/// `budget`. Strictly-less comparison keeps the first minimum on ties — the
+/// tie-breaking the pre-ladder `min_by` selection had, which scheduler
+/// decisions depend on.
+fn select_cheapest(
+    candidates: impl Iterator<Item = (TimeUs, f64, AcmpConfig)>,
+    budget: TimeUs,
+) -> Option<AcmpConfig> {
+    let mut best: Option<(AcmpConfig, f64)> = None;
+    for (time, energy, config) in candidates {
+        if time > budget {
+            continue;
+        }
+        assert!(energy.is_finite(), "energy is finite");
+        match best {
+            Some((_, cheapest)) if energy >= cheapest => {}
+            _ => best = Some((config, energy)),
+        }
+    }
+    best.map(|(cfg, _)| cfg)
+}
+
+/// Number of demands a [`LadderCache`] retains.
+const LADDER_CACHE_SIZE: usize = 32;
+
+/// A small demand-keyed memo of ladder evaluations.
+///
+/// Reactive decisions and window fills evaluate the same few demands over
+/// and over — profiled per-event-type estimates only move when an
+/// observation lands, and the PES planner quantises its estimates onto a
+/// coarse grid precisely so windows repeat. The cache is a ring of
+/// `(demand, points)` rows with linear lookup: hits cost a handful of
+/// 16-byte key compares, misses re-evaluate into the evicted row's
+/// allocation.
+///
+/// Callers own their cache (one per scheduler / replay scratch); rows are
+/// only meaningful against the ladder they were filled from.
+#[derive(Debug, Clone, Default)]
+pub struct LadderCache {
+    entries: Vec<(CpuDemand, Vec<LadderPoint>)>,
+    cursor: usize,
+    hits: usize,
+    misses: usize,
+}
+
+impl LadderCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        LadderCache::default()
+    }
+
+    /// `(hits, misses)` so far; used by tests to prove the memo engages.
+    pub fn stats(&self) -> (usize, usize) {
+        (self.hits, self.misses)
+    }
+
+    /// Drops every cached row (e.g. on scheduler reset).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.cursor = 0;
+    }
+
+    /// The per-configuration points of `demand`, from cache when the demand
+    /// was evaluated recently.
+    pub fn points(&mut self, ladder: &DvfsLadder, demand: &CpuDemand) -> &[LadderPoint] {
+        if let Some(slot) = self.entries.iter().position(|(key, _)| key == demand) {
+            self.hits += 1;
+            return &self.entries[slot].1;
+        }
+        self.misses += 1;
+        let slot = if self.entries.len() < LADDER_CACHE_SIZE {
+            self.entries.push((*demand, Vec::with_capacity(ladder.len())));
+            self.entries.len() - 1
+        } else {
+            let slot = self.cursor;
+            self.cursor = (self.cursor + 1) % LADDER_CACHE_SIZE;
+            self.entries[slot].0 = *demand;
+            slot
+        };
+        ladder.eval_into(demand, &mut self.entries[slot].1);
+        &self.entries[slot].1
+    }
+}
+
 /// The DVFS latency/energy model bound to a concrete [`Platform`].
 ///
 /// # Examples
@@ -92,17 +312,35 @@ impl CpuDemand {
 #[derive(Debug, Clone)]
 pub struct DvfsModel<'p> {
     platform: &'p Platform,
+    ladder: DvfsLadder,
 }
 
 impl<'p> DvfsModel<'p> {
-    /// Binds the model to a platform.
+    /// Binds the model to a platform, precomputing the per-configuration
+    /// ladder.
     pub fn new(platform: &'p Platform) -> Self {
-        DvfsModel { platform }
+        DvfsModel {
+            platform,
+            ladder: DvfsLadder::build(platform),
+        }
     }
 
     /// The platform this model is bound to.
     pub fn platform(&self) -> &Platform {
         self.platform
+    }
+
+    /// The precomputed per-configuration ladder.
+    pub fn ladder(&self) -> &DvfsLadder {
+        &self.ladder
+    }
+
+    /// The ladder rung holding `cfg`, when `cfg` is a platform operating
+    /// point. The table is tiny (17 entries on the Exynos 5410) and the scan
+    /// compares two small scalars per entry, far cheaper than re-deriving
+    /// cluster powers.
+    fn rung_for(&self, cfg: &AcmpConfig) -> Option<&LadderRung> {
+        self.ladder.rungs.iter().find(|r| r.config == *cfg)
     }
 
     /// Execution latency of `demand` on configuration `cfg` (Eqn. 1/3):
@@ -115,8 +353,20 @@ impl<'p> DvfsModel<'p> {
     }
 
     /// Active power drawn while executing on `cfg`, including the idle power
-    /// of the other cluster (cores stay on, Sec. 4.1).
+    /// of the other cluster (cores stay on, Sec. 4.1). Served from the
+    /// precomputed ladder for platform operating points; derived directly
+    /// (identically) for off-ladder configurations.
     pub fn execution_power(&self, cfg: &AcmpConfig) -> PowerMw {
+        match self.rung_for(cfg) {
+            Some(rung) => rung.exec_power,
+            None => self.execution_power_reference(cfg),
+        }
+    }
+
+    /// [`DvfsModel::execution_power`] computed from the platform tables on
+    /// every call — the pre-ladder implementation, retained as the reference
+    /// the differential tests compare the precomputed path against.
+    pub fn execution_power_reference(&self, cfg: &AcmpConfig) -> PowerMw {
         self.platform.active_power(cfg) + self.platform.background_idle_power(cfg)
     }
 
@@ -135,8 +385,18 @@ impl<'p> DvfsModel<'p> {
     /// The lowest possible idle power of the whole processor subsystem: every
     /// cluster parked at its minimum operating point plus the SoC floor. This
     /// is the power that is drawn during a user session *regardless* of
-    /// scheduling decisions.
+    /// scheduling decisions. Precomputed at construction — the pre-ladder
+    /// implementation re-derived the minimum-power configuration (an
+    /// O(configs) power scan) on every call, on the hot path of every
+    /// marginal-energy evaluation.
     pub fn baseline_idle_power(&self) -> PowerMw {
+        self.ladder.baseline
+    }
+
+    /// [`DvfsModel::baseline_idle_power`] re-derived from the platform on
+    /// every call (the pre-ladder implementation, kept for the differential
+    /// tests).
+    pub fn baseline_idle_power_reference(&self) -> PowerMw {
         let min_cfg = self.platform.min_power_config();
         self.idle_power(&min_cfg)
     }
@@ -152,6 +412,16 @@ impl<'p> DvfsModel<'p> {
         let time = self.execution_time(demand, cfg);
         let gross = self.execution_power(cfg).energy_over(time);
         let baseline = self.baseline_idle_power().energy_over(time);
+        gross - baseline
+    }
+
+    /// [`DvfsModel::marginal_energy`] with every power term re-derived from
+    /// the platform tables (the pre-ladder implementation, kept for the
+    /// differential tests).
+    pub fn marginal_energy_reference(&self, demand: &CpuDemand, cfg: &AcmpConfig) -> EnergyUj {
+        let time = self.execution_time(demand, cfg);
+        let gross = self.execution_power_reference(cfg).energy_over(time);
+        let baseline = self.baseline_idle_power_reference().energy_over(time);
         gross - baseline
     }
 
@@ -211,8 +481,30 @@ impl<'p> DvfsModel<'p> {
 
     /// The cheapest (lowest marginal-energy) configuration that finishes
     /// `demand` within `budget`, or `None` if even the fastest configuration
-    /// misses the budget (the Type I situation of Sec. 4.3).
+    /// misses the budget (the Type I situation of Sec. 4.3). Evaluated over
+    /// the precomputed ladder; schedulers holding a [`LadderCache`] can skip
+    /// even the 17 fused evaluations when the demand repeats.
     pub fn cheapest_config_within(
+        &self,
+        demand: &CpuDemand,
+        budget: TimeUs,
+    ) -> Option<AcmpConfig> {
+        select_cheapest(
+            (0..self.ladder.len()).map(|i| {
+                (
+                    self.ladder.execution_time_at(demand, i),
+                    self.ladder.marginal_energy_at(demand, i).as_microjoules(),
+                    self.ladder.rungs[i].config,
+                )
+            }),
+            budget,
+        )
+    }
+
+    /// [`DvfsModel::cheapest_config_within`] driven entirely by the direct
+    /// per-call model (the pre-ladder implementation, kept so golden-trace
+    /// tests can replay decisions against the original math).
+    pub fn cheapest_config_within_reference(
         &self,
         demand: &CpuDemand,
         budget: TimeUs,
@@ -226,7 +518,7 @@ impl<'p> DvfsModel<'p> {
             if self.execution_time(demand, cfg) > budget {
                 continue;
             }
-            let energy = self.marginal_energy(demand, cfg).as_microjoules();
+            let energy = self.marginal_energy_reference(demand, cfg).as_microjoules();
             assert!(energy.is_finite(), "energy is finite");
             match best {
                 Some((_, cheapest)) if energy >= cheapest => {}
@@ -384,6 +676,96 @@ mod tests {
         let half = c.scale(0.5);
         assert_eq!(half.t_mem(), TimeUs::from_millis_f64(2.5));
         assert_eq!(half.ref_cycles().get(), 1_500);
+    }
+
+    #[test]
+    fn ladder_matches_direct_model_bit_for_bit() {
+        for platform in [Platform::exynos_5410(), Platform::tx2_parker()] {
+            let model = DvfsModel::new(&platform);
+            let ladder = model.ladder();
+            assert_eq!(ladder.len(), platform.configs().len());
+            assert_eq!(
+                ladder.baseline_idle_power().as_milliwatts(),
+                model.baseline_idle_power_reference().as_milliwatts()
+            );
+            let demands = [
+                CpuDemand::ZERO,
+                CpuDemand::new(TimeUs::from_micros(137), CpuCycles::new(999_999)),
+                CpuDemand::new(TimeUs::from_millis(20), CpuCycles::new(300_000_000)),
+            ];
+            let mut points = Vec::new();
+            for demand in &demands {
+                ladder.eval_into(demand, &mut points);
+                for (i, (point, cfg)) in points.iter().zip(platform.configs()).enumerate() {
+                    assert_eq!(point.config, *cfg);
+                    assert_eq!(point.time, model.execution_time(demand, cfg));
+                    assert_eq!(
+                        point.energy_uj.to_bits(),
+                        model.marginal_energy_reference(demand, cfg).as_microjoules().to_bits(),
+                        "rung {i} energy must be bit-identical"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_cache_hits_on_repeated_demands_and_survives_eviction() {
+        let platform = Platform::exynos_5410();
+        let model = DvfsModel::new(&platform);
+        let mut cache = LadderCache::new();
+        let demand = CpuDemand::new(TimeUs::from_millis(3), CpuCycles::new(90_000_000));
+        let first = cache.points(model.ladder(), &demand).to_vec();
+        let again = cache.points(model.ladder(), &demand).to_vec();
+        assert_eq!(first, again);
+        assert_eq!(cache.stats(), (1, 1));
+        // Push enough distinct demands through to wrap the ring, then ask
+        // for one of the evicted rows again: it must be re-evaluated, not
+        // served stale.
+        for i in 0..40u64 {
+            let d = CpuDemand::new(TimeUs::from_micros(i), CpuCycles::new(i * 1_000));
+            let points = cache.points(model.ladder(), &d).to_vec();
+            let mut expected = Vec::new();
+            model.ladder().eval_into(&d, &mut expected);
+            assert_eq!(points, expected);
+        }
+        let revisited = cache.points(model.ladder(), &demand).to_vec();
+        assert_eq!(revisited, first);
+        cache.clear();
+        assert_eq!(cache.points(model.ladder(), &demand).to_vec(), first);
+    }
+
+    #[test]
+    fn ladder_selection_matches_the_reference_selector() {
+        let (platform, demand) = model_fixture();
+        let model = DvfsModel::new(&platform);
+        let mut points = Vec::new();
+        model.ladder().eval_into(&demand, &mut points);
+        for budget_us in [10, 28_000, 40_000, 75_000, 200_000, 10_000_000] {
+            let budget = TimeUs::from_micros(budget_us);
+            assert_eq!(
+                DvfsLadder::cheapest_within(&points, budget),
+                model.cheapest_config_within_reference(&demand, budget),
+                "selection diverged at budget {budget_us}us"
+            );
+            assert_eq!(
+                model.cheapest_config_within(&demand, budget),
+                model.cheapest_config_within_reference(&demand, budget),
+            );
+        }
+    }
+
+    #[test]
+    fn execution_power_falls_back_for_off_ladder_configs() {
+        let platform = Platform::exynos_5410();
+        let model = DvfsModel::new(&platform);
+        // 1234 MHz is not an Exynos operating point; the model must still
+        // answer, with the same value the direct derivation produces.
+        let off = AcmpConfig::new(CoreKind::BigA15, FreqMhz::new(1234));
+        assert_eq!(
+            model.execution_power(&off).as_milliwatts(),
+            model.execution_power_reference(&off).as_milliwatts()
+        );
     }
 
     #[test]

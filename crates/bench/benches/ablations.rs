@@ -62,10 +62,10 @@ fn lnes_masking(c: &mut Criterion) {
     let mut group = c.benchmark_group("prediction_with_and_without_dom");
     group.sample_size(30);
     group.bench_function("with LNES masking", |b| {
-        b.iter(|| black_box(with_dom.predict_next(black_box(&state))))
+        b.iter(|| black_box(with_dom.predict_next(black_box(&mut state))))
     });
     group.bench_function("without LNES masking", |b| {
-        b.iter(|| black_box(without_dom.predict_next(black_box(&state))))
+        b.iter(|| black_box(without_dom.predict_next(black_box(&mut state))))
     });
     group.finish();
 }

@@ -29,7 +29,7 @@ fn predictor_inference(c: &mut Criterion) {
         state.observe(ev);
     }
     c.bench_function("predict_next_event (logistic inference)", |b| {
-        b.iter(|| black_box(learner.predict_next(black_box(&state))))
+        b.iter(|| black_box(learner.predict_next(black_box(&mut state))))
     });
     c.bench_function("predict_event_sequence (one prediction round)", |b| {
         b.iter(|| black_box(learner.predict_sequence(black_box(&state))))

@@ -19,7 +19,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use pes_acmp::Platform;
+use pes_acmp::units::{CpuCycles, TimeUs};
+use pes_acmp::{CpuDemand, DvfsLadder, DvfsModel, LadderCache, Platform};
 use pes_core::{OracleScheduler, PesConfig, PesScheduler};
 use pes_predictor::{LearnerConfig, PredictScratch, SessionState, Trainer, TrainingConfig};
 use pes_schedulers::{Ebs, InteractiveGovernor, OndemandGovernor};
@@ -131,6 +132,36 @@ fn session_replay(c: &mut Criterion) {
         b.iter(|| {
             let page = app.build_page();
             black_box(TraceGenerator::new().generate(app, &page, EVAL_SEED_BASE))
+        })
+    });
+
+    // ------------------------------------------------------------------
+    // Event fast-path kernels: the per-decision DVFS math that dominates
+    // the Oracle unit (17-config window fills) and the EBS unit (reactive
+    // decisions), isolated from the replay loop.
+    // ------------------------------------------------------------------
+    let dvfs = DvfsModel::new(&platform);
+    let demand = CpuDemand::new(TimeUs::from_millis(4), CpuCycles::new(120_000_000));
+    let budget = TimeUs::from_millis(120);
+
+    // One cold 17-configuration evaluation — what every optimisation-window
+    // item fill and every reactive decision paid per event before the
+    // ladder, and what a cache miss pays now.
+    let mut points_buf = Vec::new();
+    group.bench_function("dvfs_decision/ladder_eval_17", |b| {
+        b.iter(|| {
+            dvfs.ladder().eval_into(black_box(&demand), &mut points_buf);
+            black_box(DvfsLadder::cheapest_within(&points_buf, budget))
+        })
+    });
+
+    // The steady-state reactive decision: demand-memo hit + budget scan —
+    // the EBS fast path.
+    let mut cache = LadderCache::new();
+    group.bench_function("dvfs_decision/cached_decision", |b| {
+        b.iter(|| {
+            let points = cache.points(dvfs.ladder(), black_box(&demand));
+            black_box(DvfsLadder::cheapest_within(points, budget))
         })
     });
     group.finish();

@@ -12,9 +12,9 @@
 use std::collections::VecDeque;
 
 use pes_acmp::units::{EnergyUj, TimeUs};
-use pes_acmp::{AcmpConfig, ActivityKind, CpuDemand, Platform};
+use pes_acmp::{AcmpConfig, ActivityKind, CpuDemand, DvfsLadder, LadderCache, Platform};
 use pes_dom::{BuiltPage, EventType};
-use pes_ilp::{IlpError, ScheduleItem, ScheduleOption, ScheduleProblem, ScheduleSolution, SolveScratch};
+use pes_ilp::{IlpError, ScheduleItem, ScheduleProblem, ScheduleSolution, SolveScratch};
 use pes_predictor::{EventSequenceLearner, LearnerConfig, PredictScratch, SessionState};
 use pes_schedulers::DemandProfiler;
 use pes_webrt::{EventId, ExecutionEngine, QosOutcome, QosPolicy, WebEvent};
@@ -239,6 +239,10 @@ struct RunScratch {
     /// Scratch session for planning past an outstanding event, reused across
     /// events instead of cloning the live session each time.
     session_scratch: Option<SessionState>,
+    /// Demand-keyed memo over the precomputed DVFS ladder: window fills and
+    /// reactive fallbacks evaluate the same few (quantised) demands over and
+    /// over, so the 17-configuration evaluation usually comes from cache.
+    ladder_cache: LadderCache,
 }
 
 /// How the runtime knows about the future.
@@ -490,7 +494,7 @@ impl ProactiveRuntime {
             if !committed_from_pfb {
                 let start_time = engine.cpu_free_at().max(ev.arrival());
                 let config = if prediction_disabled || profiler.needs_profiling(ev.event_type()) {
-                    self.reactive_config(&profiler, &engine, qos, ev, start_time)
+                    self.reactive_config(&mut rs.ladder_cache, &profiler, &engine, qos, ev, start_time)
                 } else {
                     // `prediction_disabled` is false on this path, so the
                     // freshly planned speculation always replaces `plan`.
@@ -530,9 +534,11 @@ impl ProactiveRuntime {
         report
     }
 
-    /// Reactive (EBS-equivalent) configuration choice for one event.
+    /// Reactive (EBS-equivalent) configuration choice for one event, served
+    /// from the precomputed DVFS ladder through the replay's demand memo.
     fn reactive_config(
         &self,
+        ladder_cache: &mut LadderCache,
         profiler: &DemandProfiler,
         engine: &ExecutionEngine<'_>,
         qos: &QosPolicy,
@@ -547,9 +553,8 @@ impl ProactiveRuntime {
             .expect("profiled types have estimates");
         let deadline = ev.arrival() + qos.target_for_event(ev.event_type());
         let budget = deadline.saturating_sub(start_time);
-        engine
-            .dvfs()
-            .cheapest_config_within(&estimate, budget)
+        let points = ladder_cache.points(engine.dvfs().ladder(), &estimate);
+        DvfsLadder::cheapest_within(points, budget)
             .unwrap_or_else(|| engine.platform().max_performance_config())
     }
 
@@ -690,6 +695,7 @@ impl ProactiveRuntime {
             };
             Self::fill_schedule_item(
                 &mut rs.items_buf,
+                &mut rs.ladder_cache,
                 used,
                 engine,
                 &demand,
@@ -713,6 +719,7 @@ impl ProactiveRuntime {
             };
             Self::fill_schedule_item(
                 &mut rs.items_buf,
+                &mut rs.ladder_cache,
                 used,
                 engine,
                 &demand,
@@ -787,16 +794,28 @@ impl ProactiveRuntime {
         match plan.pop_front() {
             Some(first) => (first.config, nodes),
             None => (
-                self.reactive_config(profiler, engine, qos, ev, engine.cpu_free_at().max(ev.arrival())),
+                self.reactive_config(
+                    &mut rs.ladder_cache,
+                    profiler,
+                    engine,
+                    qos,
+                    ev,
+                    engine.cpu_free_at().max(ev.arrival()),
+                ),
                 nodes,
             ),
         }
     }
 
     /// Writes the schedule item for one event into slot `used` of `items`,
-    /// reusing the slot's `options` allocation when one exists.
+    /// reusing the slot's `options` allocation when one exists. The
+    /// per-configuration `(latency, energy)` table is a precomputed ladder
+    /// row served through the replay's demand memo: the pre-ladder code
+    /// re-derived every power term per configuration per fill, which
+    /// dominated the Oracle's per-event cost.
     fn fill_schedule_item(
         items: &mut Vec<ScheduleItem>,
+        ladder_cache: &mut LadderCache,
         used: usize,
         engine: &ExecutionEngine<'_>,
         demand: &CpuDemand,
@@ -813,19 +832,8 @@ impl ProactiveRuntime {
         let item = &mut items[used];
         item.release_us = release.as_micros();
         item.deadline_us = deadline.as_micros();
-        item.options.clear();
-        item.options.extend(
-            engine
-                .platform()
-                .configs()
-                .iter()
-                .enumerate()
-                .map(|(j, cfg)| ScheduleOption {
-                    choice: j,
-                    duration_us: engine.dvfs().execution_time(demand, cfg).as_micros(),
-                    cost: engine.dvfs().marginal_energy(demand, cfg).as_microjoules(),
-                }),
-        );
+        let points = ladder_cache.points(engine.dvfs().ladder(), demand);
+        item.assign_options(points.iter().map(|p| (p.time.as_micros(), p.energy_uj)));
     }
 }
 

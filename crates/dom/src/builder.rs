@@ -20,7 +20,10 @@ pub struct BuiltPage {
     /// The page DOM, shared immutably. Sessions that need to mutate the DOM
     /// (the predictor's `SessionState`) hold their own handle and clone
     /// copy-on-write, so a page built once can back any number of concurrent
-    /// replays without per-replay tree copies.
+    /// replays without per-replay tree copies. The tree's
+    /// [`crate::tree::TreeStamp`] travels with every such clone: incremental
+    /// analyzer caches keyed on the stamp stay valid across unmutated clones
+    /// and self-invalidate the moment a copy-on-write clone diverges.
     pub tree: Arc<DomTree>,
     /// The Semantic Tree memoizing every listener's effect.
     pub semantic: SemanticTree,

@@ -186,6 +186,12 @@ impl EventTypeSet {
         self.0 |= 1 << event.class_index();
     }
 
+    /// The union of two sets (used by the incremental analyzer to merge the
+    /// visible-node mask with the document-level scroll/navigate bits).
+    pub fn union(self, other: EventTypeSet) -> EventTypeSet {
+        EventTypeSet(self.0 | other.0)
+    }
+
     /// Whether the set contains the event type.
     pub fn contains(self, event: EventType) -> bool {
         self.0 & (1 << event.class_index()) != 0
@@ -288,5 +294,18 @@ mod tests {
         assert_eq!(EventTypeSet::ALL.len(), EventType::ALL.len());
         let collected: EventTypeSet = EventType::ALL.into_iter().collect();
         assert_eq!(collected, EventTypeSet::ALL);
+    }
+
+    #[test]
+    fn event_type_set_union() {
+        let mut a = EventTypeSet::EMPTY;
+        a.insert(EventType::Click);
+        let mut b = EventTypeSet::EMPTY;
+        b.insert(EventType::Scroll);
+        let ab = a.union(b);
+        assert!(ab.contains(EventType::Click) && ab.contains(EventType::Scroll));
+        assert_eq!(ab.len(), 2);
+        assert_eq!(a.union(a), a);
+        assert_eq!(EventTypeSet::ALL.union(EventTypeSet::EMPTY), EventTypeSet::ALL);
     }
 }

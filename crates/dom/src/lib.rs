@@ -16,6 +16,9 @@
 //! * [`SemanticTree`] — the memoized effect table and hypothetical-apply,
 //! * [`DomAnalyzer`] — LNES computation, post-event LNES projection and the
 //!   application-inherent features of Table 1,
+//! * [`IncrementalAnalyzer`] — the same features and LNES type bitmask
+//!   maintained as deltas on scroll/toggle events (validated against the
+//!   tree's [`tree::TreeStamp`]), the per-prediction-step fast path,
 //! * [`PageBuilder`] — realistic page construction used by the workload
 //!   generator.
 //!
@@ -59,13 +62,15 @@ pub mod geometry;
 pub mod semantic;
 pub mod tree;
 
-pub use analyzer::{DomAnalyzer, Lnes, PossibleEvent, ViewportFeatures};
+pub use analyzer::{
+    DomAnalyzer, IncrementalAnalyzer, IncrementalStats, Lnes, PossibleEvent, ViewportFeatures,
+};
 pub use builder::{BuiltPage, PageBuilder};
 pub use error::DomError;
 pub use events::{EventType, EventTypeSet, Interaction};
 pub use geometry::{Rect, Viewport};
 pub use semantic::{SemanticEntry, SemanticRole, SemanticTree};
-pub use tree::{CallbackEffect, DomNode, DomTree, NodeId, NodeKind};
+pub use tree::{CallbackEffect, DomNode, DomTree, NodeId, NodeKind, TreeStamp};
 
 #[cfg(test)]
 mod tests {

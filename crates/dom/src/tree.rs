@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 
 use crate::error::DomError;
@@ -205,6 +206,26 @@ impl DomNode {
     }
 }
 
+/// An opaque token identifying one content state of one [`DomTree`].
+///
+/// Stamps are drawn from a process-wide monotone counter: a fresh stamp is
+/// assigned at construction and after every mutating operation, while
+/// `Clone` copies the source's stamp. Two trees carrying the same stamp are
+/// therefore guaranteed to hold identical content (one is an unmutated clone
+/// of the other), which is what lets the incremental analyzer validate its
+/// cached aggregates across the copy-on-write `Arc<DomTree>` clones the
+/// session state performs — without ever diffing trees. Stamps are *not*
+/// part of a tree's logical value: equality of trees ignores them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TreeStamp(u64);
+
+impl TreeStamp {
+    fn next() -> TreeStamp {
+        static COUNTER: AtomicU64 = AtomicU64::new(1);
+        TreeStamp(COUNTER.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
 /// An arena-based DOM tree.
 ///
 /// # Examples
@@ -223,10 +244,19 @@ impl DomNode {
 /// assert!(tree.is_effectively_visible(button, &vp));
 /// assert!(tree.node(button).unwrap().is_clickable());
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DomTree {
     nodes: Vec<DomNode>,
     root: NodeId,
+    stamp: TreeStamp,
+}
+
+impl PartialEq for DomTree {
+    fn eq(&self, other: &Self) -> bool {
+        // The stamp is a cache-validity token, not content: two trees built
+        // the same way compare equal even though their stamps differ.
+        self.nodes == other.nodes && self.root == other.root
+    }
 }
 
 impl DomTree {
@@ -236,12 +266,19 @@ impl DomTree {
         DomTree {
             nodes: vec![root_node],
             root: NodeId(0),
+            stamp: TreeStamp::next(),
         }
     }
 
     /// The document root.
     pub fn root(&self) -> NodeId {
         self.root
+    }
+
+    /// The tree's current content stamp. Refreshed by every mutating
+    /// operation; preserved by `Clone`. See [`TreeStamp`].
+    pub fn stamp(&self) -> TreeStamp {
+        self.stamp
     }
 
     /// Number of nodes in the tree (including the root).
@@ -259,6 +296,7 @@ impl DomTree {
     pub fn create_node(&mut self, kind: NodeKind, rect: Rect) -> NodeId {
         let id = NodeId(self.nodes.len());
         self.nodes.push(DomNode::new(kind, rect));
+        self.stamp = TreeStamp::next();
         id
     }
 
@@ -271,6 +309,7 @@ impl DomTree {
     ) -> NodeId {
         let id = self.create_node(kind, rect);
         self.nodes[id.0].label = label.into();
+        self.stamp = TreeStamp::next();
         id
     }
 
@@ -305,6 +344,7 @@ impl DomTree {
         }
         self.nodes[child.0].parent = Some(parent);
         self.nodes[parent.0].children.push(child);
+        self.stamp = TreeStamp::next();
         Ok(())
     }
 
@@ -338,6 +378,7 @@ impl DomTree {
     ) -> Result<(), DomError> {
         self.check_id(id)?;
         self.nodes[id.0].listeners.insert(event, effect);
+        self.stamp = TreeStamp::next();
         Ok(())
     }
 
@@ -349,6 +390,7 @@ impl DomTree {
     pub fn set_displayed(&mut self, id: NodeId, displayed: bool) -> Result<(), DomError> {
         self.check_id(id)?;
         self.nodes[id.0].displayed = displayed;
+        self.stamp = TreeStamp::next();
         Ok(())
     }
 
@@ -362,7 +404,9 @@ impl DomTree {
         self.check_id(id)?;
         let node = &mut self.nodes[id.0];
         node.displayed = !node.displayed;
-        Ok(node.displayed)
+        let displayed = node.displayed;
+        self.stamp = TreeStamp::next();
+        Ok(displayed)
     }
 
     /// Moves a node (and implicitly its subtree) by `(dx, dy)` document
@@ -376,6 +420,7 @@ impl DomTree {
         self.check_id(id)?;
         let rect = self.nodes[id.0].rect.translated(dx, dy);
         self.nodes[id.0].rect = rect;
+        self.stamp = TreeStamp::next();
         Ok(())
     }
 
@@ -644,6 +689,25 @@ mod tests {
         let vp = Viewport::phone();
         assert_eq!(tree.visible_link_nodes(&vp), vec![link]);
         assert_eq!(tree.visible_clickable_nodes(&vp).len(), 2);
+    }
+
+    #[test]
+    fn stamps_track_content_identity() {
+        let (mut tree, _button, menu, _item) = small_tree();
+        let before = tree.stamp();
+        // An unmutated clone carries the same stamp and equal content.
+        let snapshot = tree.clone();
+        assert_eq!(snapshot.stamp(), before);
+        assert_eq!(snapshot, tree);
+        // Every mutation refreshes the stamp; logical equality ignores it.
+        tree.toggle_displayed(menu).unwrap();
+        assert_ne!(tree.stamp(), before);
+        assert_ne!(tree, snapshot);
+        tree.toggle_displayed(menu).unwrap();
+        assert_eq!(tree, snapshot, "content is back; stamps still differ");
+        assert_ne!(tree.stamp(), snapshot.stamp());
+        // Independently built trees never share a stamp.
+        assert_ne!(DomTree::new().stamp(), DomTree::new().stamp());
     }
 
     #[test]

@@ -76,6 +76,29 @@ pub struct ScheduleItem {
     pub options: Vec<ScheduleOption>,
 }
 
+impl ScheduleItem {
+    /// Overwrites the option list from `(duration_us, cost)` pairs in choice
+    /// order, reusing the existing allocation. This is how the PES runtime
+    /// pours a precomputed per-configuration latency/energy ladder row into
+    /// the node-expansion cost table without rebuilding `ScheduleOption`s by
+    /// hand (the `choice` of each option is its position, matching the
+    /// platform's configuration indices).
+    pub fn assign_options<I>(&mut self, options: I)
+    where
+        I: IntoIterator<Item = (u64, f64)>,
+    {
+        self.options.clear();
+        self.options
+            .extend(options.into_iter().enumerate().map(|(choice, (duration_us, cost))| {
+                ScheduleOption {
+                    choice,
+                    duration_us,
+                    cost,
+                }
+            }));
+    }
+}
+
 /// A solved schedule.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ScheduleSolution {

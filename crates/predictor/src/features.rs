@@ -12,7 +12,9 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use pes_dom::{DomAnalyzer, DomTree, EventType, EventTypeSet, NodeId, Viewport};
+use pes_dom::{
+    DomAnalyzer, DomTree, EventType, EventTypeSet, IncrementalAnalyzer, NodeId, Viewport,
+};
 use pes_webrt::WebEvent;
 
 /// The number of recent events considered by the interaction-dependent
@@ -151,6 +153,12 @@ pub struct SessionState {
     viewport: Viewport,
     history: HistoryWindow,
     analyzer: DomAnalyzer,
+    /// Delta-maintained viewport aggregates and LNES bitmask — the
+    /// per-prediction-step fast path. Purely a cache: it self-validates
+    /// against the tree's `TreeStamp` and the viewport, so it is *not*
+    /// copied by `clone_from` (the scratch session's own cache usually
+    /// resynchronises by a cheap scroll delta instead).
+    inc: IncrementalAnalyzer,
 }
 
 impl Clone for SessionState {
@@ -160,6 +168,7 @@ impl Clone for SessionState {
             viewport: self.viewport,
             history: self.history.clone(),
             analyzer: self.analyzer,
+            inc: IncrementalAnalyzer::new(),
         }
     }
 
@@ -170,6 +179,7 @@ impl Clone for SessionState {
         self.viewport = source.viewport;
         self.history.clone_from(&source.history);
         self.analyzer = source.analyzer;
+        // `self.inc` is deliberately kept: stamp validation re-syncs it.
     }
 }
 
@@ -182,6 +192,7 @@ impl SessionState {
             viewport: Viewport::phone(),
             history: HistoryWindow::new(),
             analyzer: DomAnalyzer::new(),
+            inc: IncrementalAnalyzer::new(),
         }
     }
 
@@ -253,7 +264,18 @@ impl SessionState {
                 // effects force this session onto a private tree copy.
                 // Stale targets cannot occur for effects memoized on this
                 // tree.
-                let _ = Arc::make_mut(&mut self.tree).apply_effect(effect, &mut self.viewport);
+                let pre = self.tree.stamp();
+                let applied = Arc::make_mut(&mut self.tree)
+                    .apply_effect(effect, &mut self.viewport)
+                    .is_ok();
+                if applied {
+                    if let pes_dom::CallbackEffect::ToggleVisibility(target) = effect {
+                        // Keep the incremental aggregates on the delta path:
+                        // re-fold only the toggled subtree instead of letting
+                        // the stamp mismatch force a full rescan.
+                        self.inc.note_toggle(pre, &self.tree, target);
+                    }
+                }
             } else {
                 // Scrolls and navigations only move the viewport; the shared
                 // tree stays shared.
@@ -264,7 +286,7 @@ impl SessionState {
 
     /// The feature vector describing "what comes next" from the current
     /// state.
-    pub fn features(&self) -> FeatureVector {
+    pub fn features(&mut self) -> FeatureVector {
         let mut features = Vec::with_capacity(FEATURE_DIM);
         self.features_into(&mut features);
         features
@@ -272,9 +294,13 @@ impl SessionState {
 
     /// Writes the feature vector into `out` (cleared first), reusing the
     /// buffer's capacity — the allocation-free path the learner uses on
-    /// every prediction step.
-    pub fn features_into(&self, out: &mut FeatureVector) {
-        let vp = self.analyzer.viewport_features(&self.tree, &self.viewport);
+    /// every prediction step. The viewport aggregates come from the
+    /// incremental analyzer, so in the steady state this costs O(1) in the
+    /// DOM size rather than a full-tree scan.
+    pub fn features_into(&mut self, out: &mut FeatureVector) {
+        let vp = self
+            .inc
+            .viewport_features(&self.analyzer, &self.tree, &self.viewport);
         // Normalise the click distance by the viewport diagonal.
         let diag = ((self.viewport.width().pow(2) + self.viewport.height().pow(2)) as f64).sqrt();
         let distance = self
@@ -306,9 +332,16 @@ impl SessionState {
     }
 
     /// The event *types* of the Likely-Next-Event-Set as an allocation-free
-    /// bitmask — exactly the set `self.lnes().event_types()` would return.
-    pub fn allowed_types(&self) -> EventTypeSet {
-        self.analyzer.lnes_types(&self.tree, &self.viewport)
+    /// bitmask — exactly the set `self.lnes().event_types()` would return,
+    /// served from the incremental analyzer's delta-maintained aggregates.
+    pub fn allowed_types(&mut self) -> EventTypeSet {
+        self.inc.lnes_types(&self.analyzer, &self.tree, &self.viewport)
+    }
+
+    /// How the incremental analyzer has kept itself in sync over this
+    /// session (rebuilds vs deltas); exposed for tests and diagnostics.
+    pub fn incremental_stats(&self) -> pes_dom::IncrementalStats {
+        self.inc.stats()
     }
 }
 
@@ -424,6 +457,38 @@ mod tests {
         assert!(state.tree().is_effectively_displayed(menu_item));
         // The LNES now includes the menu items as click targets.
         assert!(state.lnes().nodes_for(EventType::Click).contains(&menu_item));
+    }
+
+    #[test]
+    fn session_queries_stay_on_the_delta_path() {
+        // The performance contract of the incremental analyzer: across a
+        // whole session of scrolls, menu toggles and navigations — with
+        // feature and LNES queries between every event, as the learner
+        // issues them — only the very first query pays a full rebuild.
+        let (page, mut state) = page_state();
+        state.features();
+        state.allowed_types();
+        let menu_button = page.menu_buttons[0];
+        let events = [
+            ev(0, EventType::Load, None, 0),
+            ev(1, EventType::Scroll, None, 100),
+            ev(2, EventType::Scroll, None, 200),
+            ev(3, EventType::Click, Some(menu_button), 300),
+            ev(4, EventType::TouchMove, None, 400),
+            ev(5, EventType::Click, Some(menu_button), 500),
+            ev(6, EventType::Navigate, None, 600),
+            ev(7, EventType::Scroll, None, 700),
+        ];
+        for event in &events {
+            state.observe(event);
+            state.features();
+            state.allowed_types();
+        }
+        let stats = state.incremental_stats();
+        assert_eq!(stats.rebuilds, 1, "session must run on deltas: {stats:?}");
+        assert!(stats.scroll_deltas > 0, "{stats:?}");
+        assert!(stats.scroll_resets > 0, "{stats:?}");
+        assert_eq!(stats.toggle_deltas, 2, "both menu toggles take the fast path: {stats:?}");
     }
 
     #[test]

@@ -139,8 +139,10 @@ impl EventSequenceLearner {
     }
 
     /// Predicts the type of the immediate next event from the current session
-    /// state, together with its confidence.
-    pub fn predict_next(&self, state: &SessionState) -> (EventType, f64) {
+    /// state, together with its confidence. Takes the state mutably so the
+    /// session's incremental analyzer can lazily resynchronise its cached
+    /// viewport aggregates; the logical session state is not changed.
+    pub fn predict_next(&self, state: &mut SessionState) -> (EventType, f64) {
         let mut features = Vec::with_capacity(FEATURE_DIM);
         self.predict_next_into(state, &mut features)
     }
@@ -149,7 +151,7 @@ impl EventSequenceLearner {
     /// caller-owned buffer: the allocation-free step of a prediction round.
     fn predict_next_into(
         &self,
-        state: &SessionState,
+        state: &mut SessionState,
         features: &mut FeatureVector,
     ) -> (EventType, f64) {
         state.features_into(features);
@@ -337,14 +339,14 @@ mod tests {
         // Build a page with *no* scrollable content and no scroll listener, so
         // the LNES cannot contain move events.
         let page = PageBuilder::new(360).nav_bar(3).build();
-        let state = SessionState::new(page.tree.clone());
+        let mut state = SessionState::new(page.tree.clone());
         let clf = confident_scroll_classifier();
         let with_lnes =
             EventSequenceLearner::new(clf.clone(), LearnerConfig::paper_defaults().with_lnes(true));
         let without_lnes =
             EventSequenceLearner::new(clf, LearnerConfig::paper_defaults().with_lnes(false));
-        let (masked, _) = with_lnes.predict_next(&state);
-        let (unmasked, _) = without_lnes.predict_next(&state);
+        let (masked, _) = with_lnes.predict_next(&mut state);
+        let (unmasked, _) = without_lnes.predict_next(&mut state);
         assert_ne!(masked, EventType::Scroll, "LNES must exclude scrolling on a short page");
         assert_eq!(unmasked, EventType::Scroll);
     }

@@ -87,21 +87,33 @@ impl Trainer {
         &self.config
     }
 
-    /// Trains the global event-sequence classifier on training traces from
-    /// every *seen* application in the catalog (Sec. 5.5: "the event sequence
-    /// model is trained using training traces from all applications").
-    pub fn train(&self, catalog: &AppCatalog) -> OneVsRestClassifier {
-        let generator = TraceGenerator::new();
+    /// Builds the training dataset of one application: its page, its seeded
+    /// training traces and the per-event feature/label samples. Each app's
+    /// dataset is independent of every other app's — the unit of work the
+    /// experiment drivers fan out over scoped threads.
+    pub fn app_dataset(&self, app: &AppProfile) -> Vec<(FeatureVector, EventType)> {
+        let page = app.build_page();
+        let traces = TraceGenerator::new().generate_many(
+            app,
+            &page,
+            TRAINING_SEED_BASE + app_offset(app),
+            self.config.traces_per_app,
+        );
+        build_dataset(&page, &traces)
+    }
+
+    /// Fits the one-vs-rest classifier on per-application datasets supplied
+    /// in catalog order. Concatenation order is part of the training
+    /// protocol (the SGD shuffle is seeded over the concatenated dataset),
+    /// so callers building datasets in parallel must still yield them in the
+    /// serial order for byte-identical models.
+    pub fn train_from_app_datasets<I>(&self, datasets: I) -> OneVsRestClassifier
+    where
+        I: IntoIterator<Item = Vec<(FeatureVector, EventType)>>,
+    {
         let mut dataset = Vec::new();
-        for app in catalog.seen_apps() {
-            let page = app.build_page();
-            let traces = generator.generate_many(
-                app,
-                &page,
-                TRAINING_SEED_BASE + app_offset(app),
-                self.config.traces_per_app,
-            );
-            dataset.extend(build_dataset(&page, &traces));
+        for app_dataset in datasets {
+            dataset.extend(app_dataset);
         }
         let mut classifier = OneVsRestClassifier::zeros(FEATURE_DIM);
         classifier.train(
@@ -112,6 +124,13 @@ impl Trainer {
             self.config.seed,
         );
         classifier
+    }
+
+    /// Trains the global event-sequence classifier on training traces from
+    /// every *seen* application in the catalog (Sec. 5.5: "the event sequence
+    /// model is trained using training traces from all applications").
+    pub fn train(&self, catalog: &AppCatalog) -> OneVsRestClassifier {
+        self.train_from_app_datasets(catalog.seen_apps().map(|app| self.app_dataset(app)))
     }
 
     /// Convenience: trains and wraps the classifier into a sequence learner
@@ -148,7 +167,7 @@ pub fn evaluate_accuracy<T: std::borrow::Borrow<Trace>>(
         let mut state = SessionState::new(page.tree.clone());
         for (i, event) in trace.events().iter().enumerate() {
             if i > 0 {
-                let (predicted, _) = learner.predict_next(&state);
+                let (predicted, _) = learner.predict_next(&mut state);
                 total += 1;
                 if predicted == event.event_type() {
                     correct += 1;

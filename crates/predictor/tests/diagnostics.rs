@@ -40,7 +40,7 @@ fn per_app_accuracy_report() {
         let mut state = SessionState::new(page.tree.clone());
         for (i, event) in trace.events().iter().enumerate() {
             if i > 0 {
-                let (pred, conf) = learner.predict_next(&state);
+                let (pred, conf) = learner.predict_next(&mut state);
                 *confusion.entry((event.event_type(), pred)).or_default() += 1;
                 if pred != event.event_type() {
                     println!(

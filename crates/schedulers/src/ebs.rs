@@ -9,7 +9,7 @@
 //! removes.
 
 use pes_acmp::units::TimeUs;
-use pes_acmp::AcmpConfig;
+use pes_acmp::{AcmpConfig, DvfsLadder, LadderCache};
 use pes_webrt::WebEvent;
 
 use crate::context::{ScheduleContext, Scheduler};
@@ -19,6 +19,10 @@ use crate::profiler::DemandProfiler;
 #[derive(Debug, Clone)]
 pub struct Ebs {
     profiler: DemandProfiler,
+    /// Demand-keyed memo over the precomputed DVFS ladder: the profiled
+    /// estimate of an event type only changes when a new observation lands,
+    /// so most decisions re-evaluate a demand this cache already holds.
+    ladder_cache: LadderCache,
 }
 
 impl Ebs {
@@ -26,6 +30,7 @@ impl Ebs {
     pub fn new(platform: &pes_acmp::Platform) -> Self {
         Ebs {
             profiler: DemandProfiler::new(platform),
+            ladder_cache: LadderCache::new(),
         }
     }
 
@@ -55,7 +60,8 @@ impl Scheduler for Ebs {
         // which is exactly why interference hurts a reactive policy).
         let deadline = event.arrival() + ctx.qos.target_for_event(event.event_type());
         let budget = deadline.saturating_sub(ctx.start_time);
-        match ctx.dvfs.cheapest_config_within(&estimate, budget) {
+        let points = self.ladder_cache.points(ctx.dvfs.ladder(), &estimate);
+        match DvfsLadder::cheapest_within(points, budget) {
             Some(cfg) => cfg,
             // Even the fastest configuration cannot make it (Type I): spend
             // peak performance to minimise the damage, as the paper observes
@@ -78,6 +84,7 @@ impl Scheduler for Ebs {
 
     fn reset(&mut self) {
         self.profiler.reset();
+        self.ladder_cache.clear();
     }
 }
 
@@ -217,6 +224,37 @@ mod tests {
             ebs.schedule_event(&ctx, &ev),
             fixture.platform.max_performance_config()
         );
+    }
+
+    #[test]
+    fn ladder_cached_decisions_match_the_reference_model() {
+        let fixture = Fixture::new();
+        let dvfs = DvfsModel::new(&fixture.platform);
+        let mut ebs = Ebs::new(&fixture.platform);
+        warm_up(&mut ebs, &fixture, EventType::Click, 300);
+        let estimate = ebs.profiler().estimate(EventType::Click).unwrap();
+        // Sweep queueing delays: every budget must produce exactly the
+        // decision the pre-ladder per-call model makes, and repeated
+        // decisions on the same estimate must come from the memo.
+        for delay_ms in [0u64, 50, 100, 150, 200, 250, 280, 299] {
+            let ev = event(9, EventType::Click, 1_000, 300);
+            let ctx = ScheduleContext {
+                platform: &fixture.platform,
+                dvfs: &dvfs,
+                qos: &fixture.qos,
+                start_time: TimeUs::from_millis(1_000 + delay_ms),
+                current_config: fixture.platform.min_power_config(),
+            };
+            let chosen = ebs.schedule_event(&ctx, &ev);
+            let deadline = ev.arrival() + fixture.qos.target_for_event(EventType::Click);
+            let budget = deadline.saturating_sub(ctx.start_time);
+            let reference = dvfs
+                .cheapest_config_within_reference(&estimate, budget)
+                .unwrap_or_else(|| fixture.platform.max_performance_config());
+            assert_eq!(chosen, reference, "decision diverged at delay {delay_ms}ms");
+        }
+        let (hits, misses) = ebs.ladder_cache.stats();
+        assert!(hits >= 7, "repeated estimates must hit the memo: {hits}/{misses}");
     }
 
     #[test]

@@ -55,10 +55,17 @@ pub struct ExperimentContext {
 impl ExperimentContext {
     /// Builds the default experiment context: Exynos 5410, paper QoS targets,
     /// the 18-app suite, and a predictor trained with the default protocol.
-    /// `traces_per_app` controls evaluation cost (the paper uses 3).
+    /// `traces_per_app` controls evaluation cost (the paper uses 3). The
+    /// per-app training datasets are built in parallel (byte-identical to
+    /// the serial protocol, see `crate::training`), so figure-suite startup
+    /// no longer regenerates every training trace on one core.
     pub fn new(traces_per_app: usize) -> Self {
         let catalog = AppCatalog::paper_suite();
-        let learner = Trainer::new().train_learner(&catalog, LearnerConfig::paper_defaults());
+        let learner = crate::training::train_learner_parallel(
+            &Trainer::new(),
+            &catalog,
+            LearnerConfig::paper_defaults(),
+        );
         let traces_per_app = traces_per_app.max(1);
         let scenarios = ScenarioCache::build(&catalog, traces_per_app.max(2));
         ExperimentContext {

@@ -35,6 +35,7 @@ pub mod experiments;
 pub mod parallel;
 pub mod reactive;
 pub mod scenario;
+pub mod training;
 
 pub use classify::{classify_events, distribution, ClassDistribution, EventClass};
 pub use parallel::{par_map, par_map_with, parallelism};
@@ -45,6 +46,7 @@ pub use experiments::{
 };
 pub use reactive::{run_reactive, ReactiveEventRecord, ReactiveReport};
 pub use scenario::ScenarioCache;
+pub use training::{train_learner_parallel, train_parallel};
 
 #[cfg(test)]
 mod tests {

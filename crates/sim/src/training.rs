@@ -1,0 +1,66 @@
+//! Parallel predictor training.
+//!
+//! `Trainer::train` builds one supervised dataset per seen application —
+//! page construction, seeded trace generation and per-event feature
+//! extraction — and only then runs the (inherently serial) SGD fit over the
+//! concatenated samples. The per-app dataset builds are independent and
+//! deterministic, exactly the shape [`crate::par_map`] fans out, yet
+//! `ExperimentContext::new` used to pay for them serially on every figure
+//! run. [`train_learner_parallel`] spreads the dataset builds over scoped
+//! threads and feeds them to the trainer **in catalog order**, so the model
+//! is byte-identical to the serial protocol (pinned by
+//! `parallel_training_matches_serial` below).
+
+use pes_predictor::{EventSequenceLearner, LearnerConfig, OneVsRestClassifier, Trainer};
+use pes_workload::AppCatalog;
+
+use crate::parallel::par_map;
+
+/// Trains the global event-sequence classifier with per-app dataset builds
+/// fanned out over [`par_map`] scoped threads. Identical output to
+/// `trainer.train(catalog)`; only the wall clock changes.
+pub fn train_parallel(trainer: &Trainer, catalog: &AppCatalog) -> OneVsRestClassifier {
+    let apps: Vec<_> = catalog.seen_apps().collect();
+    let datasets = par_map(apps.len(), |i| trainer.app_dataset(apps[i]));
+    trainer.train_from_app_datasets(datasets)
+}
+
+/// [`train_parallel`] wrapped into a sequence learner, mirroring
+/// `Trainer::train_learner`.
+pub fn train_learner_parallel(
+    trainer: &Trainer,
+    catalog: &AppCatalog,
+    config: LearnerConfig,
+) -> EventSequenceLearner {
+    EventSequenceLearner::new(train_parallel(trainer, catalog), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pes_predictor::TrainingConfig;
+
+    #[test]
+    fn parallel_training_matches_serial() {
+        let catalog = AppCatalog::paper_suite();
+        let trainer = Trainer::with_config(TrainingConfig {
+            traces_per_app: 2,
+            epochs: 8,
+            ..Default::default()
+        });
+        let serial = trainer.train(&catalog);
+        let parallel = train_parallel(&trainer, &catalog);
+        assert_eq!(
+            serial, parallel,
+            "fanned-out dataset building must train a byte-identical model"
+        );
+        // The explicitly forced serial fan-out agrees too (no PES_THREADS
+        // env mutation here: the test harness runs tests concurrently and
+        // other tests read that variable).
+        let apps: Vec<_> = catalog.seen_apps().collect();
+        let forced_serial = trainer.train_from_app_datasets(
+            crate::parallel::par_map_with(1, apps.len(), |i| trainer.app_dataset(apps[i])),
+        );
+        assert_eq!(serial, forced_serial);
+    }
+}

@@ -2,12 +2,12 @@
 //! optimizer → speculative execution → metrics) against the reactive
 //! baselines.
 
-use pes::acmp::Platform;
+use pes::acmp::{DvfsModel, Platform};
 use pes::core::{OracleScheduler, PesConfig, PesScheduler};
 use pes::predictor::{LearnerConfig, Trainer, TrainingConfig};
-use pes::schedulers::{Ebs, InteractiveGovernor, OndemandGovernor};
+use pes::schedulers::{DemandProfiler, Ebs, InteractiveGovernor, OndemandGovernor};
 use pes::sim::{classify_events, distribution, run_reactive};
-use pes::webrt::QosPolicy;
+use pes::webrt::{ExecutionEngine, QosPolicy};
 use pes::workload::{AppCatalog, TraceGenerator, EVAL_SEED_BASE};
 
 fn quick_learner(catalog: &AppCatalog) -> pes::predictor::EventSequenceLearner {
@@ -146,6 +146,122 @@ fn ondemand_trades_qos_for_energy_relative_to_interactive() {
     assert!(ondemand_energy < interactive_energy);
     assert!(ondemand_violations >= interactive_violations);
 }
+
+// ---------------------------------------------------------------------------
+// Golden tier: the differential/golden lockdown of the event fast path.
+// ---------------------------------------------------------------------------
+
+/// Golden-trace differential: the ladder-backed EBS decisions must be
+/// byte-identical to the pre-refactor per-call DVFS math. The reference side
+/// replays the same seeded session with the retained
+/// `cheapest_config_within_reference` selector (the exact pre-ladder code),
+/// mirroring `run_reactive`'s engine loop step for step.
+#[test]
+fn ladder_backed_ebs_decisions_are_byte_identical_to_the_pre_refactor_model() {
+    let catalog = AppCatalog::paper_suite();
+    let platform = Platform::exynos_5410();
+    let qos = QosPolicy::paper_defaults();
+    let app = catalog.find("cnn").unwrap();
+    let page = app.build_page();
+    let trace = TraceGenerator::new().generate(app, &page, EVAL_SEED_BASE + 4);
+
+    let fast = run_reactive(&platform, &trace, &mut Ebs::new(&platform), &qos);
+
+    let mut engine = ExecutionEngine::new(&platform, qos);
+    let dvfs = DvfsModel::new(&platform);
+    let mut profiler = DemandProfiler::new(&platform);
+    let mut reference_configs = Vec::with_capacity(trace.len());
+    for ev in trace.events() {
+        let start_time = engine.cpu_free_at().max(ev.arrival());
+        let config = if profiler.needs_profiling(ev.event_type()) {
+            profiler.profiling_config(ev.event_type(), &dvfs)
+        } else {
+            let estimate = profiler.estimate(ev.event_type()).unwrap();
+            let deadline = ev.arrival() + qos.target_for_event(ev.event_type());
+            let budget = deadline.saturating_sub(start_time);
+            dvfs.cheapest_config_within_reference(&estimate, budget)
+                .unwrap_or_else(|| platform.max_performance_config())
+        };
+        let record = engine.execute_event(ev, &config, false);
+        engine.commit(ev, record.frame_ready_at);
+        profiler.observe(ev.event_type(), config, record.busy_time, &dvfs);
+        reference_configs.push(config);
+    }
+
+    let fast_configs: Vec<_> = fast.records.iter().map(|r| r.config).collect();
+    assert_eq!(
+        fast_configs, reference_configs,
+        "ladder-backed decision sequence diverged from the pre-refactor model"
+    );
+    assert_eq!(
+        fast.total_energy.as_microjoules().to_bits(),
+        engine.total_energy().as_microjoules().to_bits(),
+        "session energy must be bit-identical when every decision matches"
+    );
+}
+
+/// Golden seeded sessions: one fixed `(app, seed)` replay per scheduler with
+/// the frame-deadline-miss count pinned exactly and the session energy
+/// pinned to the microjoule. Any change to the event fast path that shifts a
+/// single scheduling decision moves these totals and fails loudly; refresh
+/// the constants only for an intentional behaviour change.
+#[test]
+fn golden_seeded_sessions_stay_pinned() {
+    let catalog = AppCatalog::paper_suite();
+    let platform = Platform::exynos_5410();
+    let qos = QosPolicy::paper_defaults();
+    let app = catalog.find("cnn").unwrap();
+    let page = app.build_page();
+    let trace = TraceGenerator::new().generate(app, &page, EVAL_SEED_BASE + 1);
+    let learner = quick_learner(&catalog);
+
+    // (policy, violations, energy in µJ) goldens for the seeded session.
+    let pes = PesScheduler::new(learner, PesConfig::paper_defaults())
+        .run_trace(&platform, &page, &trace, &qos);
+    let oracle = OracleScheduler::new().run_trace(&platform, &page, &trace, &qos);
+    let ebs = run_reactive(&platform, &trace, &mut Ebs::new(&platform), &qos);
+    let interactive = run_reactive(&platform, &trace, &mut InteractiveGovernor::new(), &qos);
+
+    let golden: [(&str, usize, f64); 4] = [
+        ("PES", GOLDEN_PES.0, GOLDEN_PES.1),
+        ("Oracle", GOLDEN_ORACLE.0, GOLDEN_ORACLE.1),
+        ("EBS", GOLDEN_EBS.0, GOLDEN_EBS.1),
+        ("Interactive", GOLDEN_INTERACTIVE.0, GOLDEN_INTERACTIVE.1),
+    ];
+    let measured: [(&str, usize, f64); 4] = [
+        ("PES", pes.violations, pes.total_energy.as_microjoules()),
+        ("Oracle", oracle.violations, oracle.total_energy.as_microjoules()),
+        ("EBS", ebs.violations(), ebs.total_energy.as_microjoules()),
+        (
+            "Interactive",
+            interactive.violations(),
+            interactive.total_energy.as_microjoules(),
+        ),
+    ];
+    println!("GOLDEN-CAPTURE {measured:?}");
+    for ((policy, gold_violations, gold_energy), (_, violations, energy)) in
+        golden.iter().zip(&measured)
+    {
+        assert_eq!(
+            violations, gold_violations,
+            "{policy}: frame-deadline misses drifted (got {violations}, golden {gold_violations}; \
+             energy {energy:.3} µJ)"
+        );
+        assert!(
+            (energy - gold_energy).abs() < 0.5,
+            "{policy}: session energy drifted (got {energy:.3} µJ, golden {gold_energy:.3} µJ)"
+        );
+    }
+}
+
+/// Golden values for `golden_seeded_sessions_stay_pinned` (cnn, seed
+/// `EVAL_SEED_BASE + 1`): `(frame-deadline misses, session energy in µJ)`.
+/// Identical in debug and release builds; refresh by running the test with
+/// `--nocapture` and copying the `GOLDEN-CAPTURE` line.
+const GOLDEN_PES: (usize, f64) = (5, 14_157_402.728995854);
+const GOLDEN_ORACLE: (usize, f64) = (0, 10_174_317.96923233);
+const GOLDEN_EBS: (usize, f64) = (10, 15_007_199.115158504);
+const GOLDEN_INTERACTIVE: (usize, f64) = (2, 20_044_502.467135124);
 
 #[test]
 fn disabling_dom_analysis_never_helps_prediction() {

@@ -3,8 +3,10 @@
 use proptest::prelude::*;
 
 use pes::acmp::units::{CpuCycles, FreqMhz, TimeUs};
-use pes::acmp::{AcmpConfig, CoreKind, CpuDemand, DvfsModel, Platform};
-use pes::dom::{DomAnalyzer, PageBuilder, Viewport};
+use pes::acmp::{AcmpConfig, CoreKind, CpuDemand, DvfsLadder, DvfsModel, Platform};
+use pes::dom::{
+    CallbackEffect, DomAnalyzer, EventType, IncrementalAnalyzer, PageBuilder, Viewport,
+};
 use pes::ilp::{ScheduleItem, ScheduleOption, ScheduleProblem};
 use pes::webrt::VsyncClock;
 
@@ -136,6 +138,164 @@ proptest! {
         for cluster in platform.clusters() {
             let snapped = cluster.snap_up(FreqMhz::new(target));
             prop_assert!(cluster.frequencies().contains(&snapped));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event fast-path differentials: the incremental DOM analyzer vs the
+// full-rescan analyzer, and the precomputed DVFS ladder vs the direct model.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Differential: the incremental analyzer produces identical viewport
+    /// features and LNES type bitmasks to a full rescan over arbitrary
+    /// interleavings of scroll, navigation-reset, menu-toggle and untracked
+    /// DOM-mutation events, on arbitrarily shaped pages.
+    #[test]
+    fn incremental_analyzer_matches_full_rescan_over_event_sequences(
+        nav_links in 1usize..6,
+        articles in 0usize..12,
+        menu_items in 0usize..6,
+        text_height in 0i64..3_000,
+        ops in proptest::collection::vec((0u8..5, 0usize..8, -1_500i64..3_000), 1..40),
+    ) {
+        let page = PageBuilder::new(360)
+            .nav_bar(nav_links)
+            .collapsible_menu(menu_items)
+            .article_list(articles, true)
+            .text_block(text_height)
+            .build();
+        let analyzer = DomAnalyzer::new();
+        let mut inc = IncrementalAnalyzer::new();
+        let mut tree = page.tree.clone();
+        let mut vp = Viewport::phone();
+        for (step, (op, pick, amount)) in ops.iter().enumerate() {
+            match op {
+                // Scroll by an arbitrary (possibly negative) delta.
+                0 => vp.scroll_by(*amount),
+                // Navigation: the viewport resets to the top of the page.
+                1 => vp.scroll_to(0),
+                // Menu toggle driven through the fast path, as the session
+                // state drives it.
+                2 | 3 if !page.menu_buttons.is_empty() => {
+                    let button = page.menu_buttons[pick % page.menu_buttons.len()];
+                    let effect = tree.node(button).unwrap().listener(EventType::Click).unwrap();
+                    let CallbackEffect::ToggleVisibility(menu) = effect else {
+                        panic!("menu buttons toggle");
+                    };
+                    let pre = tree.stamp();
+                    let mut scratch_vp = vp;
+                    std::sync::Arc::make_mut(&mut tree)
+                        .apply_effect(effect, &mut scratch_vp)
+                        .unwrap();
+                    inc.note_toggle(pre, &tree, menu);
+                }
+                // An untracked mutation (the analyzer is not told): the
+                // stamp guard must force a rebuild instead of serving stale
+                // aggregates.
+                4 if !page.links.is_empty() => {
+                    let link = page.links[pick % page.links.len()];
+                    let t = std::sync::Arc::make_mut(&mut tree);
+                    let displayed = t.node(link).unwrap().is_displayed();
+                    t.set_displayed(link, !displayed).unwrap();
+                }
+                _ => {}
+            }
+            prop_assert_eq!(
+                inc.viewport_features(&analyzer, &tree, &vp),
+                analyzer.viewport_features(&tree, &vp),
+                "features diverged at step {} (op {}, scroll {})",
+                step, op, vp.scroll_y()
+            );
+            prop_assert_eq!(
+                inc.lnes_types(&analyzer, &tree, &vp),
+                analyzer.lnes_types(&tree, &vp),
+                "LNES mask diverged at step {} (op {}, scroll {})",
+                step, op, vp.scroll_y()
+            );
+        }
+    }
+
+    /// Differential: ladder-evaluated latency/energy and the budget selector
+    /// agree bit-for-bit with the direct per-call model on random demands.
+    #[test]
+    fn dvfs_ladder_matches_direct_model_on_random_demands(
+        mem_us in 0u64..2_000_000,
+        kcycles in 0u64..5_000_000,
+        budget_us in 0u64..4_000_000,
+    ) {
+        let platform = Platform::exynos_5410();
+        let model = DvfsModel::new(&platform);
+        let demand = CpuDemand::new(TimeUs::from_micros(mem_us), CpuCycles::new(kcycles * 1_000));
+        let mut points = Vec::new();
+        model.ladder().eval_into(&demand, &mut points);
+        for (point, cfg) in points.iter().zip(platform.configs()) {
+            prop_assert_eq!(point.time, model.execution_time(&demand, cfg));
+            prop_assert!(
+                point.energy_uj.to_bits()
+                    == model.marginal_energy_reference(&demand, cfg).as_microjoules().to_bits()
+            );
+        }
+        let budget = TimeUs::from_micros(budget_us);
+        prop_assert_eq!(
+            DvfsLadder::cheapest_within(&points, budget),
+            model.cheapest_config_within_reference(&demand, budget)
+        );
+    }
+}
+
+/// Exhaustive ladder check: every configuration of both modelled platforms ×
+/// a demand grid spanning idle pseudo-events to heavy page loads. The
+/// precomputed ladder must reproduce the direct `execution_time` /
+/// `marginal_energy` values bit-for-bit — this is the lockdown that lets the
+/// schedulers consume the ladder without any behavioural drift.
+#[test]
+fn ladder_is_exhaustively_bit_identical_to_the_direct_model() {
+    let mem_grid_us = [0u64, 1, 137, 1_000, 5_000, 33_000, 200_000, 3_000_000];
+    let cycle_grid = [
+        0u64,
+        999,
+        25_000_000,
+        120_000_000,
+        300_000_000,
+        1_400_000_000,
+        7_000_000_000,
+    ];
+    for platform in [Platform::exynos_5410(), Platform::tx2_parker()] {
+        let model = DvfsModel::new(&platform);
+        let mut points = Vec::new();
+        for &mem in &mem_grid_us {
+            for &cycles in &cycle_grid {
+                let demand = CpuDemand::new(TimeUs::from_micros(mem), CpuCycles::new(cycles));
+                model.ladder().eval_into(&demand, &mut points);
+                assert_eq!(points.len(), platform.configs().len());
+                for (point, cfg) in points.iter().zip(platform.configs()) {
+                    assert_eq!(point.config, *cfg);
+                    assert_eq!(
+                        point.time,
+                        model.execution_time(&demand, cfg),
+                        "latency drift on {} at ({mem}us, {cycles} cycles)",
+                        cfg
+                    );
+                    assert_eq!(
+                        point.energy_uj.to_bits(),
+                        model
+                            .marginal_energy_reference(&demand, cfg)
+                            .as_microjoules()
+                            .to_bits(),
+                        "energy drift on {} at ({mem}us, {cycles} cycles)",
+                        cfg
+                    );
+                    assert_eq!(
+                        model.marginal_energy(&demand, cfg).as_microjoules().to_bits(),
+                        model
+                            .marginal_energy_reference(&demand, cfg)
+                            .as_microjoules()
+                            .to_bits()
+                    );
+                }
+            }
         }
     }
 }
