@@ -7,6 +7,8 @@
 //! frequencies by solving the two-equation system described in Sec. 5.3.
 
 
+use std::sync::Arc;
+
 use crate::config::AcmpConfig;
 use crate::error::AcmpError;
 use crate::platform::Platform;
@@ -76,6 +78,15 @@ impl CpuDemand {
 
 /// One rung of the precomputed [`DvfsLadder`]: a platform configuration with
 /// every demand-independent term of the Eqn. 1/5 math frozen at build time.
+///
+/// Besides the combined `exec_power` the optimisation objective uses, each
+/// rung freezes the three *raw* power terms ([`LadderRung::active_power`],
+/// [`LadderRung::idle_power`], [`LadderRung::background_power`]) that the
+/// [`crate::EnergyMeter`] previously re-derived from the cluster tables on
+/// every `record_busy`/`record_idle` call — the per-call math the shared
+/// power plane removes from the metering hot path. Each is computed with the
+/// exact expression the platform tables use, so plane-routed samples are
+/// bit-identical to the direct derivation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LadderRung {
     /// The configuration this rung describes, in platform config-table order.
@@ -89,6 +100,15 @@ pub struct LadderRung {
     /// value [`DvfsModel::execution_power`] recomputes from the platform on
     /// every call.
     pub exec_power: PowerMw,
+    /// Active power of the executing core alone
+    /// ([`Platform::active_power`] frozen).
+    pub active_power: PowerMw,
+    /// Idle power of the core parked at this configuration
+    /// ([`Platform::idle_power`] frozen).
+    pub idle_power: PowerMw,
+    /// Idle floor of the rest of the SoC while this configuration runs
+    /// ([`Platform::background_idle_power`] frozen).
+    pub background_power: PowerMw,
 }
 
 /// The per-configuration latency/energy of one concrete demand: one row of
@@ -123,7 +143,13 @@ pub struct DvfsLadder {
 }
 
 impl DvfsLadder {
-    fn build(platform: &Platform) -> Self {
+    /// Builds the ladder for a platform. This is the shared power plane of a
+    /// replay fleet: built once per `(platform, context)` and handed out as
+    /// an `Arc` to every execution engine, scheduler and energy meter, so no
+    /// replay ever rebuilds the 17-rung table (the per-replay
+    /// `DvfsModel::new` rebuild was measurable on the Interactive governor
+    /// unit).
+    pub fn for_platform(platform: &Platform) -> Self {
         let min_cfg = platform.min_power_config();
         let baseline =
             platform.idle_power(&min_cfg) + platform.background_idle_power(&min_cfg);
@@ -134,9 +160,38 @@ impl DvfsLadder {
                 config: *cfg,
                 inv_ipc: 1.0 / cfg.core().ipc_relative_to_a7(),
                 exec_power: platform.active_power(cfg) + platform.background_idle_power(cfg),
+                active_power: platform.active_power(cfg),
+                idle_power: platform.idle_power(cfg),
+                background_power: platform.background_idle_power(cfg),
             })
             .collect();
         DvfsLadder { rungs, baseline }
+    }
+
+    /// Asserts this ladder was built for `platform`'s configuration table —
+    /// the construction-time guard every shared-plane consumer runs, so a
+    /// plane/platform mix-up fails loudly instead of silently metering with
+    /// the wrong frozen powers. One pass over a tiny table, paid once per
+    /// engine/meter, never per sample.
+    pub fn assert_matches(&self, platform: &Platform) {
+        assert!(
+            self.rungs.len() == platform.configs().len()
+                && self
+                    .rungs
+                    .iter()
+                    .zip(platform.configs())
+                    .all(|(rung, cfg)| rung.config == *cfg),
+            "shared DVFS plane was built for a different platform than {}",
+            platform.name()
+        );
+    }
+
+    /// The rung index holding `cfg`, when `cfg` is a platform operating
+    /// point. A linear scan of a tiny table (17 entries on the Exynos
+    /// 5410), each compare two small scalars — far cheaper than re-deriving
+    /// cluster powers.
+    pub fn rung_index(&self, cfg: &AcmpConfig) -> Option<usize> {
+        self.rungs.iter().position(|r| r.config == *cfg)
     }
 
     /// Number of configurations (rungs).
@@ -312,7 +367,7 @@ impl LadderCache {
 #[derive(Debug, Clone)]
 pub struct DvfsModel<'p> {
     platform: &'p Platform,
-    ladder: DvfsLadder,
+    ladder: Arc<DvfsLadder>,
 }
 
 impl<'p> DvfsModel<'p> {
@@ -321,8 +376,19 @@ impl<'p> DvfsModel<'p> {
     pub fn new(platform: &'p Platform) -> Self {
         DvfsModel {
             platform,
-            ladder: DvfsLadder::build(platform),
+            ladder: Arc::new(DvfsLadder::for_platform(platform)),
         }
+    }
+
+    /// Binds the model to a platform using an already-built shared ladder
+    /// (the context-wide power plane), skipping the per-model ladder build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ladder was built for a different platform.
+    pub fn with_ladder(platform: &'p Platform, ladder: Arc<DvfsLadder>) -> Self {
+        ladder.assert_matches(platform);
+        DvfsModel { platform, ladder }
     }
 
     /// The platform this model is bound to.
@@ -335,12 +401,16 @@ impl<'p> DvfsModel<'p> {
         &self.ladder
     }
 
+    /// The shared handle to the ladder, for callers that hand the same power
+    /// plane to other components (e.g. the energy meter).
+    pub fn shared_ladder(&self) -> &Arc<DvfsLadder> {
+        &self.ladder
+    }
+
     /// The ladder rung holding `cfg`, when `cfg` is a platform operating
-    /// point. The table is tiny (17 entries on the Exynos 5410) and the scan
-    /// compares two small scalars per entry, far cheaper than re-deriving
-    /// cluster powers.
+    /// point.
     fn rung_for(&self, cfg: &AcmpConfig) -> Option<&LadderRung> {
-        self.ladder.rungs.iter().find(|r| r.config == *cfg)
+        self.ladder.rung_index(cfg).map(|i| &self.ladder.rungs[i])
     }
 
     /// Execution latency of `demand` on configuration `cfg` (Eqn. 1/3):
@@ -706,6 +776,58 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn frozen_rung_powers_match_the_platform_tables_bit_for_bit() {
+        for platform in [Platform::exynos_5410(), Platform::tx2_parker()] {
+            let ladder = DvfsLadder::for_platform(&platform);
+            for (i, cfg) in platform.configs().iter().enumerate() {
+                assert_eq!(ladder.rung_index(cfg), Some(i));
+                let rung = &ladder.rungs()[i];
+                let bits = |p: PowerMw| p.as_milliwatts().to_bits();
+                assert_eq!(bits(rung.active_power), bits(platform.active_power(cfg)));
+                assert_eq!(bits(rung.idle_power), bits(platform.idle_power(cfg)));
+                assert_eq!(
+                    bits(rung.background_power),
+                    bits(platform.background_idle_power(cfg))
+                );
+                assert_eq!(
+                    bits(rung.exec_power),
+                    bits(platform.active_power(cfg) + platform.background_idle_power(cfg))
+                );
+            }
+            let foreign = AcmpConfig::new(CoreKind::BigA15, FreqMhz::new(123));
+            assert_eq!(ladder.rung_index(&foreign), None);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different platform")]
+    fn mismatched_plane_is_rejected_at_construction() {
+        let exynos = Platform::exynos_5410();
+        let tx2 = Platform::tx2_parker();
+        let plane = std::sync::Arc::new(DvfsLadder::for_platform(&tx2));
+        let _ = DvfsModel::with_ladder(&exynos, plane);
+    }
+
+    #[test]
+    fn shared_ladder_models_reuse_one_plane() {
+        let platform = Platform::exynos_5410();
+        let plane = std::sync::Arc::new(DvfsLadder::for_platform(&platform));
+        let a = DvfsModel::with_ladder(&platform, std::sync::Arc::clone(&plane));
+        let b = DvfsModel::with_ladder(&platform, std::sync::Arc::clone(&plane));
+        assert!(std::sync::Arc::ptr_eq(a.shared_ladder(), b.shared_ladder()));
+        // Shared-plane models answer exactly as freshly built ones.
+        let fresh = DvfsModel::new(&platform);
+        let demand = CpuDemand::new(TimeUs::from_millis(3), CpuCycles::new(90_000_000));
+        for cfg in platform.configs() {
+            assert_eq!(a.execution_time(&demand, cfg), fresh.execution_time(&demand, cfg));
+            assert_eq!(
+                a.marginal_energy(&demand, cfg).as_microjoules().to_bits(),
+                fresh.marginal_energy(&demand, cfg).as_microjoules().to_bits()
+            );
         }
     }
 

@@ -7,9 +7,10 @@
 //! breakdowns (e.g. the misprediction energy overhead of Sec. 6.3).
 
 use std::collections::BTreeMap;
-
+use std::sync::Arc;
 
 use crate::config::{AcmpConfig, CoreKind};
+use crate::dvfs::DvfsLadder;
 use crate::platform::Platform;
 use crate::units::{EnergyUj, PowerMw, TimeUs};
 
@@ -54,6 +55,15 @@ impl ActivityKind {
 #[derive(Debug, Clone)]
 pub struct EnergyMeter<'p> {
     platform: &'p Platform,
+    /// The shared DVFS power plane, when the meter was built with one: the
+    /// per-configuration `active`/`idle`/`background` powers frozen at
+    /// ladder-build time. Samples at platform operating points read these
+    /// instead of re-deriving every power term from the cluster tables per
+    /// call (the re-derivation the ROADMAP flagged as the last per-event
+    /// DVFS math on the replay hot path). Off-plane configurations — and
+    /// meters built without a plane — fall back to the reference
+    /// derivation, which is bit-identical by construction.
+    plane: Option<Arc<DvfsLadder>>,
     total: EnergyUj,
     by_activity: BTreeMap<ActivityKind, EnergyUj>,
     by_cluster: BTreeMap<CoreKind, EnergyUj>,
@@ -66,6 +76,7 @@ impl<'p> EnergyMeter<'p> {
     pub fn new(platform: &'p Platform) -> Self {
         EnergyMeter {
             platform,
+            plane: None,
             total: EnergyUj::ZERO,
             by_activity: BTreeMap::new(),
             by_cluster: BTreeMap::new(),
@@ -74,9 +85,74 @@ impl<'p> EnergyMeter<'p> {
         }
     }
 
+    /// Creates a meter that serves per-configuration powers from a shared
+    /// DVFS power plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane was built for a different platform.
+    pub fn with_plane(platform: &'p Platform, plane: Arc<DvfsLadder>) -> Self {
+        plane.assert_matches(platform);
+        EnergyMeter {
+            plane: Some(plane),
+            ..EnergyMeter::new(platform)
+        }
+    }
+
+    /// `(active, background)` powers of `cfg`, from the frozen plane when
+    /// available.
+    fn busy_powers(&self, cfg: &AcmpConfig) -> (PowerMw, PowerMw) {
+        if let Some(plane) = &self.plane {
+            if let Some(i) = plane.rung_index(cfg) {
+                let rung = &plane.rungs()[i];
+                return (rung.active_power, rung.background_power);
+            }
+        }
+        (
+            self.platform.active_power(cfg),
+            self.platform.background_idle_power(cfg),
+        )
+    }
+
+    /// `(idle, background)` powers of `cfg`, from the frozen plane when
+    /// available.
+    fn idle_powers(&self, cfg: &AcmpConfig) -> (PowerMw, PowerMw) {
+        if let Some(plane) = &self.plane {
+            if let Some(i) = plane.rung_index(cfg) {
+                let rung = &plane.rungs()[i];
+                return (rung.idle_power, rung.background_power);
+            }
+        }
+        (
+            self.platform.idle_power(cfg),
+            self.platform.background_idle_power(cfg),
+        )
+    }
+
     /// Records a busy interval at configuration `cfg` attributed to
     /// `activity`. The sample includes the idle floor of the other cluster.
     pub fn record_busy(&mut self, cfg: &AcmpConfig, duration: TimeUs, activity: ActivityKind) {
+        if duration.is_zero() {
+            return;
+        }
+        let (active, background_power) = self.busy_powers(cfg);
+        let own = active.energy_over(duration);
+        let background = background_power.energy_over(duration);
+        self.busy_time += duration;
+        self.add(cfg.core(), own, activity);
+        self.add_background(cfg.core(), background, activity);
+    }
+
+    /// [`EnergyMeter::record_busy`] with every power term re-derived from
+    /// the platform tables (the pre-plane implementation, retained so the
+    /// energy-identity tests can replay the same samples against the
+    /// original math).
+    pub fn record_busy_reference(
+        &mut self,
+        cfg: &AcmpConfig,
+        duration: TimeUs,
+        activity: ActivityKind,
+    ) {
         if duration.is_zero() {
             return;
         }
@@ -95,6 +171,20 @@ impl<'p> EnergyMeter<'p> {
         if duration.is_zero() {
             return;
         }
+        let (idle, background_power) = self.idle_powers(cfg);
+        let own = idle.energy_over(duration);
+        let background = background_power.energy_over(duration);
+        self.idle_time += duration;
+        self.add(cfg.core(), own, ActivityKind::Idle);
+        self.add_background(cfg.core(), background, ActivityKind::Idle);
+    }
+
+    /// [`EnergyMeter::record_idle`] via the platform tables (pre-plane
+    /// reference, retained for the energy-identity tests).
+    pub fn record_idle_reference(&mut self, cfg: &AcmpConfig, duration: TimeUs) {
+        if duration.is_zero() {
+            return;
+        }
         let own = self.platform.idle_power(cfg).energy_over(duration);
         let background = self
             .platform
@@ -108,6 +198,18 @@ impl<'p> EnergyMeter<'p> {
     /// Records a configuration transition (DVFS switch / migration). The
     /// transition is charged at the destination configuration's active power.
     pub fn record_transition(&mut self, to: &AcmpConfig, duration: TimeUs) {
+        if duration.is_zero() {
+            return;
+        }
+        let (active, _) = self.busy_powers(to);
+        let e = active.energy_over(duration);
+        self.busy_time += duration;
+        self.add(to.core(), e, ActivityKind::Transition);
+    }
+
+    /// [`EnergyMeter::record_transition`] via the platform tables (pre-plane
+    /// reference, retained for the energy-identity tests).
+    pub fn record_transition_reference(&mut self, to: &AcmpConfig, duration: TimeUs) {
         if duration.is_zero() {
             return;
         }
@@ -317,6 +419,72 @@ mod tests {
         m.record_idle(&cfg, TimeUs::ZERO);
         m.record_transition(&cfg, TimeUs::ZERO);
         assert_eq!(m.total().as_microjoules(), 0.0);
+    }
+
+    #[test]
+    fn plane_routed_meter_is_bit_identical_to_the_reference_path() {
+        use std::sync::Arc;
+        for p in [Platform::exynos_5410(), Platform::tx2_parker()] {
+            let plane = Arc::new(crate::dvfs::DvfsLadder::for_platform(&p));
+            let mut routed = EnergyMeter::with_plane(&p, Arc::clone(&plane));
+            let mut reference = EnergyMeter::new(&p);
+            for (i, cfg) in p.configs().iter().enumerate() {
+                let busy = TimeUs::from_micros(1_000 + 137 * i as u64);
+                let idle = TimeUs::from_micros(500 + 91 * i as u64);
+                let transition = TimeUs::from_micros(40 + i as u64);
+                routed.record_busy(cfg, busy, ActivityKind::UsefulWork);
+                routed.record_busy(cfg, busy, ActivityKind::SpeculativeWaste);
+                routed.record_idle(cfg, idle);
+                routed.record_transition(cfg, transition);
+                reference.record_busy_reference(cfg, busy, ActivityKind::UsefulWork);
+                reference.record_busy_reference(cfg, busy, ActivityKind::SpeculativeWaste);
+                reference.record_idle_reference(cfg, idle);
+                reference.record_transition_reference(cfg, transition);
+            }
+            assert_eq!(
+                routed.total().as_microjoules().to_bits(),
+                reference.total().as_microjoules().to_bits(),
+                "total drifted on {}",
+                p.name()
+            );
+            for kind in ActivityKind::ALL {
+                assert_eq!(
+                    routed.for_activity(kind).as_microjoules().to_bits(),
+                    reference.for_activity(kind).as_microjoules().to_bits(),
+                    "activity {kind:?} drifted on {}",
+                    p.name()
+                );
+            }
+            for cluster in p.clusters() {
+                let kind = cluster.core_kind();
+                assert_eq!(
+                    routed.for_cluster(kind).as_microjoules().to_bits(),
+                    reference.for_cluster(kind).as_microjoules().to_bits(),
+                    "cluster {kind:?} drifted on {}",
+                    p.name()
+                );
+            }
+            assert_eq!(routed.busy_time(), reference.busy_time());
+            assert_eq!(routed.idle_time(), reference.idle_time());
+        }
+    }
+
+    #[test]
+    fn off_plane_configs_fall_back_to_the_platform_tables() {
+        use std::sync::Arc;
+        let p = platform();
+        let plane = Arc::new(crate::dvfs::DvfsLadder::for_platform(&p));
+        // 1234 MHz is not an Exynos operating point; the plane-routed meter
+        // must still answer, with the reference derivation's exact value.
+        let off = AcmpConfig::new(CoreKind::BigA15, FreqMhz::new(1234));
+        let mut routed = EnergyMeter::with_plane(&p, plane);
+        let mut reference = EnergyMeter::new(&p);
+        routed.record_busy(&off, TimeUs::from_millis(7), ActivityKind::UsefulWork);
+        reference.record_busy_reference(&off, TimeUs::from_millis(7), ActivityKind::UsefulWork);
+        assert_eq!(
+            routed.total().as_microjoules().to_bits(),
+            reference.total().as_microjoules().to_bits()
+        );
     }
 
     #[test]

@@ -18,13 +18,15 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 use pes_acmp::units::{CpuCycles, TimeUs};
 use pes_acmp::{CpuDemand, DvfsLadder, DvfsModel, LadderCache, Platform};
 use pes_core::{OracleScheduler, PesConfig, PesScheduler};
+use pes_ilp::{ScheduleItem, ScheduleOption, ScheduleProblem, ScheduleSolution, SolveScratch};
 use pes_predictor::{LearnerConfig, PredictScratch, SessionState, Trainer, TrainingConfig};
 use pes_schedulers::{Ebs, InteractiveGovernor, OndemandGovernor};
-use pes_sim::{run_reactive, ScenarioCache};
+use pes_sim::{run_reactive_with_plane, ScenarioCache};
 use pes_webrt::QosPolicy;
 use pes_workload::{AppCatalog, TraceGenerator, EVAL_SEED_BASE};
 
@@ -41,6 +43,10 @@ fn session_replay(c: &mut Criterion) {
     let pes = PesScheduler::new(learner.clone(), PesConfig::paper_defaults());
     let oracle = OracleScheduler::new();
     let scenarios = ScenarioCache::build(&catalog, 1);
+    // The shared DVFS power plane, as `ExperimentContext` provides it to the
+    // drivers: one ladder per platform for every engine, scheduler context
+    // and energy meter.
+    let plane = Arc::new(DvfsLadder::for_platform(&platform));
     let app_idx = catalog
         .apps()
         .iter()
@@ -54,31 +60,55 @@ fn session_replay(c: &mut Criterion) {
     // One figure-suite fan-out unit per policy, exactly as the drivers
     // execute it: the shared page and trace are fetched from the scenario
     // cache (an `Arc` clone each), then the session is replayed under the
-    // scheduler.
+    // scheduler on the shared power plane.
     group.bench_function("fig3_unit/Interactive", |b| {
         b.iter(|| {
             let trace = scenarios.trace(app_idx, 0);
-            black_box(run_reactive(&platform, &trace, &mut InteractiveGovernor::new(), &qos))
+            black_box(run_reactive_with_plane(
+                &platform,
+                &plane,
+                &trace,
+                &mut InteractiveGovernor::new(),
+                &qos,
+            ))
+        })
+    });
+    group.bench_function("fig3_unit/Ondemand", |b| {
+        b.iter(|| {
+            let trace = scenarios.trace(app_idx, 0);
+            black_box(run_reactive_with_plane(
+                &platform,
+                &plane,
+                &trace,
+                &mut OndemandGovernor::new(),
+                &qos,
+            ))
         })
     });
     group.bench_function("fig3_unit/EBS", |b| {
         b.iter(|| {
             let trace = scenarios.trace(app_idx, 0);
-            black_box(run_reactive(&platform, &trace, &mut Ebs::new(&platform), &qos))
+            black_box(run_reactive_with_plane(
+                &platform,
+                &plane,
+                &trace,
+                &mut Ebs::new(&platform),
+                &qos,
+            ))
         })
     });
     group.bench_function("fig3_unit/PES", |b| {
         b.iter(|| {
             let page = scenarios.page(app_idx);
             let trace = scenarios.trace(app_idx, 0);
-            black_box(pes.run_trace(&platform, &page, &trace, &qos))
+            black_box(pes.run_trace_with_plane(&platform, &plane, &page, &trace, &qos))
         })
     });
     group.bench_function("fig3_unit/Oracle", |b| {
         b.iter(|| {
             let page = scenarios.page(app_idx);
             let trace = scenarios.trace(app_idx, 0);
-            black_box(oracle.run_trace(&platform, &page, &trace, &qos))
+            black_box(oracle.run_trace_with_plane(&platform, &plane, &page, &trace, &qos))
         })
     });
 
@@ -91,18 +121,39 @@ fn session_replay(c: &mut Criterion) {
                 let page = scenarios.page(app_idx);
                 let trace = scenarios.trace(app_idx, 0);
                 energy += match policy {
-                    0 => run_reactive(&platform, &trace, &mut InteractiveGovernor::new(), &qos)
+                    0 => run_reactive_with_plane(
+                        &platform,
+                        &plane,
+                        &trace,
+                        &mut InteractiveGovernor::new(),
+                        &qos,
+                    )
+                    .total_energy
+                    .as_millijoules(),
+                    1 => run_reactive_with_plane(
+                        &platform,
+                        &plane,
+                        &trace,
+                        &mut OndemandGovernor::new(),
+                        &qos,
+                    )
+                    .total_energy
+                    .as_millijoules(),
+                    2 => run_reactive_with_plane(
+                        &platform,
+                        &plane,
+                        &trace,
+                        &mut Ebs::new(&platform),
+                        &qos,
+                    )
+                    .total_energy
+                    .as_millijoules(),
+                    3 => pes
+                        .run_trace_with_plane(&platform, &plane, &page, &trace, &qos)
                         .total_energy
                         .as_millijoules(),
-                    1 => run_reactive(&platform, &trace, &mut OndemandGovernor::new(), &qos)
-                        .total_energy
-                        .as_millijoules(),
-                    2 => run_reactive(&platform, &trace, &mut Ebs::new(&platform), &qos)
-                        .total_energy
-                        .as_millijoules(),
-                    3 => pes.run_trace(&platform, &page, &trace, &qos).total_energy.as_millijoules(),
                     _ => oracle
-                        .run_trace(&platform, &page, &trace, &qos)
+                        .run_trace_with_plane(&platform, &plane, &page, &trace, &qos)
                         .total_energy
                         .as_millijoules(),
                 };
@@ -162,6 +213,87 @@ fn session_replay(c: &mut Criterion) {
         b.iter(|| {
             let points = cache.points(dvfs.ladder(), black_box(&demand));
             black_box(DvfsLadder::cheapest_within(points, budget))
+        })
+    });
+
+    // ------------------------------------------------------------------
+    // Solver kernels: what one optimisation-window solve costs the Oracle.
+    // The 13x17 window mirrors the Oracle's 12 predicted events plus one
+    // outstanding event; `exact` solves it to optimality under the
+    // first-tier budget, `anytime` runs a greedy-hostile variant that the
+    // depth-first search provably cannot finish, so the best-first
+    // incumbent tier carries it under the wide-window budget.
+    // ------------------------------------------------------------------
+    let exact_window: Vec<ScheduleItem> = (0..13)
+        .map(|i| ScheduleItem {
+            release_us: i * 300_000,
+            deadline_us: (i + 1) * 320_000,
+            options: (0..17)
+                .map(|j| ScheduleOption {
+                    choice: j,
+                    duration_us: 300_000 - j as u64 * 9_000,
+                    cost: 1.0 + 0.3 * (j as f64).powf(1.6),
+                })
+                .collect(),
+        })
+        .collect();
+    let exact_problem = ScheduleProblem::new(0, exact_window).with_node_limit(200_000);
+    let mut scratch = SolveScratch::new();
+    let mut solution = ScheduleSolution::default();
+    group.bench_function("solver_window/oracle_13x17_exact", |b| {
+        b.iter(|| {
+            black_box(exact_problem.solve_anytime_with(&mut scratch, &mut solution).unwrap())
+        })
+    });
+
+    // Mirrors `greedy_hostile_chain(6)` in the pes_ilp unit suite
+    // (crates/ilp/src/schedule.rs) constant for constant, so this unit
+    // measures exactly the scenario the quality test locks down; keep the
+    // two in lockstep when tuning.
+    let hostile_window: Vec<ScheduleItem> = (0..6)
+        .flat_map(|k| {
+            let base = k * 3_000_000;
+            [
+                ScheduleItem {
+                    release_us: base,
+                    deadline_us: base + 3_000_000,
+                    options: (0..17)
+                        .map(|j| ScheduleOption {
+                            choice: j,
+                            duration_us: 2_500_000 - j as u64 * 90_000,
+                            cost: 10.0 + 1.5 * (j as f64).powf(1.3),
+                        })
+                        .collect(),
+                },
+                ScheduleItem {
+                    release_us: base + 500_000,
+                    deadline_us: base + 1_800_000,
+                    options: (0..17)
+                        .map(|j| ScheduleOption {
+                            choice: j,
+                            duration_us: 1_500_000 - j as u64 * 50_000,
+                            cost: 8.0 + 1.2 * (j as f64).powf(1.3),
+                        })
+                        .collect(),
+                },
+            ]
+        })
+        .collect();
+    let hostile_problem = ScheduleProblem::new(0, hostile_window).with_node_limit(60_000);
+    group.bench_function("solver_window/hostile_12x17_anytime", |b| {
+        b.iter(|| {
+            black_box(hostile_problem.solve_anytime_with(&mut scratch, &mut solution).unwrap())
+        })
+    });
+
+    // What a cache-miss re-pose costs the runtime's solve-memoisation ring:
+    // re-tabling a 13-item window in place, no allocations.
+    let mut recycled = ScheduleProblem::new(0, Vec::new());
+    let posed_items: Vec<ScheduleItem> = exact_problem.items().to_vec();
+    group.bench_function("solver_window/rebuild_13x17", |b| {
+        b.iter(|| {
+            recycled.rebuild(0, black_box(&posed_items));
+            black_box(recycled.items().len())
         })
     });
     group.finish();

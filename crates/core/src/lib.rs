@@ -43,7 +43,9 @@ pub mod pfb;
 pub mod runtime;
 
 pub use pfb::{PendingFrame, PendingFrameBuffer};
-pub use runtime::{OracleScheduler, PesConfig, PesScheduler, ProactiveRuntime, RunReport};
+pub use runtime::{
+    OracleScheduler, PesConfig, PesScheduler, ProactiveRuntime, RunReport, WIDE_WINDOW_THRESHOLD,
+};
 
 #[cfg(test)]
 mod tests {

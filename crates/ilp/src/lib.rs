@@ -55,7 +55,9 @@ pub mod solver;
 
 pub use error::IlpError;
 pub use linear::{Comparison, Constraint, LinearExpr};
-pub use schedule::{ScheduleItem, ScheduleOption, ScheduleProblem, ScheduleSolution, SolveScratch};
+pub use schedule::{
+    ScheduleItem, ScheduleOption, ScheduleProblem, ScheduleSolution, SolveScratch, SolveTier,
+};
 pub use solver::{exactly_one, IlpProblem, IlpSolution};
 
 #[cfg(test)]

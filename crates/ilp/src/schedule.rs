@@ -34,21 +34,106 @@
 //!   across all solves of a session replay;
 //! * under a node budget, an **adaptive probe** periodically projects the
 //!   search's total size from the fraction of the enumeration space already
-//!   covered; once the projection exceeds the budget — meaning the outcome
-//!   will be the budget-exhausted greedy fallback no matter how hard the
-//!   bound prunes — the search drops the earliest-finish scan bound and
-//!   burns its remaining nodes through a lean suffix-floor-only loop,
-//!   faster per node than the reference solver. Searches the bound *does*
-//!   finish (the PES-scale 6×17 window under the runtime's 200 k budget)
-//!   keep it and return the exact optimum.
+//!   covered; once the projection exceeds the budget the depth-first entry
+//!   points ([`ScheduleProblem::solve`]/[`ScheduleProblem::solve_with`])
+//!   drop the earliest-finish scan bound and burn its remaining nodes
+//!   through a lean suffix-floor-only loop, faster per node than the
+//!   reference solver. Searches the bound *does* finish (the PES-scale 6×17
+//!   window under the runtime's 200 k budget) keep it and return the exact
+//!   optimum.
+//!
+//! # Anytime tier
+//!
+//! The depth-first capped search is all-or-nothing: at budget exhaustion it
+//! reports [`IlpError::NodeLimit`] and the runtime used to cliff-drop to the
+//! greedy schedule, however close the search was to an optimum.
+//! [`ScheduleProblem::solve_anytime_with`] removes the cliff. It runs the
+//! same depth-first search for the exact tier — completing searches return
+//! schedules bit-identical to [`ScheduleProblem::solve_reference`] — but
+//! when the adaptive probe concludes the budget is provably insufficient
+//! (or the budget runs out mid-search), it switches to a **best-first
+//! incumbent search**: a priority queue ordered by the admissible
+//! earliest-finish lower bound, seeded with the better of the greedy
+//! schedule and the depth-first phase's incumbent, that keeps improving the
+//! incumbent until the remaining node budget is spent. The returned
+//! schedule is therefore *never worse than greedy* (and usually much
+//! better), and the tier is reported via [`SolveTier`] so callers and tests
+//! can distinguish a proven optimum from a best incumbent.
 //!
 //! The pre-optimisation solver is retained as
 //! [`ScheduleProblem::solve_reference`] so property tests can assert the
 //! optimised search returns identical schedules.
 
+use std::collections::BinaryHeap;
+
 use crate::error::IlpError;
 use crate::linear::{Comparison, Constraint, LinearExpr};
 use crate::solver::{exactly_one, IlpProblem};
+
+/// Why a bounded search stopped before completing (internal control flow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SearchStop {
+    /// The node budget is spent.
+    Budget,
+    /// The adaptive probe concluded the budget is provably insufficient (an
+    /// anytime search unwinds here and hands over to the best-first tier).
+    Hopeless,
+}
+
+/// The quality tier of an anytime solve
+/// (see [`ScheduleProblem::solve_anytime_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveTier {
+    /// The depth-first search completed within the node budget: the returned
+    /// schedule is the exact optimum, bit-identical to
+    /// [`ScheduleProblem::solve_reference`].
+    Exact,
+    /// The node budget was (provably or actually) insufficient: the returned
+    /// schedule is the best incumbent the best-first tier found — never
+    /// worse than the greedy schedule, possibly (unproven) optimal.
+    Incumbent,
+}
+
+/// One open node of the best-first incumbent search: a partial assignment of
+/// items `0..index`, reached at `cursor_us` with the accumulated `cost` and
+/// `violations`, whose admissible lower bound is `bound`. The path is stored
+/// as an index into the scratch arena of `(parent, option)` links. Ordered
+/// so that [`BinaryHeap`] pops the *smallest* bound first, ties broken by
+/// insertion order (`seq`) for determinism.
+#[derive(Debug, Clone, Copy)]
+struct OpenNode {
+    bound: f64,
+    seq: u32,
+    arena: u32,
+    index: u32,
+    cursor_us: u64,
+    cost: f64,
+    violations: u32,
+}
+
+impl PartialEq for OpenNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for OpenNode {}
+
+impl PartialOrd for OpenNode {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OpenNode {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: the max-heap then yields the lowest bound, oldest first.
+        other
+            .bound
+            .total_cmp(&self.bound)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
 
 /// One selectable execution option for an event: a configuration index, the
 /// event latency under that configuration, and its (energy) cost.
@@ -159,6 +244,16 @@ pub struct SolveScratch {
     /// scan bound is dropped on the second, so one noisy early estimate
     /// cannot end a search the bound would finish.
     hopeless_probes: u8,
+    /// Whether the running search is the anytime entry point: a hopeless
+    /// probe then unwinds to the best-first tier instead of continuing in
+    /// the suffix-floor-only depth-first loop.
+    anytime: bool,
+    /// Best-first open list (reused allocation).
+    heap: BinaryHeap<OpenNode>,
+    /// Best-first path arena: `(parent arena index, option index)` per
+    /// generated node (reused allocation). The option link is as wide as
+    /// the option order's indices, so no window size can truncate it.
+    arena: Vec<(u32, u32)>,
 }
 
 impl SolveScratch {
@@ -167,7 +262,7 @@ impl SolveScratch {
         SolveScratch::default()
     }
 
-    fn reset(&mut self, n: usize, prune_cap: f64) {
+    fn reset(&mut self, n: usize, prune_cap: f64, anytime: bool) {
         self.selected.clear();
         self.selected.resize(n, 0);
         self.best_selected.clear();
@@ -180,6 +275,9 @@ impl SolveScratch {
         self.progress = 0.0;
         self.probe_baseline = None;
         self.hopeless_probes = 0;
+        self.anytime = anytime;
+        self.heap.clear();
+        self.arena.clear();
     }
 }
 
@@ -293,8 +391,58 @@ impl ScheduleProblem {
     /// options — negligible next to the search itself, and paid once per
     /// window rather than once per solve.
     pub fn new(start_us: u64, items: Vec<ScheduleItem>) -> Self {
-        let n = items.len();
-        let total_options: usize = items.iter().map(|i| i.options.len()).sum();
+        let mut problem = ScheduleProblem {
+            start_us,
+            items,
+            node_limit: 5_000_000,
+            order: Vec::new(),
+            order_offsets: Vec::new(),
+            min_duration: Vec::new(),
+            min_cost: Vec::new(),
+            dur_sorted: Vec::new(),
+            dur_cheapest: Vec::new(),
+            dur_offsets: Vec::new(),
+            suffix_min_cost: Vec::new(),
+            inv_breadth: Vec::new(),
+        };
+        problem.rebuild_tables();
+        problem
+    }
+
+    /// Re-poses this problem for a new window, reusing **every** internal
+    /// allocation: the item slots (including their `options` vectors) and
+    /// all solver cache tables. The node limit is kept.
+    ///
+    /// Construction cost is what put `ScheduleProblem::new` on the Oracle's
+    /// replay profile — a dozen table allocations per cache-miss solve, paid
+    /// once per prediction round. The runtime's solve-memoisation ring now
+    /// recycles its evicted slots through this method, so a steady replay
+    /// allocates nothing per solve.
+    pub fn rebuild(&mut self, start_us: u64, items: &[ScheduleItem]) {
+        self.start_us = start_us;
+        self.items.truncate(items.len());
+        while self.items.len() < items.len() {
+            self.items.push(ScheduleItem {
+                release_us: 0,
+                deadline_us: 0,
+                options: Vec::new(),
+            });
+        }
+        for (slot, item) in self.items.iter_mut().zip(items) {
+            slot.release_us = item.release_us;
+            slot.deadline_us = item.deadline_us;
+            slot.options.clear();
+            slot.options.extend_from_slice(&item.options);
+        }
+        self.rebuild_tables();
+    }
+
+    /// Recomputes the solver's cached tables from `self.items`, reusing the
+    /// table allocations. Produces exactly the tables
+    /// [`ScheduleProblem::new`] builds.
+    fn rebuild_tables(&mut self) {
+        let n = self.items.len();
+        let items = &self.items;
 
         // Cost-sorted option order per item: the first dive is greedy and
         // produces a good incumbent quickly. Dominated options — at least as
@@ -303,11 +451,11 @@ impl ScheduleProblem {
         // earlier option's subtree (a later start can only raise future cost
         // and violations), so eliding it cannot change which incumbents the
         // search accepts.
-        let mut order: Vec<u32> = Vec::with_capacity(total_options);
-        let mut order_offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        self.order.clear();
+        self.order_offsets.clear();
         let mut scratch_idx: Vec<u32> = Vec::new();
-        order_offsets.push(0);
-        for item in &items {
+        self.order_offsets.push(0);
+        for item in items {
             scratch_idx.clear();
             scratch_idx.extend(0..item.options.len() as u32);
             scratch_idx.sort_by(|&a, &b| {
@@ -321,79 +469,62 @@ impl ScheduleProblem {
                 let duration = item.options[idx as usize].duration_us;
                 if duration < fastest_so_far {
                     fastest_so_far = duration;
-                    order.push(idx);
+                    self.order.push(idx);
                 }
             }
-            order_offsets.push(order.len() as u32);
+            self.order_offsets.push(self.order.len() as u32);
         }
 
         // Per-item minimum duration and cost: the building blocks of the
         // admissible earliest-finish / cheapest-feasible lower bound.
-        let min_duration: Vec<u64> = items
-            .iter()
-            .map(|item| {
-                item.options
-                    .iter()
-                    .map(|o| o.duration_us)
-                    .min()
-                    .unwrap_or(0)
-            })
-            .collect();
-        let min_cost: Vec<f64> = items
-            .iter()
-            .map(|item| {
-                item.options
-                    .iter()
-                    .map(|o| o.cost)
-                    .fold(f64::INFINITY, f64::min)
-            })
-            .collect();
+        self.min_duration.clear();
+        self.min_duration.extend(items.iter().map(|item| {
+            item.options
+                .iter()
+                .map(|o| o.duration_us)
+                .min()
+                .unwrap_or(0)
+        }));
+        self.min_cost.clear();
+        self.min_cost.extend(items.iter().map(|item| {
+            item.options
+                .iter()
+                .map(|o| o.cost)
+                .fold(f64::INFINITY, f64::min)
+        }));
 
         // Duration-sorted options with a prefix-minimum cost, so "cheapest
         // option no slower than a budget" is a single binary search.
-        let mut dur_sorted: Vec<u64> = Vec::with_capacity(total_options);
-        let mut dur_cheapest: Vec<f64> = Vec::with_capacity(total_options);
-        let mut dur_offsets: Vec<u32> = Vec::with_capacity(n + 1);
-        dur_offsets.push(0);
-        for item in &items {
-            let mut by_duration: Vec<(u64, f64)> =
-                item.options.iter().map(|o| (o.duration_us, o.cost)).collect();
+        self.dur_sorted.clear();
+        self.dur_cheapest.clear();
+        self.dur_offsets.clear();
+        self.dur_offsets.push(0);
+        let mut by_duration: Vec<(u64, f64)> = Vec::new();
+        for item in items {
+            by_duration.clear();
+            by_duration.extend(item.options.iter().map(|o| (o.duration_us, o.cost)));
             by_duration.sort_by_key(|&(duration, _)| duration);
             let mut cheapest = f64::INFINITY;
-            for (duration, cost) in by_duration {
+            for &(duration, cost) in &by_duration {
                 cheapest = cheapest.min(cost);
-                dur_sorted.push(duration);
-                dur_cheapest.push(cheapest);
+                self.dur_sorted.push(duration);
+                self.dur_cheapest.push(cheapest);
             }
-            dur_offsets.push(dur_sorted.len() as u32);
+            self.dur_offsets.push(self.dur_sorted.len() as u32);
         }
 
-        let mut suffix_min_cost = vec![0.0; n + 1];
+        self.suffix_min_cost.clear();
+        self.suffix_min_cost.resize(n + 1, 0.0);
         for i in (0..n).rev() {
-            suffix_min_cost[i] = suffix_min_cost[i + 1] + min_cost[i];
+            self.suffix_min_cost[i] = self.suffix_min_cost[i + 1] + self.min_cost[i];
         }
 
-        let inv_breadth: Vec<f64> = (0..n)
-            .map(|i| {
-                let breadth = (order_offsets[i + 1] - order_offsets[i]).max(1);
-                1.0 / breadth as f64
-            })
-            .collect();
-
-        ScheduleProblem {
-            start_us,
-            items,
-            node_limit: 5_000_000,
-            order,
-            order_offsets,
-            min_duration,
-            min_cost,
-            dur_sorted,
-            dur_cheapest,
-            dur_offsets,
-            suffix_min_cost,
-            inv_breadth,
-        }
+        self.inv_breadth.clear();
+        let order_offsets = &self.order_offsets;
+        self.inv_breadth.extend((0..n).map(|i| {
+            let breadth = (order_offsets[i + 1] - order_offsets[i]).max(1);
+            1.0 / breadth as f64
+        }));
     }
 
     /// The events in the window.
@@ -408,8 +539,14 @@ impl ScheduleProblem {
 
     /// Caps the number of branch-and-bound nodes.
     pub fn with_node_limit(mut self, limit: usize) -> Self {
-        self.node_limit = limit.max(1);
+        self.set_node_limit(limit);
         self
+    }
+
+    /// In-place form of [`ScheduleProblem::with_node_limit`], for recycled
+    /// problems (see [`ScheduleProblem::rebuild`]).
+    pub fn set_node_limit(&mut self, limit: usize) {
+        self.node_limit = limit.max(1);
     }
 
     /// Admissible lower bound on `(cost, violations)` of items `index..` when
@@ -439,20 +576,86 @@ impl ScheduleProblem {
         {
             let start = chain.max(item.release_us);
             let budget = item.deadline_us.saturating_sub(start);
-            let lo = self.dur_offsets[j] as usize;
-            let hi = self.dur_offsets[j + 1] as usize;
-            let fitting = self.dur_sorted[lo..hi].partition_point(|&d| d <= budget);
-            if fitting == 0 {
+            if budget < self.min_duration[j] {
                 violations += 1;
                 cost += self.min_cost[j];
             } else {
-                cost += self.dur_cheapest[lo + fitting - 1];
+                cost += self.cheapest_fitting(j, budget);
             }
             chain = start + self.min_duration[j];
         }
         // Items beyond the scan horizon contribute their plain cost floor —
         // still admissible, just cheaper to evaluate.
         (cost + self.suffix_min_cost[scan_end], violations)
+    }
+
+    /// Cheapest cost of an option of item `j` no slower than `budget`.
+    /// Precondition: the item's fastest option fits (`budget >=
+    /// min_duration[j]`). The slowest-option-fits common case (loose
+    /// windows) answers with one compare instead of a binary search.
+    #[inline]
+    fn cheapest_fitting(&self, j: usize, budget: u64) -> f64 {
+        let lo = self.dur_offsets[j] as usize;
+        let hi = self.dur_offsets[j + 1] as usize;
+        if self.dur_sorted[hi - 1] <= budget {
+            return self.dur_cheapest[hi - 1];
+        }
+        let fitting = self.dur_sorted[lo..hi].partition_point(|&d| d <= budget);
+        debug_assert!(fitting > 0, "caller checked the fastest option fits");
+        self.dur_cheapest[lo + fitting - 1]
+    }
+
+    /// Whether the earliest-finish scan bound prunes a node whose penalised
+    /// prefix value is `penalised` against `threshold` — the boolean form of
+    /// [`ScheduleProblem::suffix_lower_bound`] the depth-first search uses.
+    ///
+    /// Identical decision, cheaper evaluation: after each scanned item the
+    /// partial bound (scanned items so far at their cheapest-fitting costs,
+    /// everything beyond at its plain cost floor) is itself an admissible
+    /// lower bound that the full scan's value can only raise, so the scan
+    /// stops as soon as the partial bound reaches the threshold — at the
+    /// first unavoidable violation, usually. The last iteration's test is
+    /// the exact expression the full bound would have compared, so a scan
+    /// that runs to the end decides identically to the two-step form.
+    #[inline]
+    fn scan_bound_prunes(
+        &self,
+        index: usize,
+        cursor_us: u64,
+        penalised: f64,
+        threshold: f64,
+    ) -> bool {
+        let mut chain = cursor_us;
+        let mut cost = 0.0;
+        let mut violations = 0usize;
+        let scan_end = (index + BOUND_SCAN_LIMIT).min(self.items.len());
+        if index == scan_end {
+            return penalised + self.suffix_min_cost[scan_end] >= threshold;
+        }
+        for (j, item) in self
+            .items
+            .iter()
+            .enumerate()
+            .take(scan_end)
+            .skip(index)
+        {
+            let start = chain.max(item.release_us);
+            let budget = item.deadline_us.saturating_sub(start);
+            if budget < self.min_duration[j] {
+                violations += 1;
+                cost += self.min_cost[j];
+            } else {
+                cost += self.cheapest_fitting(j, budget);
+            }
+            chain = start + self.min_duration[j];
+            if penalised + (cost + self.suffix_min_cost[j + 1])
+                + violations as f64 * VIOLATION_PENALTY
+                >= threshold
+            {
+                return true;
+            }
+        }
+        false
     }
 
     /// Solves the window with the specialised branch and bound.
@@ -487,12 +690,7 @@ impl ScheduleProblem {
         scratch: &mut SolveScratch,
         solution: &mut ScheduleSolution,
     ) -> Result<(), IlpError> {
-        solution.selected.clear();
-        solution.choices.clear();
-        solution.finish_us.clear();
-        solution.total_cost = 0.0;
-        solution.violations = 0;
-        solution.nodes_explored = 0;
+        Self::clear_solution(solution);
         if self.items.is_empty() || self.items.iter().any(|i| i.options.is_empty()) {
             return Err(IlpError::EmptyProblem);
         }
@@ -502,12 +700,84 @@ impl ScheduleProblem {
         // greedy value so an exactly-greedy-valued optimum is never pruned.
         let greedy = self.greedy_value();
         let prune_cap = greedy + (greedy.abs() * 1e-12).max(1e-6);
-        scratch.reset(self.items.len(), prune_cap);
-        self.branch(scratch, 0, self.start_us, 0.0, 0, 1.0)?;
+        scratch.reset(self.items.len(), prune_cap, false);
+        self.branch(scratch, 0, self.start_us, 0.0, 0, 1.0)
+            .map_err(|_| IlpError::NodeLimit(self.node_limit))?;
         debug_assert!(scratch.has_best, "at least one full assignment is explored");
+        self.emit_solution(scratch, solution);
+        Ok(())
+    }
 
-        let penalised = scratch.best_penalised;
-        solution.violations = (penalised / VIOLATION_PENALTY).round() as usize;
+    /// The anytime entry point: exact when the node budget suffices, best
+    /// incumbent otherwise — never the greedy cliff.
+    ///
+    /// Runs the same depth-first search as [`ScheduleProblem::solve_with`];
+    /// a search that completes returns [`SolveTier::Exact`] with the
+    /// identical (reference-bit-identical) schedule. When the adaptive probe
+    /// concludes the node budget is provably insufficient, the search
+    /// switches to the best-first incumbent tier (priority queue ordered by
+    /// the admissible lower bound) and spends the remaining budget improving
+    /// the incumbent; when the budget runs out mid-search the incumbent
+    /// found so far stands. Either way the returned schedule's lexicographic
+    /// `(violations, cost)` objective is never worse than the greedy
+    /// schedule's — the incumbent is seeded with greedy before the
+    /// best-first tier runs, and a depth-first incumbent only survives if it
+    /// beats it.
+    ///
+    /// # Errors
+    ///
+    /// * [`IlpError::EmptyProblem`] when the window has no events or an
+    ///   event has no options. Unlike [`ScheduleProblem::solve_with`], node
+    ///   budget exhaustion is not an error.
+    pub fn solve_anytime_with(
+        &self,
+        scratch: &mut SolveScratch,
+        solution: &mut ScheduleSolution,
+    ) -> Result<SolveTier, IlpError> {
+        Self::clear_solution(solution);
+        if self.items.is_empty() || self.items.iter().any(|i| i.options.is_empty()) {
+            return Err(IlpError::EmptyProblem);
+        }
+        let greedy = self.greedy_value();
+        let prune_cap = greedy + (greedy.abs() * 1e-12).max(1e-6);
+        scratch.reset(self.items.len(), prune_cap, true);
+        let tier = match self.branch(scratch, 0, self.start_us, 0.0, 0, 1.0) {
+            Ok(()) => SolveTier::Exact,
+            Err(stop) => {
+                // Seed the incumbent with the greedy schedule unless the
+                // depth-first phase already found something strictly better.
+                // (A depth-first incumbent can exceed the greedy value by up
+                // to the prune-cap margin, so the comparison is explicit.)
+                if !scratch.has_best || scratch.best_penalised > greedy {
+                    let seeded = self.greedy_selection_into(&mut scratch.best_selected);
+                    debug_assert_eq!(seeded.to_bits(), greedy.to_bits());
+                    scratch.best_penalised = greedy;
+                    scratch.has_best = true;
+                }
+                if stop == SearchStop::Hopeless {
+                    self.best_first(scratch);
+                }
+                SolveTier::Incumbent
+            }
+        };
+        debug_assert!(scratch.has_best, "an incumbent always exists");
+        self.emit_solution(scratch, solution);
+        Ok(tier)
+    }
+
+    /// Clears a caller-supplied solution buffer, keeping its capacity.
+    fn clear_solution(solution: &mut ScheduleSolution) {
+        solution.selected.clear();
+        solution.choices.clear();
+        solution.finish_us.clear();
+        solution.total_cost = 0.0;
+        solution.violations = 0;
+        solution.nodes_explored = 0;
+    }
+
+    /// Writes the incumbent held in `scratch` into `solution`.
+    fn emit_solution(&self, scratch: &SolveScratch, solution: &mut ScheduleSolution) {
+        solution.violations = (scratch.best_penalised / VIOLATION_PENALTY).round() as usize;
         let mut cursor = self.start_us;
         for (item, &sel) in self.items.iter().zip(&scratch.best_selected) {
             let opt = item.options[sel];
@@ -519,7 +789,6 @@ impl ScheduleProblem {
             solution.total_cost += opt.cost;
         }
         solution.nodes_explored = scratch.nodes;
-        Ok(())
     }
 
     /// Adaptive probe, evaluated every [`ADAPT_PROBE_INTERVAL`] nodes while
@@ -571,18 +840,23 @@ impl ScheduleProblem {
         cost: f64,
         violations: usize,
         weight: f64,
-    ) -> Result<(), IlpError> {
+    ) -> Result<(), SearchStop> {
         if !scratch.use_scan_bound {
             // The adaptive probe concluded the search cannot finish within
-            // the node budget: pruning no longer changes the outcome (the
-            // budget-exhausted greedy fallback), so the rest of the search
-            // runs in the lean suffix-floor-only loop. Siblings of the
-            // frames still on the stack land here immediately.
+            // the node budget. An anytime search unwinds the whole stack
+            // here and hands the remaining budget to the best-first tier;
+            // the plain capped search keeps enumerating in the lean
+            // suffix-floor-only loop (pruning no longer changes its outcome,
+            // the budget-exhausted greedy fallback). Siblings of the frames
+            // still on the stack land here immediately.
+            if scratch.anytime {
+                return Err(SearchStop::Hopeless);
+            }
             return self.branch_cheap_entry(scratch, index, cursor_us, cost, violations);
         }
         scratch.nodes += 1;
         if scratch.nodes > self.node_limit {
-            return Err(IlpError::NodeLimit(self.node_limit));
+            return Err(SearchStop::Budget);
         }
         if scratch.nodes.is_multiple_of(ADAPT_PROBE_INTERVAL) {
             self.adapt_probe(scratch);
@@ -599,13 +873,9 @@ impl ScheduleProblem {
         // the incumbent (or, before one exists, the greedy cap)? The bound
         // is admissible, so the returned optimum is identical to the
         // unpruned search's.
-        {
-            let (suffix_cost, unavoidable) = self.suffix_lower_bound(index, cursor_us);
-            let lower_bound = penalised + suffix_cost + unavoidable as f64 * VIOLATION_PENALTY;
-            if lower_bound >= threshold {
-                scratch.progress += weight;
-                return Ok(());
-            }
+        if self.scan_bound_prunes(index, cursor_us, penalised, threshold) {
+            scratch.progress += weight;
+            return Ok(());
         }
         if index == self.items.len() {
             scratch.progress += weight;
@@ -648,10 +918,10 @@ impl ScheduleProblem {
         cursor_us: u64,
         cost: f64,
         violations: usize,
-    ) -> Result<(), IlpError> {
+    ) -> Result<(), SearchStop> {
         scratch.nodes += 1;
         if scratch.nodes > self.node_limit {
-            return Err(IlpError::NodeLimit(self.node_limit));
+            return Err(SearchStop::Budget);
         }
         let penalised = cost + violations as f64 * VIOLATION_PENALTY;
         let threshold = if scratch.has_best {
@@ -692,7 +962,7 @@ impl ScheduleProblem {
         cursor_us: u64,
         cost: f64,
         violations: usize,
-    ) -> Result<(), IlpError> {
+    ) -> Result<(), SearchStop> {
         let item = &self.items[index];
         let start = cursor_us.max(item.release_us);
         let child_is_leaf = index + 1 == self.items.len();
@@ -704,7 +974,7 @@ impl ScheduleProblem {
             let child_violations = violations + usize::from(finish > item.deadline_us);
             scratch.nodes += 1;
             if scratch.nodes > self.node_limit {
-                return Err(IlpError::NodeLimit(self.node_limit));
+                return Err(SearchStop::Budget);
             }
             let penalised = child_cost + child_violations as f64 * VIOLATION_PENALTY;
             let threshold = if scratch.has_best {
@@ -729,37 +999,180 @@ impl ScheduleProblem {
         Ok(())
     }
 
-    /// The penalised value of the greedy (EBS-like) schedule, computed
-    /// without allocating: it seeds the branch-and-bound's pruning cap. Only
-    /// the value is kept — never the greedy selection — so the incumbent
-    /// chain (and therefore the returned schedule) matches the reference
-    /// search exactly.
-    fn greedy_value(&self) -> f64 {
+    /// The one greedy (EBS-like) schedule walk: every event independently
+    /// picks the cheapest option meeting its deadline given the time already
+    /// committed, falling back to the fastest option when none fits.
+    /// Invokes `pick(item index, selected option index, option, finish_us)`
+    /// per item and returns the penalised value. [`ScheduleProblem::solve`]'s
+    /// pruning cap, the anytime incumbent seeding and
+    /// [`ScheduleProblem::solve_greedy`] all build on this single routine so
+    /// their tie-breaking can never drift apart.
+    fn greedy_walk(&self, mut pick: impl FnMut(usize, usize, ScheduleOption, u64)) -> f64 {
         let mut cursor = self.start_us;
         let mut cost = 0.0;
         let mut violations = 0usize;
-        for item in &self.items {
+        for (i, item) in self.items.iter().enumerate() {
             let start = cursor.max(item.release_us);
             let feasible = item
                 .options
                 .iter()
-                .filter(|o| start + o.duration_us <= item.deadline_us)
-                .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite"));
-            let opt = match feasible {
-                Some(o) => o,
-                None => item
-                    .options
-                    .iter()
-                    .min_by_key(|o| o.duration_us)
-                    .expect("non-empty options"),
+                .enumerate()
+                .filter(|(_, o)| start + o.duration_us <= item.deadline_us)
+                .min_by(|a, b| a.1.cost.partial_cmp(&b.1.cost).expect("finite"));
+            let (sel, opt) = match feasible {
+                Some((j, o)) => (j, *o),
+                None => {
+                    let (j, o) = item
+                        .options
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, o)| o.duration_us)
+                        .expect("non-empty options");
+                    (j, *o)
+                }
             };
             cursor = start + opt.duration_us;
             if cursor > item.deadline_us {
                 violations += 1;
             }
             cost += opt.cost;
+            pick(i, sel, opt, cursor);
         }
         cost + violations as f64 * VIOLATION_PENALTY
+    }
+
+    /// The penalised value of the greedy schedule, computed without
+    /// allocating: it seeds the branch-and-bound's pruning cap. Only the
+    /// value is kept — never the greedy selection — so the incumbent chain
+    /// (and therefore the returned schedule) matches the reference search
+    /// exactly.
+    fn greedy_value(&self) -> f64 {
+        self.greedy_walk(|_, _, _, _| {})
+    }
+
+    /// The greedy schedule's per-item selections, written into `out`
+    /// (allocation-free), returning the penalised value.
+    fn greedy_selection_into(&self, out: &mut [usize]) -> f64 {
+        self.greedy_walk(|i, sel, _, _| out[i] = sel)
+    }
+
+    /// The best-first incumbent tier of the anytime solver.
+    ///
+    /// Classic best-first branch and bound: an open list (binary heap)
+    /// ordered by the admissible earliest-finish lower bound, popping the
+    /// most promising partial assignment and expanding its children in the
+    /// cached cost order. Children whose bound cannot beat the incumbent are
+    /// dropped at generation; complete assignments tighten the incumbent
+    /// immediately (they never enter the heap). Paths are stored as
+    /// `(parent, option)` links in a flat arena, so a node costs 8 bytes of
+    /// arena plus one heap entry and the whole tier allocates nothing after
+    /// the first hard window of a given size.
+    ///
+    /// Every child generation counts against the same node budget the
+    /// depth-first tier metered, so a capped anytime solve does bounded
+    /// total work. The search ends when the budget is spent, the heap runs
+    /// dry, or the best open bound can no longer beat the incumbent (at
+    /// which point the incumbent is in fact optimal — still reported as
+    /// [`SolveTier::Incumbent`], since tie-breaking may differ from the
+    /// reference search's).
+    ///
+    /// Precondition: `scratch.has_best` (the caller seeds the incumbent with
+    /// the greedy schedule), and `scratch.selected`/`best_selected` are
+    /// sized to the window.
+    fn best_first(&self, scratch: &mut SolveScratch) {
+        let n = self.items.len();
+        scratch.heap.clear();
+        scratch.arena.clear();
+        scratch.arena.push((u32::MAX, 0));
+        let root_bound = {
+            let (cost, violations) = self.suffix_lower_bound(0, self.start_us);
+            cost + violations as f64 * VIOLATION_PENALTY
+        };
+        if root_bound >= scratch.best_penalised - 1e-9 {
+            return;
+        }
+        scratch.heap.push(OpenNode {
+            bound: root_bound,
+            seq: 0,
+            arena: 0,
+            index: 0,
+            cursor_us: self.start_us,
+            cost: 0.0,
+            violations: 0,
+        });
+        let mut seq = 1u32;
+        while let Some(node) = scratch.heap.pop() {
+            // The best open bound cannot beat the incumbent: every other
+            // open node is at least as bad, so the incumbent is optimal.
+            if node.bound >= scratch.best_penalised - 1e-9 {
+                break;
+            }
+            let index = node.index as usize;
+            debug_assert!(index < n, "complete assignments never enter the heap");
+            let item = &self.items[index];
+            let start = node.cursor_us.max(item.release_us);
+            let child_is_leaf = index + 1 == n;
+            for k in self.order_offsets[index] as usize..self.order_offsets[index + 1] as usize {
+                scratch.nodes += 1;
+                if scratch.nodes > self.node_limit {
+                    return;
+                }
+                let opt_idx = self.order[k] as usize;
+                let opt = item.options[opt_idx];
+                let finish = start + opt.duration_us;
+                let child_cost = node.cost + opt.cost;
+                let child_violations =
+                    node.violations + u32::from(finish > item.deadline_us);
+                let penalised = child_cost + child_violations as f64 * VIOLATION_PENALTY;
+                if child_is_leaf {
+                    if penalised < scratch.best_penalised - 1e-9 {
+                        scratch.best_penalised = penalised;
+                        scratch.selected[index] = opt_idx;
+                        Self::reconstruct_path(
+                            &scratch.arena,
+                            node.arena,
+                            index,
+                            &mut scratch.selected,
+                        );
+                        scratch.best_selected.copy_from_slice(&scratch.selected);
+                    }
+                    continue;
+                }
+                let (suffix_cost, unavoidable) =
+                    self.suffix_lower_bound(index + 1, finish);
+                let bound = penalised + suffix_cost + unavoidable as f64 * VIOLATION_PENALTY;
+                if bound >= scratch.best_penalised - 1e-9 {
+                    continue;
+                }
+                scratch.arena.push((node.arena, opt_idx as u32));
+                scratch.heap.push(OpenNode {
+                    bound,
+                    seq,
+                    arena: (scratch.arena.len() - 1) as u32,
+                    index: (index + 1) as u32,
+                    cursor_us: finish,
+                    cost: child_cost,
+                    violations: child_violations,
+                });
+                seq = seq.wrapping_add(1);
+            }
+        }
+    }
+
+    /// Fills `selected[0..depth]` from the arena chain ending at `arena_idx`
+    /// (the node standing at item `depth`).
+    fn reconstruct_path(
+        arena: &[(u32, u32)],
+        mut arena_idx: u32,
+        depth: usize,
+        selected: &mut [usize],
+    ) {
+        for i in (0..depth).rev() {
+            let (parent, opt_idx) = arena[arena_idx as usize];
+            selected[i] = opt_idx as usize;
+            arena_idx = parent;
+        }
+        debug_assert_eq!(arena_idx, 0, "paths terminate at the root");
     }
 
     /// The pre-optimisation branch-and-bound, retained verbatim as a
@@ -884,47 +1297,22 @@ impl ScheduleProblem {
         if self.items.is_empty() || self.items.iter().any(|i| i.options.is_empty()) {
             return Err(IlpError::EmptyProblem);
         }
-        let mut cursor = self.start_us;
         let mut selected = Vec::new();
         let mut choices = Vec::new();
         let mut finish_us = Vec::new();
         let mut total_cost = 0.0;
-        let mut violations = 0;
-        for item in &self.items {
-            let start = cursor.max(item.release_us);
-            let feasible = item
-                .options
-                .iter()
-                .enumerate()
-                .filter(|(_, o)| start + o.duration_us <= item.deadline_us)
-                .min_by(|a, b| a.1.cost.partial_cmp(&b.1.cost).expect("finite"));
-            let (sel, opt) = match feasible {
-                Some((i, o)) => (i, *o),
-                None => {
-                    let (i, o) = item
-                        .options
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, o)| o.duration_us)
-                        .expect("non-empty options");
-                    (i, *o)
-                }
-            };
-            cursor = start + opt.duration_us;
-            if cursor > item.deadline_us {
-                violations += 1;
-            }
+        let penalised = self.greedy_walk(|_, sel, opt, finish| {
             selected.push(sel);
             choices.push(opt.choice);
-            finish_us.push(cursor);
+            finish_us.push(finish);
             total_cost += opt.cost;
-        }
+        });
         Ok(ScheduleSolution {
             selected,
             choices,
             finish_us,
             total_cost,
-            violations,
+            violations: (penalised / VIOLATION_PENALTY).round() as usize,
             nodes_explored: self.items.len(),
         })
     }
@@ -1181,6 +1569,146 @@ mod tests {
         if optimal.violations == greedy.violations {
             assert!(optimal.total_cost <= greedy.total_cost + 1e-9);
         }
+    }
+
+    /// A PES-shaped hard window: `n` events with 17-option convex cost
+    /// curves and enough slack structure that exact solves need millions of
+    /// nodes.
+    fn hard_window(n: u64) -> Vec<ScheduleItem> {
+        (0..n)
+            .map(|i| ScheduleItem {
+                release_us: i * 60_000,
+                deadline_us: (i + 1) * 230_000,
+                options: (0..17)
+                    .map(|j| ScheduleOption {
+                        choice: j,
+                        duration_us: 260_000 - (j as u64) * 9_000,
+                        cost: 1.0 + 0.3 * (j as f64).powf(1.6),
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Lexicographic `(violations, cost)` comparison: `a` no worse than `b`.
+    fn no_worse(a: &ScheduleSolution, b: &ScheduleSolution) -> bool {
+        a.violations < b.violations
+            || (a.violations == b.violations && a.total_cost <= b.total_cost + 1e-9)
+    }
+
+    #[test]
+    fn anytime_exact_tier_matches_the_depth_first_solver() {
+        let problem = ScheduleProblem::new(0, fig2_like_items());
+        let exact = problem.solve().unwrap();
+        let mut scratch = SolveScratch::new();
+        let mut solution = ScheduleSolution::default();
+        let tier = problem.solve_anytime_with(&mut scratch, &mut solution).unwrap();
+        assert_eq!(tier, SolveTier::Exact);
+        assert_eq!(solution, exact);
+    }
+
+    #[test]
+    fn anytime_capped_solve_returns_an_incumbent_no_worse_than_greedy() {
+        for budget in [1usize, 10, 100, 5_000, 30_000] {
+            let problem = ScheduleProblem::new(0, hard_window(12)).with_node_limit(budget);
+            let greedy = problem.solve_greedy().unwrap();
+            let mut scratch = SolveScratch::new();
+            let mut solution = ScheduleSolution::default();
+            let tier = problem.solve_anytime_with(&mut scratch, &mut solution).unwrap();
+            assert_eq!(solution.selected.len(), 12);
+            assert!(
+                no_worse(&solution, &greedy),
+                "budget {budget}: anytime ({}, {}) worse than greedy ({}, {})",
+                solution.violations,
+                solution.total_cost,
+                greedy.violations,
+                greedy.total_cost
+            );
+            if budget >= 30_000 {
+                assert_eq!(tier, SolveTier::Incumbent);
+            }
+        }
+    }
+
+    /// A chain of Fig. 2-style (slack-rich, then tight) event pairs whose
+    /// slowest options overlap the next pair: greedy lets every slack-rich
+    /// event crawl and then misses every tight deadline, while a global
+    /// schedule meets all of them. Exact search needs tens of millions of
+    /// nodes on this window; the best-first tier finds (and proves) the
+    /// 0-violation optimum within a few thousand.
+    fn greedy_hostile_chain(pairs: u64) -> Vec<ScheduleItem> {
+        let mut items = Vec::new();
+        for k in 0..pairs {
+            let base = k * 3_000_000;
+            items.push(ScheduleItem {
+                release_us: base,
+                deadline_us: base + 3_000_000,
+                options: (0..17)
+                    .map(|j| ScheduleOption {
+                        choice: j,
+                        duration_us: 2_500_000 - j as u64 * 90_000,
+                        cost: 10.0 + 1.5 * (j as f64).powf(1.3),
+                    })
+                    .collect(),
+            });
+            items.push(ScheduleItem {
+                release_us: base + 500_000,
+                deadline_us: base + 1_800_000,
+                options: (0..17)
+                    .map(|j| ScheduleOption {
+                        choice: j,
+                        duration_us: 1_500_000 - j as u64 * 50_000,
+                        cost: 8.0 + 1.2 * (j as f64).powf(1.3),
+                    })
+                    .collect(),
+            });
+        }
+        items
+    }
+
+    #[test]
+    fn anytime_incumbent_beats_the_greedy_cliff_on_hostile_windows() {
+        // 12 events x 17 options; the depth-first search cannot finish this
+        // window within 20M nodes, so the old capped solver would cliff-drop
+        // to greedy (6 violations). The anytime tier must do strictly
+        // better under the PES runtime's 200k budget.
+        let problem = ScheduleProblem::new(0, greedy_hostile_chain(6)).with_node_limit(200_000);
+        let greedy = problem.solve_greedy().unwrap();
+        assert_eq!(greedy.violations, 6, "greedy misses every tight deadline");
+        let mut scratch = SolveScratch::new();
+        let mut solution = ScheduleSolution::default();
+        let tier = problem.solve_anytime_with(&mut scratch, &mut solution).unwrap();
+        assert_eq!(tier, SolveTier::Incumbent);
+        assert_eq!(solution.violations, 0, "the incumbent tier meets every deadline");
+        assert!(no_worse(&solution, &greedy));
+    }
+
+    #[test]
+    fn anytime_incumbent_is_deterministic_across_repeat_solves() {
+        let problem = ScheduleProblem::new(0, hard_window(10)).with_node_limit(20_000);
+        let mut scratch = SolveScratch::new();
+        let mut first = ScheduleSolution::default();
+        let tier_a = problem.solve_anytime_with(&mut scratch, &mut first).unwrap();
+        for _ in 0..3 {
+            let mut again = ScheduleSolution::default();
+            let tier_b = problem
+                .solve_anytime_with(&mut scratch, &mut again)
+                .unwrap();
+            assert_eq!(tier_a, tier_b);
+            assert_eq!(first, again);
+        }
+    }
+
+    #[test]
+    fn anytime_rejects_empty_windows() {
+        let mut scratch = SolveScratch::new();
+        let mut solution = ScheduleSolution::default();
+        assert_eq!(
+            ScheduleProblem::new(0, vec![])
+                .solve_anytime_with(&mut scratch, &mut solution)
+                .unwrap_err(),
+            IlpError::EmptyProblem
+        );
     }
 
     #[test]

@@ -115,18 +115,30 @@ impl DemandProfiler {
         profile.samples += 1;
         match profile.estimate {
             None => {
-                profile.observations.push((config, busy_time));
-                // Try every pair of observations until one solves cleanly.
-                'outer: for i in 0..profile.observations.len() {
-                    for j in (i + 1)..profile.observations.len() {
-                        if let Ok(demand) =
-                            dvfs.recover_demand(profile.observations[i], profile.observations[j])
-                        {
-                            profile.estimate = Some(demand);
-                            profile.observations.clear();
-                            break 'outer;
-                        }
+                // Pair the new observation against the accumulated ones. Old
+                // pairs need no re-try: recovery is deterministic, so a pair
+                // that failed when its later half arrived fails forever —
+                // the previous all-pairs rescan was O(k²) per observation
+                // and, on replays whose speculative commits keep landing on
+                // one configuration (so recovery starves), it dominated the
+                // Oracle's per-event accounting. Pairs that cannot solve
+                // (same frequency or different core kinds) are skipped
+                // before `recover_demand` can build its error.
+                let fresh = (config, busy_time);
+                for i in 0..profile.observations.len() {
+                    let prior = profile.observations[i];
+                    if prior.0.core() != config.core() || prior.0.frequency() == config.frequency()
+                    {
+                        continue;
                     }
+                    if let Ok(demand) = dvfs.recover_demand(prior, fresh) {
+                        profile.estimate = Some(demand);
+                        profile.observations.clear();
+                        break;
+                    }
+                }
+                if profile.estimate.is_none() {
+                    profile.observations.push(fresh);
                 }
             }
             Some(current) => {

@@ -17,8 +17,10 @@
 //! per unit (enforced by `scenario_cache_matches_regenerated_artifacts` and
 //! `parallel_fan_out_is_deterministic` below).
 
+use std::sync::Arc;
+
 use pes_acmp::units::TimeUs;
-use pes_acmp::{CpuDemand, DvfsModel, Platform};
+use pes_acmp::{CpuDemand, DvfsLadder, DvfsModel, Platform};
 use pes_core::{OracleScheduler, PesConfig, PesScheduler};
 use pes_dom::EventType;
 use pes_predictor::{evaluate_accuracy, EventSequenceLearner, LearnerConfig, Trainer};
@@ -28,16 +30,22 @@ use pes_workload::{AppCatalog, Trace};
 
 use crate::classify::{classify_events, distribution, ClassDistribution};
 use crate::parallel::par_map;
-use crate::reactive::run_reactive;
+use crate::reactive::run_reactive_with_plane;
 use crate::scenario::ScenarioCache;
 
-/// Shared state for all experiments: the platform, the QoS policy, the
-/// application catalog, the (once-)trained predictor and the once-built
-/// scenario artifacts every driver replays.
+/// Shared state for all experiments: the platform, its once-built DVFS
+/// power plane, the QoS policy, the application catalog, the (once-)trained
+/// predictor and the once-built scenario artifacts every driver replays.
 #[derive(Debug, Clone)]
 pub struct ExperimentContext {
     /// The hardware platform (Exynos 5410 by default).
     pub platform: Platform,
+    /// The platform's DVFS power plane (17-rung ladder plus frozen
+    /// per-configuration powers), built once and shared by every execution
+    /// engine, scheduler context and energy meter the drivers spawn. Must be
+    /// rebuilt whenever `platform` changes (see
+    /// [`ExperimentContext::on_tx2`]).
+    pub power_plane: Arc<DvfsLadder>,
     /// The QoS policy (paper defaults).
     pub qos: QosPolicy,
     /// The application catalog (12 seen + 6 unseen apps).
@@ -68,8 +76,11 @@ impl ExperimentContext {
         );
         let traces_per_app = traces_per_app.max(1);
         let scenarios = ScenarioCache::build(&catalog, traces_per_app.max(2));
+        let platform = Platform::exynos_5410();
+        let power_plane = Arc::new(DvfsLadder::for_platform(&platform));
         ExperimentContext {
-            platform: Platform::exynos_5410(),
+            platform,
+            power_plane,
             qos: QosPolicy::paper_defaults(),
             catalog,
             learner,
@@ -79,10 +90,12 @@ impl ExperimentContext {
     }
 
     /// Switches the hardware model to the NVIDIA TX2 (Sec. 6.5 "other
-    /// devices"). The scenario artifacts depend only on the applications,
-    /// not the platform, so they are reused as-is.
+    /// devices"), rebuilding the power plane for it. The scenario artifacts
+    /// depend only on the applications, not the platform, so they are
+    /// reused as-is.
     pub fn on_tx2(mut self) -> Self {
         self.platform = Platform::tx2_parker();
+        self.power_plane = Arc::new(DvfsLadder::for_platform(&self.platform));
         self
     }
 
@@ -186,12 +199,24 @@ pub fn fig2_case_study(ctx: &ExperimentContext) -> CaseStudy {
         (name.to_string(), entries, report.total_energy.as_millijoules())
     };
 
-    let os_report = run_reactive(&ctx.platform, &trace, &mut InteractiveGovernor::new(), &qos);
+    let os_report = run_reactive_with_plane(
+        &ctx.platform,
+        &ctx.power_plane,
+        &trace,
+        &mut InteractiveGovernor::new(),
+        &qos,
+    );
     let (n, t, e) = reactive_entry("OS (Interactive)", &os_report);
     timelines.push((n.clone(), t));
     energy.push((n, e));
 
-    let ebs_report = run_reactive(&ctx.platform, &trace, &mut Ebs::new(&ctx.platform), &qos);
+    let ebs_report = run_reactive_with_plane(
+        &ctx.platform,
+        &ctx.power_plane,
+        &trace,
+        &mut Ebs::new(&ctx.platform),
+        &qos,
+    );
     let (n, t, e) = reactive_entry("EBS", &ebs_report);
     timelines.push((n.clone(), t));
     energy.push((n, e));
@@ -200,7 +225,13 @@ pub fn fig2_case_study(ctx: &ExperimentContext) -> CaseStudy {
     // only for its session state; an empty page suffices for a hand-built
     // trace with document-level events.
     let page = pes_dom::PageBuilder::new(360).nav_bar(2).text_block(2_000).build();
-    let oracle_report = OracleScheduler::new().run_trace(&ctx.platform, &page, &trace, &qos);
+    let oracle_report = OracleScheduler::new().run_trace_with_plane(
+        &ctx.platform,
+        &ctx.power_plane,
+        &page,
+        &trace,
+        &qos,
+    );
     let entries = oracle_report
         .outcomes
         .iter()
@@ -241,12 +272,18 @@ fn seen_indices(ctx: &ExperimentContext) -> Vec<usize> {
 /// Per-application event-type distribution (Fig. 3). One fan-out unit per
 /// `(application, trace)` pair, each replaying its shared trace under EBS.
 pub fn fig3_event_types(ctx: &ExperimentContext) -> Vec<(String, ClassDistribution)> {
-    let dvfs = DvfsModel::new(&ctx.platform);
+    let dvfs = DvfsModel::with_ladder(&ctx.platform, Arc::clone(&ctx.power_plane));
     let seen = seen_indices(ctx);
     let traces = ctx.traces_per_app;
     let per_trace: Vec<Vec<crate::EventClass>> = par_map(seen.len() * traces, |unit| {
         let trace = ctx.scenarios.trace_ref(seen[unit / traces], unit % traces);
-        let report = run_reactive(&ctx.platform, trace, &mut Ebs::new(&ctx.platform), &ctx.qos);
+        let report = run_reactive_with_plane(
+            &ctx.platform,
+            &ctx.power_plane,
+            trace,
+            &mut Ebs::new(&ctx.platform),
+            &ctx.qos,
+        );
         classify_events(&report, trace.events(), &dvfs, &ctx.qos)
     });
     seen.iter()
@@ -302,7 +339,8 @@ pub fn fig9_pfb_trace(ctx: &ExperimentContext, app_name: &str) -> Vec<(usize, us
     let pes = PesScheduler::new(ctx.learner.clone(), PesConfig::paper_defaults());
     let page = ctx.scenarios.page_ref(app_idx);
     let trace = ctx.scenarios.trace_ref(app_idx, 0);
-    pes.run_trace(&ctx.platform, page, trace, &ctx.qos).pfb_trace
+    pes.run_trace_with_plane(&ctx.platform, &ctx.power_plane, page, trace, &ctx.qos)
+        .pfb_trace
 }
 
 /// Per-application average misprediction waste in milliseconds (Fig. 10),
@@ -315,7 +353,8 @@ pub fn fig10_waste(ctx: &ExperimentContext) -> Vec<(String, bool, f64, f64)> {
     let per_trace: Vec<(f64, f64)> = par_map(apps.len() * traces, |unit| {
         let page = ctx.scenarios.page_ref(unit / traces);
         let trace = ctx.scenarios.trace_ref(unit / traces, unit % traces);
-        let report = pes.run_trace(&ctx.platform, page, trace, &ctx.qos);
+        let report =
+            pes.run_trace_with_plane(&ctx.platform, &ctx.power_plane, page, trace, &ctx.qos);
         (report.average_waste_ms(), report.waste_energy_fraction())
     });
     let avg = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
@@ -413,23 +452,43 @@ pub fn full_comparison_with_config(
         let events = trace.len();
         match policy {
             "Interactive" => {
-                let r = run_reactive(&ctx.platform, trace, &mut InteractiveGovernor::new(), &ctx.qos);
+                let r = run_reactive_with_plane(
+                    &ctx.platform,
+                    &ctx.power_plane,
+                    trace,
+                    &mut InteractiveGovernor::new(),
+                    &ctx.qos,
+                );
                 (r.total_energy.as_millijoules(), r.violations(), events)
             }
             "Ondemand" => {
-                let r = run_reactive(&ctx.platform, trace, &mut OndemandGovernor::new(), &ctx.qos);
+                let r = run_reactive_with_plane(
+                    &ctx.platform,
+                    &ctx.power_plane,
+                    trace,
+                    &mut OndemandGovernor::new(),
+                    &ctx.qos,
+                );
                 (r.total_energy.as_millijoules(), r.violations(), events)
             }
             "EBS" => {
-                let r = run_reactive(&ctx.platform, trace, &mut Ebs::new(&ctx.platform), &ctx.qos);
+                let r = run_reactive_with_plane(
+                    &ctx.platform,
+                    &ctx.power_plane,
+                    trace,
+                    &mut Ebs::new(&ctx.platform),
+                    &ctx.qos,
+                );
                 (r.total_energy.as_millijoules(), r.violations(), events)
             }
             "PES" => {
-                let r = pes.run_trace(&ctx.platform, page, trace, &ctx.qos);
+                let r =
+                    pes.run_trace_with_plane(&ctx.platform, &ctx.power_plane, page, trace, &ctx.qos);
                 (r.total_energy.as_millijoules(), r.violations, events)
             }
             _ => {
-                let r = oracle.run_trace(&ctx.platform, page, trace, &ctx.qos);
+                let r = oracle
+                    .run_trace_with_plane(&ctx.platform, &ctx.power_plane, page, trace, &ctx.qos);
                 (r.total_energy.as_millijoules(), r.violations, events)
             }
         }
@@ -525,8 +584,15 @@ pub fn fig14_sensitivity(
                     let app_idx = subset[unit / traces];
                     let page = ctx.scenarios.page_ref(app_idx);
                     let trace = ctx.scenarios.trace_ref(app_idx, unit % traces);
-                    let e = run_reactive(&ctx.platform, trace, &mut Ebs::new(&ctx.platform), &ctx.qos);
-                    let p = pes.run_trace(&ctx.platform, page, trace, &ctx.qos);
+                    let e = run_reactive_with_plane(
+                        &ctx.platform,
+                        &ctx.power_plane,
+                        trace,
+                        &mut Ebs::new(&ctx.platform),
+                        &ctx.qos,
+                    );
+                    let p = pes
+                        .run_trace_with_plane(&ctx.platform, &ctx.power_plane, page, trace, &ctx.qos);
                     (
                         e.total_energy.as_millijoules(),
                         e.violations(),
@@ -560,6 +626,7 @@ pub fn fig14_sensitivity(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reactive::run_reactive;
     use pes_workload::{TraceGenerator, EVAL_SEED_BASE};
 
     fn tiny_ctx() -> ExperimentContext {
@@ -571,8 +638,11 @@ mod tests {
         })
         .train_learner(&catalog, LearnerConfig::paper_defaults());
         let scenarios = ScenarioCache::build(&catalog, 2);
+        let platform = Platform::exynos_5410();
+        let power_plane = Arc::new(DvfsLadder::for_platform(&platform));
         ExperimentContext {
-            platform: Platform::exynos_5410(),
+            platform,
+            power_plane,
             qos: QosPolicy::paper_defaults(),
             catalog,
             learner,

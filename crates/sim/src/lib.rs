@@ -44,7 +44,7 @@ pub use experiments::{
     fig8_accuracy, fig9_pfb_trace, full_comparison, full_comparison_with_config, AppComparison,
     CaseStudy, ExperimentContext, SensitivityPoint, TimelineEntry,
 };
-pub use reactive::{run_reactive, ReactiveEventRecord, ReactiveReport};
+pub use reactive::{run_reactive, run_reactive_with_plane, ReactiveEventRecord, ReactiveReport};
 pub use scenario::ScenarioCache;
 pub use training::{train_learner_parallel, train_parallel};
 

@@ -1,8 +1,10 @@
 //! The reactive simulation loop: replays a trace under a per-event
 //! [`Scheduler`] (Interactive, Ondemand, EBS) on the shared execution engine.
 
+use std::sync::Arc;
+
 use pes_acmp::units::{EnergyUj, TimeUs};
-use pes_acmp::{AcmpConfig, Platform};
+use pes_acmp::{AcmpConfig, DvfsLadder, DvfsModel, Platform};
 use pes_schedulers::{ScheduleContext, Scheduler};
 use pes_webrt::{EventId, ExecutionEngine, QosOutcome, QosPolicy};
 use pes_workload::Trace;
@@ -56,16 +58,34 @@ impl ReactiveReport {
     }
 }
 
-/// Replays `trace` under the given reactive scheduler.
+/// Replays `trace` under the given reactive scheduler, building a private
+/// DVFS power plane. Fan-out drivers replaying many traces on one platform
+/// should use [`run_reactive_with_plane`] to share a single plane instead —
+/// the pre-plane driver built *two* 17-rung ladders per replay (one for the
+/// engine, one for the scheduler context), which is where the Interactive
+/// governor unit's regression came from.
 pub fn run_reactive(
     platform: &Platform,
     trace: &Trace,
     scheduler: &mut dyn Scheduler,
     qos: &QosPolicy,
 ) -> ReactiveReport {
+    let plane = Arc::new(DvfsLadder::for_platform(platform));
+    run_reactive_with_plane(platform, &plane, trace, scheduler, qos)
+}
+
+/// Replays `trace` under the given reactive scheduler on a shared DVFS power
+/// plane (one ladder per platform, built once per context).
+pub fn run_reactive_with_plane(
+    platform: &Platform,
+    plane: &Arc<DvfsLadder>,
+    trace: &Trace,
+    scheduler: &mut dyn Scheduler,
+    qos: &QosPolicy,
+) -> ReactiveReport {
     scheduler.reset();
-    let mut engine = ExecutionEngine::new(platform, *qos);
-    let dvfs = pes_acmp::DvfsModel::new(platform);
+    let mut engine = ExecutionEngine::with_plane(platform, *qos, Arc::clone(plane));
+    let dvfs = DvfsModel::with_ladder(platform, Arc::clone(plane));
     let mut records = Vec::with_capacity(trace.len());
     for ev in trace.events() {
         let start_time = engine.cpu_free_at().max(ev.arrival());

@@ -7,8 +7,13 @@
 //! simulated time, the active ACMP configuration, the energy meter, the VSync
 //! clock and the per-event outcome log.
 
+use std::sync::Arc;
+
 use pes_acmp::units::{EnergyUj, TimeUs};
-use pes_acmp::{AcmpConfig, ActivityKind, CpuDemand, DvfsModel, EnergyMeter, Platform, TransitionModel};
+use pes_acmp::{
+    AcmpConfig, ActivityKind, CpuDemand, DvfsLadder, DvfsModel, EnergyMeter, Platform,
+    TransitionModel,
+};
 use pes_dom::Interaction;
 
 use crate::event::{EventId, WebEvent};
@@ -75,16 +80,26 @@ pub struct ExecutionEngine<'p> {
 
 impl<'p> ExecutionEngine<'p> {
     /// Creates an engine parked at the platform's lowest-power configuration
-    /// at time zero.
+    /// at time zero. Builds a private DVFS ladder; replay fleets should use
+    /// [`ExecutionEngine::with_plane`] to share one per platform instead.
     pub fn new(platform: &'p Platform, qos: QosPolicy) -> Self {
+        let plane = Arc::new(DvfsLadder::for_platform(platform));
+        ExecutionEngine::with_plane(platform, qos, plane)
+    }
+
+    /// Creates an engine whose DVFS model *and* energy meter are served by a
+    /// shared, already-built power plane (one ladder per platform, built by
+    /// the experiment context): replays neither rebuild the 17-rung table
+    /// nor re-derive cluster powers per energy sample.
+    pub fn with_plane(platform: &'p Platform, qos: QosPolicy, plane: Arc<DvfsLadder>) -> Self {
         ExecutionEngine {
             platform,
-            dvfs: DvfsModel::new(platform),
+            dvfs: DvfsModel::with_ladder(platform, Arc::clone(&plane)),
             pipeline: RenderPipeline::new(),
             vsync: VsyncClock::sixty_hz(),
             qos,
             transitions: TransitionModel::exynos_defaults(),
-            meter: EnergyMeter::new(platform),
+            meter: EnergyMeter::with_plane(platform, plane),
             current_config: platform.min_power_config(),
             cpu_free_at: TimeUs::ZERO,
             outcomes: Vec::new(),
@@ -201,7 +216,7 @@ impl<'p> ExecutionEngine<'p> {
         self.idle_until(earliest);
         self.switch_config(config);
         let start = self.cpu_free_at;
-        let exec = self.pipeline.execute(
+        let (busy, frame_ready_at) = self.pipeline.execute_timing(
             &event.demand(),
             event.event_type().interaction(),
             &self.dvfs,
@@ -211,15 +226,14 @@ impl<'p> ExecutionEngine<'p> {
         // Speculative work is attributed as useful for now; it is
         // re-attributed to waste if the frame is later squashed
         // (see `account_squashed_frame`).
-        let busy = exec.busy_time();
         self.meter.record_busy(config, busy, ActivityKind::UsefulWork);
-        self.cpu_free_at = exec.frame_ready_at;
+        self.cpu_free_at = frame_ready_at;
         let record = ExecutionRecord {
             event: event.id(),
             interaction: event.event_type().interaction(),
             config: *config,
             started_at: start,
-            frame_ready_at: exec.frame_ready_at,
+            frame_ready_at,
             busy_time: busy,
             speculative,
         };
@@ -355,6 +369,41 @@ mod tests {
         assert!(engine.waste_fraction() > 0.0);
         let total_after = engine.total_energy();
         assert!((total_after.as_microjoules() - total_before.as_microjoules()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shared_plane_engine_matches_a_fresh_engine_bit_for_bit() {
+        let platform = Platform::exynos_5410();
+        let plane = Arc::new(DvfsLadder::for_platform(&platform));
+        let mut fresh = ExecutionEngine::new(&platform, QosPolicy::paper_defaults());
+        let mut shared =
+            ExecutionEngine::with_plane(&platform, QosPolicy::paper_defaults(), Arc::clone(&plane));
+        assert!(Arc::ptr_eq(shared.dvfs().shared_ladder(), &plane));
+        for (i, (ty, at_ms, mcycles)) in [
+            (EventType::Load, 0u64, 1_500u64),
+            (EventType::Click, 900, 120),
+            (EventType::Scroll, 1_000, 40),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let ev = event(i as u64, ty, at_ms, mcycles);
+            let cfg = if i % 2 == 0 {
+                platform.max_performance_config()
+            } else {
+                platform.min_power_config()
+            };
+            let a = fresh.execute_event(&ev, &cfg, false);
+            let b = shared.execute_event(&ev, &cfg, false);
+            assert_eq!(a, b);
+            fresh.commit(&ev, a.frame_ready_at);
+            shared.commit(&ev, b.frame_ready_at);
+        }
+        assert_eq!(
+            fresh.total_energy().as_microjoules().to_bits(),
+            shared.total_energy().as_microjoules().to_bits(),
+            "shared-plane accounting must be bit-identical"
+        );
     }
 
     #[test]

@@ -61,7 +61,7 @@ impl StageProfile {
     /// Creates a profile from raw per-stage weights (normalised internally).
     /// All-zero weights fall back to a uniform split.
     pub fn new(weights: [f64; 5]) -> Self {
-        let clamped: Vec<f64> = weights.iter().map(|w| w.max(0.0)).collect();
+        let clamped: [f64; 5] = weights.map(|w| w.max(0.0));
         let sum: f64 = clamped.iter().sum();
         let fractions = if sum <= 0.0 {
             [0.2; 5]
@@ -195,6 +195,30 @@ impl RenderPipeline {
         }
     }
 
+    /// The `(busy time, frame-ready instant)` of pushing an event through
+    /// the pipeline, without materialising the per-stage breakdown —
+    /// value-identical to [`RenderPipeline::execute`] (the stages are
+    /// contiguous, so the busy time is the cursor's total advance), minus
+    /// its per-call `Vec` of stage timings. This is what the execution
+    /// engine's replay hot path consumes; [`RenderPipeline::execute`] stays
+    /// for callers that inspect stages (figures, tests).
+    pub fn execute_timing(
+        &self,
+        demand: &CpuDemand,
+        interaction: Interaction,
+        model: &DvfsModel<'_>,
+        config: &AcmpConfig,
+        start: TimeUs,
+    ) -> (TimeUs, TimeUs) {
+        let profile = StageProfile::for_interaction(interaction);
+        let mut cursor = start;
+        for stage in RenderStage::ALL {
+            let stage_demand = demand.scale(profile.fraction(stage));
+            cursor += model.execution_time(&stage_demand, config);
+        }
+        (cursor - start, cursor)
+    }
+
     /// The total pipeline latency for an event demand on a configuration,
     /// without materialising the per-stage breakdown. Because the per-stage
     /// split is linear in the demand, this equals the sum of the stage times
@@ -272,6 +296,22 @@ mod tests {
         let last = exec.stages.last().unwrap();
         assert_eq!(exec.frame_ready_at, last.start + last.duration);
         assert_eq!(exec.busy_time() + exec.started_at, exec.frame_ready_at);
+    }
+
+    #[test]
+    fn execute_timing_matches_the_staged_execution_exactly() {
+        let (platform, demand) = fixture();
+        let model = DvfsModel::new(&platform);
+        let pipeline = RenderPipeline::new();
+        for interaction in Interaction::ALL {
+            for cfg in platform.configs() {
+                let start = TimeUs::from_micros(12_345);
+                let exec = pipeline.execute(&demand, interaction, &model, cfg, start);
+                let (busy, ready) = pipeline.execute_timing(&demand, interaction, &model, cfg, start);
+                assert_eq!(busy, exec.busy_time(), "{interaction} on {cfg}");
+                assert_eq!(ready, exec.frame_ready_at, "{interaction} on {cfg}");
+            }
+        }
     }
 
     #[test]

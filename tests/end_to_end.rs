@@ -263,6 +263,53 @@ const GOLDEN_ORACLE: (usize, f64) = (0, 10_174_317.96923233);
 const GOLDEN_EBS: (usize, f64) = (10, 15_007_199.115158504);
 const GOLDEN_INTERACTIVE: (usize, f64) = (2, 20_044_502.467135124);
 
+/// Golden Oracle sessions for the anytime solver: two additional seeded
+/// replays whose every optimisation window is a 12-event Oracle window (13
+/// items with the outstanding event), so the wide-window budget tier and the
+/// best-first incumbent machinery sit on the replayed path. Violations are
+/// pinned exactly and energy to 0.5 µJ, identical in debug and release —
+/// any change to the anytime solver that shifts a single schedule moves
+/// these and fails loudly. Refresh via `--nocapture` + the
+/// `ORACLE-GOLDEN-CAPTURE` line only for an intentional behaviour change.
+#[test]
+fn golden_oracle_anytime_sessions_stay_pinned() {
+    let catalog = AppCatalog::paper_suite();
+    let platform = Platform::exynos_5410();
+    let qos = QosPolicy::paper_defaults();
+    let oracle = OracleScheduler::new();
+
+    let golden: [(&str, u64, usize, f64); 2] = [
+        ("ebay", 13, GOLDEN_ORACLE_EBAY.0, GOLDEN_ORACLE_EBAY.1),
+        ("youtube", 27, GOLDEN_ORACLE_YOUTUBE.0, GOLDEN_ORACLE_YOUTUBE.1),
+    ];
+    for (app_name, seed_offset, gold_violations, gold_energy) in golden {
+        let app = catalog.find(app_name).unwrap();
+        let page = app.build_page();
+        let trace = TraceGenerator::new().generate(app, &page, EVAL_SEED_BASE + seed_offset);
+        let report = oracle.run_trace(&platform, &page, &trace, &qos);
+        let energy = report.total_energy.as_microjoules();
+        println!(
+            "ORACLE-GOLDEN-CAPTURE {app_name}: ({}, {energy:?})",
+            report.violations
+        );
+        assert_eq!(report.mispredictions, 0, "{app_name}: the Oracle never mispredicts");
+        assert_eq!(
+            report.violations, gold_violations,
+            "{app_name}: frame-deadline misses drifted (energy {energy:.3} µJ)"
+        );
+        assert!(
+            (energy - gold_energy).abs() < 0.5,
+            "{app_name}: session energy drifted (got {energy:.3} µJ, golden {gold_energy:.3} µJ)"
+        );
+    }
+}
+
+/// Golden values for `golden_oracle_anytime_sessions_stay_pinned`:
+/// `(frame-deadline misses, session energy in µJ)` for the seeded ebay and
+/// youtube Oracle replays. Identical in debug and release builds.
+const GOLDEN_ORACLE_EBAY: (usize, f64) = (0, 10_675_336.12207985);
+const GOLDEN_ORACLE_YOUTUBE: (usize, f64) = (0, 10_873_271.576855296);
+
 #[test]
 fn disabling_dom_analysis_never_helps_prediction() {
     let catalog = AppCatalog::paper_suite();

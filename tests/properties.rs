@@ -3,11 +3,13 @@
 use proptest::prelude::*;
 
 use pes::acmp::units::{CpuCycles, FreqMhz, TimeUs};
-use pes::acmp::{AcmpConfig, CoreKind, CpuDemand, DvfsLadder, DvfsModel, Platform};
+use pes::acmp::{
+    AcmpConfig, ActivityKind, CoreKind, CpuDemand, DvfsLadder, DvfsModel, EnergyMeter, Platform,
+};
 use pes::dom::{
     CallbackEffect, DomAnalyzer, EventType, IncrementalAnalyzer, PageBuilder, Viewport,
 };
-use pes::ilp::{ScheduleItem, ScheduleOption, ScheduleProblem};
+use pes::ilp::{ScheduleItem, ScheduleOption, ScheduleProblem, ScheduleSolution, SolveScratch, SolveTier};
 use pes::webrt::VsyncClock;
 
 proptest! {
@@ -423,6 +425,204 @@ proptest! {
             reference.violations,
             reference.total_cost
         );
+    }
+}
+
+/// Lexicographic `(violations, cost)` dominance: `a` no worse than `b`.
+fn lex_no_worse(a: &ScheduleSolution, b: &ScheduleSolution) -> bool {
+    a.violations < b.violations
+        || (a.violations == b.violations && a.total_cost <= b.total_cost + 1e-9)
+}
+
+proptest! {
+    /// The anytime solver's quality contract on PES/Oracle-shaped windows
+    /// (6–12 events × 17-option convex cost curves, randomized load):
+    ///
+    /// * the capped solve's lexicographic `(violations, cost)` objective is
+    ///   never worse than the greedy fallback's,
+    /// * and never worse than the depth-first capped search's (which
+    ///   cliff-drops to greedy at budget exhaustion — the behaviour the
+    ///   anytime tier replaces),
+    /// * and when the depth-first search completes within the budget (the
+    ///   exact tier), the schedule is bit-identical to `solve_reference`.
+    ///
+    /// Costs are multiples of 0.25 so all float comparisons are exact.
+    #[test]
+    fn anytime_capped_solve_never_worse_than_greedy_or_depth_first(
+        n in 6u64..=12,
+        base_dur in 150_000u64..350_000,
+        step in 5_000u64..15_000,
+        slack_pct in 40u64..160,
+        curve_quarters in 2u64..9,
+        release_gap in 20_000u64..120_000,
+    ) {
+        let items: Vec<ScheduleItem> = (0..n)
+            .map(|i| ScheduleItem {
+                release_us: i * release_gap,
+                deadline_us: (i + 1) * (base_dur * slack_pct / 100),
+                options: (0..17)
+                    .map(|j| ScheduleOption {
+                        choice: j,
+                        duration_us: base_dur.saturating_sub(j as u64 * step),
+                        cost: 1.0 + 0.25 * curve_quarters as f64 * (j * j) as f64 / 16.0,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let problem = ScheduleProblem::new(0, items).with_node_limit(24_000);
+        let mut scratch = SolveScratch::new();
+        let mut anytime = ScheduleSolution::default();
+        let tier = problem.solve_anytime_with(&mut scratch, &mut anytime).unwrap();
+        prop_assert_eq!(anytime.selected.len(), n as usize);
+
+        let greedy = problem.solve_greedy().unwrap();
+        prop_assert!(
+            lex_no_worse(&anytime, &greedy),
+            "anytime ({}, {}) worse than greedy ({}, {})",
+            anytime.violations, anytime.total_cost, greedy.violations, greedy.total_cost
+        );
+
+        // The pre-anytime capped behaviour: exact when the depth-first
+        // search finishes, greedy otherwise.
+        let depth_first = problem.solve().or_else(|_| problem.solve_greedy()).unwrap();
+        prop_assert!(
+            lex_no_worse(&anytime, &depth_first),
+            "anytime ({}, {}) worse than depth-first capped ({}, {})",
+            anytime.violations, anytime.total_cost, depth_first.violations, depth_first.total_cost
+        );
+
+        if tier == SolveTier::Exact {
+            // Exact tier: bit-identical to the pre-optimisation reference
+            // search (given a budget large enough for the reference to
+            // finish too — it explores at least as many nodes).
+            let reference = problem.clone().with_node_limit(2_000_000).solve_reference();
+            if let Ok(reference) = reference {
+                prop_assert_eq!(&anytime.selected, &reference.selected);
+                prop_assert_eq!(&anytime.choices, &reference.choices);
+                prop_assert_eq!(&anytime.finish_us, &reference.finish_us);
+                prop_assert_eq!(anytime.violations, reference.violations);
+                prop_assert!(
+                    anytime.total_cost.to_bits() == reference.total_cost.to_bits(),
+                    "exact-tier cost must be bit-identical to the reference"
+                );
+            }
+        }
+    }
+
+    /// Plane-routed energy metering is bit-identical to the retained
+    /// reference path over random interleavings of busy/idle/transition
+    /// samples: totals, activity-kind breakdowns and cluster breakdowns.
+    #[test]
+    fn plane_routed_energy_metering_matches_the_reference_path(
+        samples in proptest::collection::vec(
+            (0usize..17, 0u64..3, 0u64..2_000_000),
+            1..60
+        ),
+    ) {
+        use std::sync::Arc;
+        let platform = Platform::exynos_5410();
+        let plane = Arc::new(DvfsLadder::for_platform(&platform));
+        let mut routed = EnergyMeter::with_plane(&platform, Arc::clone(&plane));
+        let mut reference = EnergyMeter::new(&platform);
+        for (cfg_idx, kind, duration_us) in samples {
+            let cfg = platform.configs()[cfg_idx % platform.configs().len()];
+            let duration = TimeUs::from_micros(duration_us);
+            match kind {
+                0 => {
+                    let activity = if duration_us % 2 == 0 {
+                        ActivityKind::UsefulWork
+                    } else {
+                        ActivityKind::SpeculativeWaste
+                    };
+                    routed.record_busy(&cfg, duration, activity);
+                    reference.record_busy_reference(&cfg, duration, activity);
+                }
+                1 => {
+                    routed.record_idle(&cfg, duration);
+                    reference.record_idle_reference(&cfg, duration);
+                }
+                _ => {
+                    routed.record_transition(&cfg, duration);
+                    reference.record_transition_reference(&cfg, duration);
+                }
+            }
+        }
+        prop_assert!(
+            routed.total().as_microjoules().to_bits()
+                == reference.total().as_microjoules().to_bits(),
+            "total energy drifted: {} vs {}",
+            routed.total().as_microjoules(),
+            reference.total().as_microjoules()
+        );
+        for kind in ActivityKind::ALL {
+            prop_assert!(
+                routed.for_activity(kind).as_microjoules().to_bits()
+                    == reference.for_activity(kind).as_microjoules().to_bits(),
+                "activity {:?} drifted", kind
+            );
+        }
+        for cluster in platform.clusters() {
+            let kind = cluster.core_kind();
+            prop_assert!(
+                routed.for_cluster(kind).as_microjoules().to_bits()
+                    == reference.for_cluster(kind).as_microjoules().to_bits(),
+                "cluster {:?} drifted", kind
+            );
+        }
+        prop_assert_eq!(routed.busy_time(), reference.busy_time());
+        prop_assert_eq!(routed.idle_time(), reference.idle_time());
+    }
+}
+
+/// Exhaustive energy-identity check: every configuration of both modelled
+/// platforms × a duration grid, for busy (both attributions), idle and
+/// transition samples — the plane-routed meter must reproduce the reference
+/// derivation bit for bit. This is the lockdown that lets the execution
+/// engine meter through the frozen power plane without behavioural drift.
+#[test]
+fn energy_meter_plane_is_exhaustively_bit_identical_to_the_reference() {
+    use std::sync::Arc;
+    let duration_grid_us = [1u64, 137, 1_000, 33_000, 200_000, 3_000_000];
+    for platform in [Platform::exynos_5410(), Platform::tx2_parker()] {
+        let plane = Arc::new(DvfsLadder::for_platform(&platform));
+        let mut routed = EnergyMeter::with_plane(&platform, Arc::clone(&plane));
+        let mut reference = EnergyMeter::new(&platform);
+        for cfg in platform.configs() {
+            for &us in &duration_grid_us {
+                let d = TimeUs::from_micros(us);
+                routed.record_busy(cfg, d, ActivityKind::UsefulWork);
+                reference.record_busy_reference(cfg, d, ActivityKind::UsefulWork);
+                routed.record_busy(cfg, d, ActivityKind::SpeculativeWaste);
+                reference.record_busy_reference(cfg, d, ActivityKind::SpeculativeWaste);
+                routed.record_idle(cfg, d);
+                reference.record_idle_reference(cfg, d);
+                routed.record_transition(cfg, d);
+                reference.record_transition_reference(cfg, d);
+                assert_eq!(
+                    routed.total().as_microjoules().to_bits(),
+                    reference.total().as_microjoules().to_bits(),
+                    "total drifted on {} at ({cfg}, {us}us)",
+                    platform.name()
+                );
+            }
+        }
+        for kind in ActivityKind::ALL {
+            assert_eq!(
+                routed.for_activity(kind).as_microjoules().to_bits(),
+                reference.for_activity(kind).as_microjoules().to_bits(),
+                "activity {kind:?} drifted on {}",
+                platform.name()
+            );
+        }
+        for cluster in platform.clusters() {
+            let kind = cluster.core_kind();
+            assert_eq!(
+                routed.for_cluster(kind).as_microjoules().to_bits(),
+                reference.for_cluster(kind).as_microjoules().to_bits(),
+                "cluster {kind:?} drifted on {}",
+                platform.name()
+            );
+        }
     }
 }
 
