@@ -3,7 +3,6 @@
 
 use std::fmt;
 
-
 use crate::units::FreqMhz;
 
 /// The microarchitectural class of a CPU core cluster.

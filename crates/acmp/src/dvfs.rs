@@ -6,7 +6,6 @@
 //! *recover* the demand from two latency observations at different
 //! frequencies by solving the two-equation system described in Sec. 5.3.
 
-
 use std::sync::Arc;
 
 use crate::config::AcmpConfig;
@@ -151,8 +150,7 @@ impl DvfsLadder {
     /// unit).
     pub fn for_platform(platform: &Platform) -> Self {
         let min_cfg = platform.min_power_config();
-        let baseline =
-            platform.idle_power(&min_cfg) + platform.background_idle_power(&min_cfg);
+        let baseline = platform.idle_power(&min_cfg) + platform.background_idle_power(&min_cfg);
         let rungs = platform
             .configs()
             .iter()
@@ -219,7 +217,11 @@ impl DvfsLadder {
     /// [`DvfsModel::execution_time`] on that rung's configuration.
     pub fn execution_time_at(&self, demand: &CpuDemand, index: usize) -> TimeUs {
         let rung = &self.rungs[index];
-        demand.t_mem() + demand.ref_cycles().scale(rung.inv_ipc).time_at(rung.config.frequency())
+        demand.t_mem()
+            + demand
+                .ref_cycles()
+                .scale(rung.inv_ipc)
+                .time_at(rung.config.frequency())
     }
 
     /// Marginal energy of `demand` on rung `index` — identical to
@@ -290,21 +292,87 @@ fn select_cheapest(
 /// Number of demands a [`LadderCache`] retains.
 const LADDER_CACHE_SIZE: usize = 32;
 
+/// One memoised ladder row: the per-configuration [`LadderPoint`]s of a
+/// demand plus, computed lazily on first request, the two sorted index
+/// orders the optimisation-window poser carries into the solver.
+///
+/// The orders are **stable** sorts of the point indices — by marginal energy
+/// (the solver's option cost) and by latency in whole microseconds (the
+/// solver's option duration) — with exactly the tie-breaking
+/// `ScheduleProblem`'s own table build uses, so a window re-posed from these
+/// orders is bit-identical to one that re-sorted the options itself.
+#[derive(Debug, Clone, Default)]
+pub struct LadderRow {
+    points: Vec<LadderPoint>,
+    by_cost: Vec<u32>,
+    by_duration: Vec<u32>,
+}
+
+impl LadderRow {
+    /// The per-configuration points, in platform config-table order.
+    pub fn points(&self) -> &[LadderPoint] {
+        &self.points
+    }
+
+    /// Point indices sorted ascending by marginal energy (stable: ties keep
+    /// config-table order). Only present after [`LadderCache::row`] served
+    /// this row at least once.
+    pub fn by_cost(&self) -> &[u32] {
+        &self.by_cost
+    }
+
+    /// Point indices sorted ascending by whole-microsecond latency (stable:
+    /// ties keep config-table order). Only present after
+    /// [`LadderCache::row`] served this row at least once.
+    pub fn by_duration(&self) -> &[u32] {
+        &self.by_duration
+    }
+
+    /// Re-evaluates the row for a new demand, invalidating the sorted
+    /// orders (they are rebuilt lazily by [`LadderRow::ensure_sorted`]).
+    fn refill(&mut self, ladder: &DvfsLadder, demand: &CpuDemand) {
+        ladder.eval_into(demand, &mut self.points);
+        self.by_cost.clear();
+        self.by_duration.clear();
+    }
+
+    /// Builds the sorted orders if this row does not hold them yet. Pure
+    /// `points()` consumers (reactive decisions) never pay for the sorts.
+    fn ensure_sorted(&mut self) {
+        if self.by_cost.len() == self.points.len() {
+            return;
+        }
+        self.by_cost.clear();
+        self.by_cost.extend(0..self.points.len() as u32);
+        let points = &self.points;
+        self.by_cost.sort_by(|&a, &b| {
+            points[a as usize]
+                .energy_uj
+                .partial_cmp(&points[b as usize].energy_uj)
+                .expect("ladder energies are finite")
+        });
+        self.by_duration.clear();
+        self.by_duration.extend(0..self.points.len() as u32);
+        self.by_duration
+            .sort_by_key(|&a| points[a as usize].time.as_micros());
+    }
+}
+
 /// A small demand-keyed memo of ladder evaluations.
 ///
 /// Reactive decisions and window fills evaluate the same few demands over
 /// and over — profiled per-event-type estimates only move when an
 /// observation lands, and the PES planner quantises its estimates onto a
-/// coarse grid precisely so windows repeat. The cache is a ring of
-/// `(demand, points)` rows with linear lookup: hits cost a handful of
-/// 16-byte key compares, misses re-evaluate into the evicted row's
-/// allocation.
+/// coarse grid precisely so the same rows recur across prediction rounds.
+/// The cache is a ring of demand-keyed [`LadderRow`]s with linear lookup:
+/// hits cost a handful of 16-byte key compares, misses re-evaluate into the
+/// evicted row's allocations.
 ///
 /// Callers own their cache (one per scheduler / replay scratch); rows are
 /// only meaningful against the ladder they were filled from.
 #[derive(Debug, Clone, Default)]
 pub struct LadderCache {
-    entries: Vec<(CpuDemand, Vec<LadderPoint>)>,
+    entries: Vec<(CpuDemand, LadderRow)>,
     cursor: usize,
     hits: usize,
     misses: usize,
@@ -327,16 +395,15 @@ impl LadderCache {
         self.cursor = 0;
     }
 
-    /// The per-configuration points of `demand`, from cache when the demand
-    /// was evaluated recently.
-    pub fn points(&mut self, ladder: &DvfsLadder, demand: &CpuDemand) -> &[LadderPoint] {
+    /// The ring slot holding `demand`, filling (or recycling) one on a miss.
+    fn slot(&mut self, ladder: &DvfsLadder, demand: &CpuDemand) -> usize {
         if let Some(slot) = self.entries.iter().position(|(key, _)| key == demand) {
             self.hits += 1;
-            return &self.entries[slot].1;
+            return slot;
         }
         self.misses += 1;
         let slot = if self.entries.len() < LADDER_CACHE_SIZE {
-            self.entries.push((*demand, Vec::with_capacity(ladder.len())));
+            self.entries.push((*demand, LadderRow::default()));
             self.entries.len() - 1
         } else {
             let slot = self.cursor;
@@ -344,7 +411,24 @@ impl LadderCache {
             self.entries[slot].0 = *demand;
             slot
         };
-        ladder.eval_into(demand, &mut self.entries[slot].1);
+        self.entries[slot].1.refill(ladder, demand);
+        slot
+    }
+
+    /// The per-configuration points of `demand`, from cache when the demand
+    /// was evaluated recently.
+    pub fn points(&mut self, ladder: &DvfsLadder, demand: &CpuDemand) -> &[LadderPoint] {
+        let slot = self.slot(ladder, demand);
+        self.entries[slot].1.points()
+    }
+
+    /// The full row of `demand` — points plus the cost- and duration-sorted
+    /// index orders (computed on first request and memoised with the row).
+    /// This is what the PES window poser consumes so a re-posed
+    /// `ScheduleProblem` never re-sorts its option tables.
+    pub fn row(&mut self, ladder: &DvfsLadder, demand: &CpuDemand) -> &LadderRow {
+        let slot = self.slot(ladder, demand);
+        self.entries[slot].1.ensure_sorted();
         &self.entries[slot].1
     }
 }
@@ -554,11 +638,7 @@ impl<'p> DvfsModel<'p> {
     /// misses the budget (the Type I situation of Sec. 4.3). Evaluated over
     /// the precomputed ladder; schedulers holding a [`LadderCache`] can skip
     /// even the 17 fused evaluations when the demand repeats.
-    pub fn cheapest_config_within(
-        &self,
-        demand: &CpuDemand,
-        budget: TimeUs,
-    ) -> Option<AcmpConfig> {
+    pub fn cheapest_config_within(&self, demand: &CpuDemand, budget: TimeUs) -> Option<AcmpConfig> {
         select_cheapest(
             (0..self.ladder.len()).map(|i| {
                 (
@@ -611,11 +691,7 @@ impl<'p> DvfsModel<'p> {
     /// Frequency of the config expressed for reporting, e.g. in Fig. 2 style
     /// timelines.
     pub fn describe(&self, cfg: &AcmpConfig) -> String {
-        format!(
-            "{} ({} active)",
-            cfg,
-            self.execution_power(cfg)
-        )
+        format!("{} ({} active)", cfg, self.execution_power(cfg))
     }
 }
 
@@ -712,7 +788,10 @@ mod tests {
         // Inconsistent observations: lower frequency reported *faster* time.
         let cfg_hi = AcmpConfig::new(CoreKind::BigA15, FreqMhz::new(1800));
         assert!(model
-            .recover_demand((cfg, TimeUs::from_millis(5)), (cfg_hi, TimeUs::from_millis(50)))
+            .recover_demand(
+                (cfg, TimeUs::from_millis(5)),
+                (cfg_hi, TimeUs::from_millis(50))
+            )
             .is_err());
     }
 
@@ -771,7 +850,10 @@ mod tests {
                     assert_eq!(point.time, model.execution_time(demand, cfg));
                     assert_eq!(
                         point.energy_uj.to_bits(),
-                        model.marginal_energy_reference(demand, cfg).as_microjoules().to_bits(),
+                        model
+                            .marginal_energy_reference(demand, cfg)
+                            .as_microjoules()
+                            .to_bits(),
                         "rung {i} energy must be bit-identical"
                     );
                 }
@@ -823,10 +905,16 @@ mod tests {
         let fresh = DvfsModel::new(&platform);
         let demand = CpuDemand::new(TimeUs::from_millis(3), CpuCycles::new(90_000_000));
         for cfg in platform.configs() {
-            assert_eq!(a.execution_time(&demand, cfg), fresh.execution_time(&demand, cfg));
+            assert_eq!(
+                a.execution_time(&demand, cfg),
+                fresh.execution_time(&demand, cfg)
+            );
             assert_eq!(
                 a.marginal_energy(&demand, cfg).as_microjoules().to_bits(),
-                fresh.marginal_energy(&demand, cfg).as_microjoules().to_bits()
+                fresh
+                    .marginal_energy(&demand, cfg)
+                    .as_microjoules()
+                    .to_bits()
             );
         }
     }
@@ -855,6 +943,42 @@ mod tests {
         assert_eq!(revisited, first);
         cache.clear();
         assert_eq!(cache.points(model.ladder(), &demand).to_vec(), first);
+    }
+
+    #[test]
+    fn ladder_rows_expose_stably_sorted_orders() {
+        let platform = Platform::exynos_5410();
+        let model = DvfsModel::new(&platform);
+        let mut cache = LadderCache::new();
+        let demands = [
+            CpuDemand::ZERO, // all-zero latencies/energies: pure tie-breaking
+            CpuDemand::new(TimeUs::from_millis(3), CpuCycles::new(90_000_000)),
+            CpuDemand::new(TimeUs::from_micros(137), CpuCycles::new(999_999)),
+        ];
+        for demand in &demands {
+            // `points()` alone must not pay for the sorts; `row()` must.
+            assert!(cache.points(model.ladder(), demand).len() == model.ladder().len());
+            let row = cache.row(model.ladder(), demand);
+            assert_eq!(row.points().len(), row.by_cost().len());
+            assert_eq!(row.points().len(), row.by_duration().len());
+            // Both orders are the exact permutation a stable sort over the
+            // solver's `(duration_us, cost)` view of the row produces.
+            let mut expect_cost: Vec<u32> = (0..row.points().len() as u32).collect();
+            expect_cost.sort_by(|&a, &b| {
+                row.points()[a as usize]
+                    .energy_uj
+                    .partial_cmp(&row.points()[b as usize].energy_uj)
+                    .unwrap()
+            });
+            assert_eq!(row.by_cost(), expect_cost.as_slice());
+            let mut expect_dur: Vec<u32> = (0..row.points().len() as u32).collect();
+            expect_dur.sort_by_key(|&a| row.points()[a as usize].time.as_micros());
+            assert_eq!(row.by_duration(), expect_dur.as_slice());
+        }
+        // A second `row()` of the same demand is a pure hit.
+        let (hits_before, misses_before) = cache.stats();
+        let _ = cache.row(model.ladder(), &demands[1]);
+        assert_eq!(cache.stats(), (hits_before + 1, misses_before));
     }
 
     #[test]

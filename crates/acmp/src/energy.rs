@@ -255,7 +255,12 @@ impl<'p> EnergyMeter<'p> {
         *self.by_cluster.entry(cluster).or_insert(EnergyUj::ZERO) += energy;
     }
 
-    fn add_background(&mut self, active_cluster: CoreKind, energy: EnergyUj, activity: ActivityKind) {
+    fn add_background(
+        &mut self,
+        active_cluster: CoreKind,
+        energy: EnergyUj,
+        activity: ActivityKind,
+    ) {
         // Attribute the background cluster's idle draw to the *other* cluster
         // so per-cluster breakdowns mirror the two DAQ channels of Sec. 3.
         let other = self

@@ -27,7 +27,10 @@ impl fmt::Display for AcmpError {
             AcmpError::InvalidCluster(msg) => write!(f, "invalid cluster description: {msg}"),
             AcmpError::UnknownConfig(idx) => write!(f, "configuration index {idx} is out of range"),
             AcmpError::ConfigNotOnPlatform(cfg) => {
-                write!(f, "configuration {cfg} is not an operating point of this platform")
+                write!(
+                    f,
+                    "configuration {cfg} is not an operating point of this platform"
+                )
             }
             AcmpError::DemandRecovery(msg) => write!(f, "demand recovery failed: {msg}"),
             AcmpError::PowerTable(msg) => write!(f, "power table serialisation failed: {msg}"),

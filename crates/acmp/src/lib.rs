@@ -47,7 +47,7 @@ pub mod units;
 pub mod utilization;
 
 pub use config::{AcmpConfig, ConfigId, CoreKind};
-pub use dvfs::{CpuDemand, DvfsLadder, DvfsModel, LadderCache, LadderPoint, LadderRung};
+pub use dvfs::{CpuDemand, DvfsLadder, DvfsModel, LadderCache, LadderPoint, LadderRow, LadderRung};
 pub use energy::{ActivityKind, EnergyMeter};
 pub use error::AcmpError;
 pub use platform::{ClusterSpec, Platform};

@@ -1,7 +1,6 @@
 //! ACMP platform descriptions: clusters, frequency tables and the derived
 //! per-configuration latency/power trade-off space (Sec. 3 and Sec. 4.1).
 
-
 use crate::config::{AcmpConfig, ConfigId, CoreKind};
 use crate::error::AcmpError;
 use crate::power::CorePowerParams;
@@ -42,10 +41,14 @@ impl ClusterSpec {
         power: CorePowerParams,
     ) -> Result<Self, AcmpError> {
         if core_count == 0 {
-            return Err(AcmpError::InvalidCluster("core_count must be non-zero".into()));
+            return Err(AcmpError::InvalidCluster(
+                "core_count must be non-zero".into(),
+            ));
         }
         if frequencies.is_empty() {
-            return Err(AcmpError::InvalidCluster("frequency ladder is empty".into()));
+            return Err(AcmpError::InvalidCluster(
+                "frequency ladder is empty".into(),
+            ));
         }
         if frequencies.windows(2).any(|w| w[0] >= w[1]) {
             return Err(AcmpError::InvalidCluster(
@@ -227,7 +230,9 @@ impl Platform {
     /// Returns [`AcmpError::InvalidCluster`] when no clusters are provided.
     pub fn new(name: impl Into<String>, clusters: Vec<ClusterSpec>) -> Result<Self, AcmpError> {
         if clusters.is_empty() {
-            return Err(AcmpError::InvalidCluster("platform needs at least one cluster".into()));
+            return Err(AcmpError::InvalidCluster(
+                "platform needs at least one cluster".into(),
+            ));
         }
         let mut configs = Vec::new();
         for cluster in &clusters {
@@ -399,8 +404,17 @@ mod tests {
     fn exynos_has_17_operating_points() {
         let p = Platform::exynos_5410();
         assert_eq!(p.configs().len(), 17);
-        assert_eq!(p.cluster_for(CoreKind::BigA15).unwrap().frequencies().len(), 11);
-        assert_eq!(p.cluster_for(CoreKind::LittleA7).unwrap().frequencies().len(), 6);
+        assert_eq!(
+            p.cluster_for(CoreKind::BigA15).unwrap().frequencies().len(),
+            11
+        );
+        assert_eq!(
+            p.cluster_for(CoreKind::LittleA7)
+                .unwrap()
+                .frequencies()
+                .len(),
+            6
+        );
     }
 
     #[test]
@@ -417,7 +431,11 @@ mod tests {
     #[test]
     fn configs_are_sorted_by_effective_throughput() {
         let p = Platform::exynos_5410();
-        let throughputs: Vec<f64> = p.configs().iter().map(|c| c.effective_throughput_mhz()).collect();
+        let throughputs: Vec<f64> = p
+            .configs()
+            .iter()
+            .map(|c| c.effective_throughput_mhz())
+            .collect();
         assert!(throughputs.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(p.max_performance_config().core(), CoreKind::BigA15);
         assert_eq!(p.max_performance_config().frequency().as_mhz(), 1800);

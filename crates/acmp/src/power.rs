@@ -11,7 +11,6 @@
 
 use std::collections::BTreeMap;
 
-
 use crate::config::{AcmpConfig, CoreKind};
 use crate::units::{FreqMhz, PowerMw};
 
@@ -182,12 +181,16 @@ impl PowerTable {
 
     /// Active power of a configuration, if present in the table.
     pub fn active(&self, cfg: &AcmpConfig) -> Option<PowerMw> {
-        self.active_mw.get(&Self::key(cfg)).map(|&mw| PowerMw::new(mw))
+        self.active_mw
+            .get(&Self::key(cfg))
+            .map(|&mw| PowerMw::new(mw))
     }
 
     /// Idle power of a configuration, if present in the table.
     pub fn idle(&self, cfg: &AcmpConfig) -> Option<PowerMw> {
-        self.idle_mw.get(&Self::key(cfg)).map(|&mw| PowerMw::new(mw))
+        self.idle_mw
+            .get(&Self::key(cfg))
+            .map(|&mw| PowerMw::new(mw))
     }
 
     /// Number of configurations in the table.
@@ -306,7 +309,10 @@ mod tests {
         let at_800 = a15.active_power(FreqMhz::new(800)).as_milliwatts();
         let at_1800 = a15.active_power(FreqMhz::new(1800)).as_milliwatts();
         assert!((300.0..650.0).contains(&at_800), "800MHz power {at_800}");
-        assert!((1_300.0..2_300.0).contains(&at_1800), "1.8GHz power {at_1800}");
+        assert!(
+            (1_300.0..2_300.0).contains(&at_1800),
+            "1.8GHz power {at_1800}"
+        );
     }
 
     #[test]
@@ -324,7 +330,9 @@ mod tests {
             let params = CorePowerParams::for_core(kind);
             for mhz in [params.f_min.as_mhz(), params.f_max.as_mhz()] {
                 let f = FreqMhz::new(mhz);
-                assert!(params.idle_power(f).as_milliwatts() < params.active_power(f).as_milliwatts());
+                assert!(
+                    params.idle_power(f).as_milliwatts() < params.active_power(f).as_milliwatts()
+                );
             }
         }
     }

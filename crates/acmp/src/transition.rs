@@ -5,7 +5,6 @@
 //! captured here so the simulator charges them in time *and* energy whenever
 //! a scheduler re-configures the hardware between events.
 
-
 use crate::config::AcmpConfig;
 use crate::units::TimeUs;
 
@@ -144,6 +143,9 @@ mod tests {
 
     #[test]
     fn default_is_exynos() {
-        assert_eq!(TransitionModel::default(), TransitionModel::exynos_defaults());
+        assert_eq!(
+            TransitionModel::default(),
+            TransitionModel::exynos_defaults()
+        );
     }
 }

@@ -9,7 +9,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-
 /// A point in time or a duration, in integer microseconds.
 ///
 /// The simulator treats both instants and durations as `TimeUs`; the meaning
@@ -24,9 +23,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// assert_eq!(vsync.as_micros(), 16_667);
 /// assert!(vsync < TimeUs::from_millis(17));
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimeUs(u64);
 
 impl TimeUs {
@@ -162,9 +159,7 @@ impl Sum for TimeUs {
 /// // 1.8M cycles at 1800 MHz take exactly 1 ms.
 /// assert_eq!(work.time_at(FreqMhz::new(1800)).as_micros(), 1_000);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CpuCycles(u64);
 
 impl CpuCycles {
@@ -225,9 +220,7 @@ impl fmt::Display for CpuCycles {
 /// assert_eq!(f.as_khz(), 1_800_000);
 /// assert!(f > FreqMhz::new(600));
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FreqMhz(u32);
 
 impl FreqMhz {

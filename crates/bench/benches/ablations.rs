@@ -51,7 +51,8 @@ fn lnes_masking(c: &mut Criterion) {
         ..Default::default()
     });
     let with_dom = trainer.train_learner(&catalog, LearnerConfig::paper_defaults());
-    let without_dom = trainer.train_learner(&catalog, LearnerConfig::paper_defaults().with_lnes(false));
+    let without_dom =
+        trainer.train_learner(&catalog, LearnerConfig::paper_defaults().with_lnes(false));
     let app = catalog.find("ebay").unwrap();
     let page = app.build_page();
     let trace = TraceGenerator::new().generate(app, &page, EVAL_SEED_BASE);

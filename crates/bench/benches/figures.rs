@@ -40,7 +40,14 @@ fn per_policy_replay(c: &mut Criterion) {
         })
     });
     group.bench_function("EBS", |b| {
-        b.iter(|| black_box(run_reactive(&platform, &trace, &mut Ebs::new(&platform), &qos)))
+        b.iter(|| {
+            black_box(run_reactive(
+                &platform,
+                &trace,
+                &mut Ebs::new(&platform),
+                &qos,
+            ))
+        })
     });
     let pes = PesScheduler::new(learner, PesConfig::paper_defaults());
     group.bench_function("PES", |b| {

@@ -51,12 +51,15 @@ fn optimizer_solve(c: &mut Criterion) {
                 .collect(),
         })
         .collect();
-    c.bench_function("constrained optimisation solve (6 events x 17 configs)", |b| {
-        b.iter(|| {
-            let problem = ScheduleProblem::new(0, black_box(items.clone()));
-            black_box(problem.solve().unwrap())
-        })
-    });
+    c.bench_function(
+        "constrained optimisation solve (6 events x 17 configs)",
+        |b| {
+            b.iter(|| {
+                let problem = ScheduleProblem::new(0, black_box(items.clone()));
+                black_box(problem.solve().unwrap())
+            })
+        },
+    );
 }
 
 /// A PES-style window of `n` events × 17 ACMP configurations with a convex

@@ -17,8 +17,8 @@
 use pes_bench::{mean, pct, std_dev};
 use pes_core::PesConfig;
 use pes_sim::{
-    fig10_waste, fig13_pareto, fig14_sensitivity, fig2_case_study, fig3_event_types,
-    fig8_accuracy, fig9_pfb_trace, full_comparison, AppComparison, ExperimentContext,
+    fig10_waste, fig13_pareto, fig14_sensitivity, fig2_case_study, fig3_event_types, fig8_accuracy,
+    fig9_pfb_trace, full_comparison, AppComparison, ExperimentContext,
 };
 
 fn main() {
@@ -125,7 +125,10 @@ fn fig2(ctx: &ExperimentContext) {
 
 fn fig3(ctx: &ExperimentContext) {
     println!("\n== Fig. 3: event-type distribution under EBS (seen apps) ==");
-    println!("{:<16} {:>8} {:>8} {:>9} {:>8}", "app", "Type I", "Type II", "Type III", "Type IV");
+    println!(
+        "{:<16} {:>8} {:>8} {:>9} {:>8}",
+        "app", "Type I", "Type II", "Type III", "Type IV"
+    );
     let rows = fig3_event_types(ctx);
     let mut missing = Vec::new();
     let mut wasting = Vec::new();
@@ -152,9 +155,18 @@ fn fig8(ctx: &ExperimentContext) {
     println!("\n== Fig. 8: event predictor accuracy ==");
     let with_dom = fig8_accuracy(ctx, true);
     let without_dom = fig8_accuracy(ctx, false);
-    println!("{:<16} {:>6} {:>10} {:>14}", "app", "seen", "accuracy", "w/o DOM (abl.)");
+    println!(
+        "{:<16} {:>6} {:>10} {:>14}",
+        "app", "seen", "accuracy", "w/o DOM (abl.)"
+    );
     for ((app, seen, acc), (_, _, acc_no_dom)) in with_dom.iter().zip(&without_dom) {
-        println!("{:<16} {:>6} {:>10} {:>14}", app, seen, pct(*acc), pct(*acc_no_dom));
+        println!(
+            "{:<16} {:>6} {:>10} {:>14}",
+            app,
+            seen,
+            pct(*acc),
+            pct(*acc_no_dom)
+        );
     }
     let seen: Vec<f64> = with_dom.iter().filter(|r| r.1).map(|r| r.2).collect();
     let unseen: Vec<f64> = with_dom.iter().filter(|r| !r.1).map(|r| r.2).collect();
@@ -184,7 +196,10 @@ fn fig9(ctx: &ExperimentContext) {
 
 fn fig10(ctx: &ExperimentContext) {
     println!("\n== Fig. 10: misprediction waste ==");
-    println!("{:<16} {:>6} {:>12} {:>16}", "app", "seen", "waste (ms)", "energy overhead");
+    println!(
+        "{:<16} {:>6} {:>12} {:>16}",
+        "app", "seen", "waste (ms)", "energy overhead"
+    );
     let rows = fig10_waste(ctx);
     let mut seen_ms = Vec::new();
     let mut unseen_ms = Vec::new();
@@ -232,7 +247,14 @@ fn summary(comparisons: &[AppComparison], seen: bool) {
     if subset.is_empty() {
         return;
     }
-    let avg = |p: &str| mean(&subset.iter().filter_map(|c| c.normalized_energy(p)).collect::<Vec<_>>());
+    let avg = |p: &str| {
+        mean(
+            &subset
+                .iter()
+                .filter_map(|c| c.normalized_energy(p))
+                .collect::<Vec<_>>(),
+        )
+    };
     let pes = avg("PES");
     let ebs = avg("EBS");
     let oracle = avg("Oracle");
@@ -264,7 +286,14 @@ fn fig12(comparisons: &[AppComparison]) {
     }
     for seen in [true, false] {
         let subset: Vec<&AppComparison> = comparisons.iter().filter(|c| c.seen == seen).collect();
-        let avg = |p: &str| mean(&subset.iter().filter_map(|c| c.violation_of(p)).collect::<Vec<_>>());
+        let avg = |p: &str| {
+            mean(
+                &subset
+                    .iter()
+                    .filter_map(|c| c.violation_of(p))
+                    .collect::<Vec<_>>(),
+            )
+        };
         println!(
             "{} apps: Interactive {}, EBS {}, PES {}  (PES reduction vs EBS: {})",
             if seen { "seen" } else { "unseen" },
@@ -278,7 +307,10 @@ fn fig12(comparisons: &[AppComparison]) {
 
 fn fig13(comparisons: &[AppComparison]) {
     println!("\n== Fig. 13: Pareto analysis (seen-suite averages) ==");
-    println!("{:<14} {:>18} {:>16}", "policy", "normalised energy", "QoS violation");
+    println!(
+        "{:<14} {:>18} {:>16}",
+        "policy", "normalised energy", "QoS violation"
+    );
     for (policy, energy, violation) in fig13_pareto(comparisons) {
         println!("{:<14} {:>18} {:>16}", policy, pct(energy), pct(violation));
     }
@@ -288,7 +320,10 @@ fn fig14(ctx: &ExperimentContext) {
     println!("\n== Fig. 14: sensitivity to the prediction confidence threshold ==");
     let thresholds = [0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
     let points = fig14_sensitivity(ctx, &thresholds, 4);
-    println!("{:>10} {:>16} {:>26}", "threshold", "energy vs EBS", "QoS-violation reduction");
+    println!(
+        "{:>10} {:>16} {:>26}",
+        "threshold", "energy vs EBS", "QoS-violation reduction"
+    );
     for p in &points {
         println!(
             "{:>10} {:>16} {:>26}",
@@ -330,6 +365,8 @@ fn overheads(ctx: &ExperimentContext, comparisons: Option<&[AppComparison]>) {
         );
     }
     if comparisons.is_some() {
-        println!("(energy/QoS summaries above include DVFS switch 100 us and migration 20 us overheads)");
+        println!(
+            "(energy/QoS summaries above include DVFS switch 100 us and migration 20 us overheads)"
+        );
     }
 }

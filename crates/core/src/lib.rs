@@ -39,9 +39,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod memo;
 pub mod pfb;
 pub mod runtime;
 
+pub use memo::{window_shape, MemoStats, SolveMemo, SOLVE_CACHE_SIZE};
 pub use pfb::{PendingFrame, PendingFrameBuffer};
 pub use runtime::{
     OracleScheduler, PesConfig, PesScheduler, ProactiveRuntime, RunReport, WIDE_WINDOW_THRESHOLD,

@@ -1,0 +1,371 @@
+//! The per-replay solve-memoisation ring (shape-keyed, revalidated).
+//!
+//! Every prediction round of a PES/Oracle replay poses one optimisation
+//! window and solves it. Consecutive rounds of the same interaction burst
+//! pose *almost* the same window — same event kinds, same quantised demand
+//! estimates, slack moved by estimation noise — so re-solving from scratch
+//! is wasted work. The ring keeps the [`SOLVE_CACHE_SIZE`] most recent
+//! windows whole (problem + solution) and answers re-posed windows in two
+//! steps:
+//!
+//! 1. **Shape probe** — each slot stores a 64-bit fingerprint of its
+//!    window's *shape*: event count, the demand-class vector and the
+//!    per-item slack bands (the planner buckets its gap/slack estimates
+//!    onto coarse bands precisely so this shape repeats, see
+//!    `crate::runtime`). A lookup compares one `u64` per slot.
+//! 2. **Revalidation** — a fingerprint match is a candidate, not an answer:
+//!    the slot's normalised items are compared to the posed window
+//!    scalar-for-scalar. Only a full match serves the cached
+//!    [`ScheduleSolution`], so a hit is **bit-identical to a cold solve of
+//!    the same posed window** (solves are deterministic); a fingerprint
+//!    collision merely costs the compare.
+//!
+//! On a miss the ring recycles its oldest slot in place: the evicted slot's
+//! problem re-poses itself over the new window through
+//! [`ScheduleProblem::rebuild_sorted`] — reusing the item slots and solver
+//! tables, and walking the caller's pre-sorted option orders instead of
+//! re-sorting them — and the evicted solution's buffers become the solve
+//! target. A steady replay's misses are therefore allocation-free *and*
+//! sort-free.
+
+use pes_ilp::{
+    IlpError, OptionOrder, ScheduleItem, ScheduleProblem, ScheduleSolution, SolveScratch,
+};
+
+/// Number of recent windows the per-replay solve memoisation retains.
+pub const SOLVE_CACHE_SIZE: usize = 8;
+
+/// Counters the memo ring maintains; exposed per replay through
+/// `RunReport` (and aggregated by the experiment layer) so hit rates are
+/// observable instead of assumed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups answered from a cached slot (full revalidation passed).
+    pub hits: usize,
+    /// Lookups that fell through to a solve.
+    pub misses: usize,
+    /// Candidate slots whose shape fingerprint matched and were therefore
+    /// revalidated item-for-item (counts both outcomes; `revalidations -
+    /// hits` is the fingerprint-collision count).
+    pub revalidations: usize,
+}
+
+impl MemoStats {
+    /// Hits as a fraction of lookups (0.0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// One ring slot: the window's shape fingerprint, the posed problem (whose
+/// normalised items are the revalidation key and whose tables are recycled
+/// on eviction) and its solution.
+#[derive(Debug, Clone)]
+struct MemoSlot {
+    shape: u64,
+    problem: ScheduleProblem,
+    solution: ScheduleSolution,
+}
+
+/// The shape-keyed solve-memoisation ring. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct SolveMemo {
+    slots: Vec<MemoSlot>,
+    /// Next slot to recycle on a miss.
+    cursor: usize,
+    /// Slot holding the window solved (or found) most recently.
+    current: usize,
+    stats: MemoStats,
+}
+
+/// FNV-1a over the solver-relevant window shape: event count, then per item
+/// the demand class (the planner's quantised `(t_mem, ref_cycles)` pair,
+/// passed in by the caller as an opaque `(u64, u64)`) and the normalised
+/// release/deadline (slack band). Collisions are harmless — the ring
+/// revalidates — so a fast non-cryptographic mix is the right trade.
+pub fn window_shape<'a>(
+    demand_classes: impl Iterator<Item = (u64, u64)>,
+    items: impl Iterator<Item = &'a ScheduleItem>,
+) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        hash ^= v;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    let mut n = 0u64;
+    for ((t_mem, cycles), item) in demand_classes.zip(items) {
+        mix(t_mem);
+        mix(cycles);
+        mix(item.release_us);
+        mix(item.deadline_us);
+        n += 1;
+    }
+    mix(n);
+    hash
+}
+
+impl SolveMemo {
+    /// Creates an empty ring (slots are allocated on first use).
+    pub fn new() -> Self {
+        SolveMemo::default()
+    }
+
+    /// The counters so far.
+    pub fn stats(&self) -> MemoStats {
+        self.stats
+    }
+
+    /// The solution of the most recent [`SolveMemo::solve`] — either the
+    /// revalidated cached solution or the fresh solve's result.
+    pub fn solution(&self) -> &ScheduleSolution {
+        &self.slots[self.current].solution
+    }
+
+    /// Answers the posed window `items` (already normalised to start at
+    /// time zero and bucketed by the planner) from the ring, solving it
+    /// anytime into the recycled oldest slot on a miss. `orders`, when
+    /// present, holds one pre-sorted [`OptionOrder`] per item (served by
+    /// the DVFS ladder cache), so a miss re-poses without sorting; callers
+    /// whose option rows are one-shot (the Oracle's exact per-event
+    /// demands, which no later round re-uses) pass `None` and let the
+    /// re-pose sort — pre-sorting rows nothing ever reuses is a net loss.
+    /// `shape` is the window's [`window_shape`] fingerprint. Returns the
+    /// number of new search nodes explored (0 on a hit); the schedule is
+    /// read via [`SolveMemo::solution`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IlpError`] from the anytime solve (empty windows); the
+    /// ring never serves a half-filled slot afterwards.
+    pub fn solve(
+        &mut self,
+        items: &[ScheduleItem],
+        orders: Option<&[OptionOrder]>,
+        shape: u64,
+        node_limit: usize,
+        incumbent_gap: f64,
+        scratch: &mut SolveScratch,
+    ) -> Result<usize, IlpError> {
+        if let Some(slot) = self.lookup(items, shape, node_limit, incumbent_gap) {
+            self.stats.hits += 1;
+            self.current = slot;
+            return Ok(0);
+        }
+        self.stats.misses += 1;
+        // Empty slots never match a real window, so pre-sizing the ring once
+        // keeps the steady state allocation-free.
+        if self.slots.is_empty() {
+            self.slots.resize_with(SOLVE_CACHE_SIZE, || MemoSlot {
+                shape: 0,
+                problem: ScheduleProblem::new(0, Vec::new()),
+                solution: ScheduleSolution::default(),
+            });
+        }
+        let slot = &mut self.slots[self.cursor];
+        match orders {
+            Some(orders) => slot.problem.rebuild_sorted(0, items, orders),
+            None => slot.problem.rebuild(0, items),
+        }
+        slot.problem.set_node_limit(node_limit);
+        slot.problem.set_incumbent_gap(incumbent_gap);
+        slot.shape = shape;
+        match slot.problem.solve_anytime_with(scratch, &mut slot.solution) {
+            Ok(_) => {}
+            Err(e) => {
+                // Never let a half-filled slot answer a future lookup.
+                slot.problem.rebuild(0, &[]);
+                slot.shape = 0;
+                return Err(e);
+            }
+        }
+        let nodes = slot.solution.nodes_explored;
+        self.current = self.cursor;
+        self.cursor = (self.cursor + 1) % SOLVE_CACHE_SIZE;
+        Ok(nodes)
+    }
+
+    /// The slot index answering `items`, if any: shape probe first, full
+    /// revalidation on candidates. Revalidation covers the solve
+    /// parameters too — a slot solved under a different node budget or
+    /// incumbent gap may hold a different-quality incumbent for the same
+    /// window, and serving it would break the hit-equals-cold-solve
+    /// contract.
+    fn lookup(
+        &mut self,
+        items: &[ScheduleItem],
+        shape: u64,
+        node_limit: usize,
+        incumbent_gap: f64,
+    ) -> Option<usize> {
+        for (idx, slot) in self.slots.iter().enumerate() {
+            if slot.shape != shape || slot.problem.items().is_empty() {
+                continue;
+            }
+            self.stats.revalidations += 1;
+            if slot.problem.node_limit() == node_limit.max(1)
+                && slot.problem.incumbent_gap() == incumbent_gap.max(0.0)
+                && slot.problem.items() == items
+            {
+                return Some(idx);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pes_ilp::ScheduleOption;
+
+    fn window(slack: u64) -> Vec<ScheduleItem> {
+        (0..4u64)
+            .map(|i| ScheduleItem {
+                release_us: 0,
+                deadline_us: (i + 1) * 150_000 + slack,
+                options: (0..17)
+                    .map(|j| ScheduleOption {
+                        choice: j,
+                        duration_us: 140_000 - j as u64 * 5_000,
+                        cost: 1.0 + 0.3 * (j as f64).powf(1.5),
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    fn orders_for(items: &[ScheduleItem]) -> Vec<OptionOrder> {
+        items
+            .iter()
+            .map(|item| OptionOrder::from_options(&item.options))
+            .collect()
+    }
+
+    fn shape_of(items: &[ScheduleItem]) -> u64 {
+        window_shape(items.iter().map(|_| (7, 11)), items.iter())
+    }
+
+    #[test]
+    fn repeat_windows_hit_and_match_a_cold_solve() {
+        let items = window(50_000);
+        let orders = orders_for(&items);
+        let shape = shape_of(&items);
+        let mut memo = SolveMemo::new();
+        let mut scratch = SolveScratch::new();
+        let nodes = memo
+            .solve(&items, Some(&orders), shape, 200_000, 0.0, &mut scratch)
+            .unwrap();
+        assert!(nodes > 0);
+        let cold = memo.solution().clone();
+        let again = memo
+            .solve(&items, Some(&orders), shape, 200_000, 0.0, &mut scratch)
+            .unwrap();
+        assert_eq!(again, 0, "second pose must be a hit");
+        assert_eq!(*memo.solution(), cold);
+        assert_eq!(memo.stats().hits, 1);
+        assert_eq!(memo.stats().misses, 1);
+        assert_eq!(memo.stats().revalidations, 1);
+        assert!((memo.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn colliding_shapes_revalidate_and_fall_through() {
+        let a = window(50_000);
+        let b = window(90_000);
+        let orders_a = orders_for(&a);
+        let orders_b = orders_for(&b);
+        let shape = 0x1234_5678_9abc_def0; // deliberately shared
+        let mut memo = SolveMemo::new();
+        let mut scratch = SolveScratch::new();
+        memo.solve(&a, Some(&orders_a), shape, 200_000, 0.0, &mut scratch)
+            .unwrap();
+        let nodes = memo
+            .solve(&b, Some(&orders_b), shape, 200_000, 0.0, &mut scratch)
+            .unwrap();
+        assert!(nodes > 0, "a collision must fall through to a solve");
+        assert_eq!(memo.stats().hits, 0);
+        assert_eq!(memo.stats().revalidations, 1);
+        // A cold memo solves `b` to the identical solution.
+        let mut cold = SolveMemo::new();
+        cold.solve(&b, Some(&orders_b), shape, 200_000, 0.0, &mut scratch)
+            .unwrap();
+        assert_eq!(*cold.solution(), *memo.solution());
+    }
+
+    #[test]
+    fn ring_recycles_and_errors_never_poison_slots() {
+        let mut memo = SolveMemo::new();
+        let mut scratch = SolveScratch::new();
+        assert!(memo
+            .solve(&[], None, 0, 200_000, 0.0, &mut scratch)
+            .is_err());
+        // The failed pose must not be served as a hit for an empty window.
+        assert!(memo
+            .solve(&[], None, 0, 200_000, 0.0, &mut scratch)
+            .is_err());
+        // Wrap the ring and revisit the first window: it was evicted, so it
+        // must be re-solved (a miss), to the same solution.
+        let first = window(10_000);
+        let orders_first = orders_for(&first);
+        memo.solve(
+            &first,
+            Some(&orders_first),
+            shape_of(&first),
+            200_000,
+            0.0,
+            &mut scratch,
+        )
+        .unwrap();
+        let sol_first = memo.solution().clone();
+        for k in 0..SOLVE_CACHE_SIZE as u64 {
+            let w = window(20_000 + k * 7_000);
+            let o = orders_for(&w);
+            memo.solve(&w, Some(&o), shape_of(&w), 200_000, 0.0, &mut scratch)
+                .unwrap();
+        }
+        let hits_before = memo.stats().hits;
+        memo.solve(
+            &first,
+            Some(&orders_first),
+            shape_of(&first),
+            200_000,
+            0.0,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(memo.stats().hits, hits_before, "evicted windows miss");
+        assert_eq!(*memo.solution(), sol_first);
+    }
+
+    #[test]
+    fn different_solve_parameters_never_reuse_a_slot() {
+        // The same window posed under a different node budget or incumbent
+        // gap may legitimately solve to a different-quality incumbent, so a
+        // cached slot only answers calls with the parameters it was solved
+        // under.
+        let items = window(50_000);
+        let orders = orders_for(&items);
+        let shape = shape_of(&items);
+        let mut memo = SolveMemo::new();
+        let mut scratch = SolveScratch::new();
+        memo.solve(&items, Some(&orders), shape, 5_000, 0.0, &mut scratch)
+            .unwrap();
+        let budget_nodes = memo
+            .solve(&items, Some(&orders), shape, 200_000, 0.0, &mut scratch)
+            .unwrap();
+        assert!(budget_nodes > 0, "a larger budget must re-solve, not reuse");
+        let gap_nodes = memo
+            .solve(&items, Some(&orders), shape, 200_000, 0.01, &mut scratch)
+            .unwrap();
+        assert!(gap_nodes > 0, "a different gap must re-solve, not reuse");
+        let hit_nodes = memo
+            .solve(&items, Some(&orders), shape, 200_000, 0.01, &mut scratch)
+            .unwrap();
+        assert_eq!(hit_nodes, 0, "matching parameters hit");
+    }
+}

@@ -9,18 +9,19 @@
 //! same machinery with perfect knowledge of the future event sequence and of
 //! every event's true workload.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use pes_acmp::units::{EnergyUj, TimeUs};
 use pes_acmp::{AcmpConfig, ActivityKind, CpuDemand, DvfsLadder, LadderCache, Platform};
 use pes_dom::{BuiltPage, EventType};
-use pes_ilp::{IlpError, ScheduleItem, ScheduleProblem, ScheduleSolution, SolveScratch};
+use pes_ilp::{IlpError, OptionOrder, ScheduleItem, SolveScratch};
 use pes_predictor::{EventSequenceLearner, LearnerConfig, PredictScratch, SessionState};
 use pes_schedulers::DemandProfiler;
 use pes_webrt::{EventId, ExecutionEngine, QosOutcome, QosPolicy, WebEvent};
 use pes_workload::Trace;
 
+use crate::memo::{window_shape, SolveMemo};
 use crate::pfb::{PendingFrame, PendingFrameBuffer};
 
 /// Configuration of the PES runtime.
@@ -45,6 +46,27 @@ pub struct PesConfig {
     /// fallback; with the anytime solver this tier instead bounds how long
     /// the best-first search refines its incumbent.
     pub wide_window_node_limit: usize,
+    /// Relative incumbent-quality gap at which the wide-tier best-first
+    /// search stops early: once the best open lower bound proves the
+    /// incumbent within this fraction of the optimal cost *at its violation
+    /// count*, the remaining budget buys at most that sliver and the search
+    /// returns. `0.0` disables the stop (burn the full budget). The
+    /// never-worse-than-greedy contract is unaffected — the stop can only
+    /// end the search, never degrade the incumbent.
+    pub incumbent_gap_epsilon: f64,
+    /// Relative tolerance of the planner's demand/gap hysteresis: the
+    /// planner re-uses its previously posed demand class (per event type)
+    /// and inter-arrival gap until the fresh EWMA estimate drifts further
+    /// than this fraction away, at which point it snaps to the fresh value.
+    /// Estimates are noisy by construction (per-event workloads vary by
+    /// ±30 % around their profile on the evaluation traces), so holding the
+    /// posed window steady inside the noise band costs no real planning
+    /// fidelity — and it is what lets the shape-keyed solve memoisation
+    /// revalidate re-planned windows instead of re-solving every round.
+    /// `0.0` disables the hysteresis (every round poses the freshly
+    /// quantised estimates). Oracle windows use exact knowledge and are
+    /// never held.
+    pub planning_hysteresis: f64,
 }
 
 /// Windows with more events than this use
@@ -59,6 +81,8 @@ impl Default for PesConfig {
             enable_fallback: true,
             optimizer_node_limit: 200_000,
             wide_window_node_limit: 60_000,
+            incumbent_gap_epsilon: 0.01,
+            planning_hysteresis: 0.35,
         }
     }
 }
@@ -86,6 +110,20 @@ impl PesConfig {
     /// Returns a copy with the misprediction fallback enabled or disabled.
     pub fn with_fallback(mut self, enable: bool) -> Self {
         self.enable_fallback = enable;
+        self
+    }
+
+    /// Returns a copy with a different wide-tier incumbent-quality stop
+    /// (`0.0` disables the early stop).
+    pub fn with_incumbent_gap(mut self, epsilon: f64) -> Self {
+        self.incumbent_gap_epsilon = epsilon.max(0.0);
+        self
+    }
+
+    /// Returns a copy with a different planning-hysteresis tolerance
+    /// (`0.0` disables the hysteresis).
+    pub fn with_planning_hysteresis(mut self, tolerance: f64) -> Self {
+        self.planning_hysteresis = tolerance.max(0.0);
         self
     }
 }
@@ -124,8 +162,15 @@ pub struct RunReport {
     /// Total branch-and-bound nodes explored by the optimizer.
     pub solver_nodes: usize,
     /// Number of optimizer invocations answered by the window memoisation
-    /// cache (identical outstanding+predicted window signature).
+    /// ring (shape fingerprint matched and the posed window revalidated
+    /// item-for-item against the cached one).
     pub solver_cache_hits: usize,
+    /// Number of optimizer invocations that fell through to a solve.
+    pub solver_cache_misses: usize,
+    /// Number of candidate ring slots whose shape fingerprint matched and
+    /// were therefore revalidated (`revalidations - hits` = fingerprint
+    /// collisions).
+    pub solver_cache_revalidations: usize,
 }
 
 impl RunReport {
@@ -170,6 +215,17 @@ impl RunReport {
         }
     }
 
+    /// Fraction of optimizer invocations answered by the solve-memoisation
+    /// ring.
+    pub fn solver_cache_hit_rate(&self) -> f64 {
+        let lookups = self.solver_cache_hits + self.solver_cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.solver_cache_hits as f64 / lookups as f64
+        }
+    }
+
     /// Fraction of the session energy wasted on squashed speculation.
     pub fn waste_energy_fraction(&self) -> f64 {
         if self.total_energy.as_microjoules() == 0.0 {
@@ -188,19 +244,17 @@ struct SpeculativeItem {
     config: AcmpConfig,
 }
 
-/// Number of recent windows the per-replay solve memoisation retains.
-const SOLVE_CACHE_SIZE: usize = 8;
-
-/// Relative planning-granularity quantisation. The planner schedules on
-/// *estimates* (EWMA demand profiles, an EWMA inter-arrival gap), so wiggle
-/// in the last couple percent of a value is estimation noise, not signal.
-/// Rounding each input onto a grid of 1/32 of its own power-of-two magnitude
-/// keeps the distortion ≤ ~1.6 % at every scale — light scroll demands and
-/// heavy page loads alike — while making the optimisation window of a steady
-/// interaction burst bit-identical from round to round, which is what lets
-/// the solve memoisation answer re-planned windows from cache. Oracle
-/// windows are built from exact knowledge and are deliberately not
-/// quantised.
+/// Relative planning-granularity quantisation for **demand estimates**. The
+/// planner schedules on estimates (EWMA demand profiles), so wiggle in the
+/// last couple percent of a value is estimation noise, not signal. Rounding
+/// each input onto a grid of 1/32 of its own power-of-two magnitude keeps
+/// the distortion ≤ ~1.6 % at every scale — light scroll demands and heavy
+/// page loads alike — while making the *option rows* of consecutive
+/// prediction rounds identical: the same quantised demand keys hit the
+/// `LadderCache` and produce byte-equal item options, which is one half of
+/// what the shape-keyed solve memoisation (see [`crate::memo`]) needs to
+/// revalidate a re-planned window against a cached one. Oracle windows are
+/// built from exact knowledge and are deliberately not quantised.
 fn quantize(v: u64) -> u64 {
     if v == 0 {
         return 0;
@@ -221,6 +275,66 @@ fn quantize_demand(demand: CpuDemand) -> CpuDemand {
     )
 }
 
+/// Whether `fresh` lies within the relative hysteresis band of `held`.
+fn within_band(held: u64, fresh: u64, tolerance: f64) -> bool {
+    (fresh as f64 - held as f64).abs() <= tolerance * (held as f64).max(1.0)
+}
+
+/// Planning hysteresis (see [`PesConfig::planning_hysteresis`]): returns
+/// the held value while `fresh` stays inside the tolerance band, snapping
+/// the hold to `fresh` once it drifts out. The grid quantisation above
+/// makes a *steady* input bit-stable; this is what keeps the posed window
+/// stable under *drifting* estimates — the gap EWMA moves on every arrival
+/// and per-event demands vary by double-digit percentages, so without the
+/// hold the solve-memoisation key changed nearly every round (the measured
+/// 0 % hit rate on the cnn replay that motivated the shape-tolerant
+/// redesign).
+fn held_value(held: &mut Option<u64>, fresh: u64, tolerance: f64) -> u64 {
+    if tolerance <= 0.0 {
+        return fresh;
+    }
+    match held {
+        Some(current) if within_band(*current, fresh, tolerance) => *current,
+        _ => {
+            *held = Some(fresh);
+            fresh
+        }
+    }
+}
+
+/// Per-event-type demand hysteresis: [`held_value`] applied to both demand
+/// components at once (a drift in either snaps the whole class, so the held
+/// demand is always one the profiler actually produced).
+fn held_demand(
+    held: &mut BTreeMap<EventType, CpuDemand>,
+    event_type: EventType,
+    fresh: CpuDemand,
+    tolerance: f64,
+) -> CpuDemand {
+    if tolerance <= 0.0 {
+        return fresh;
+    }
+    match held.get(&event_type) {
+        Some(current)
+            if within_band(
+                current.t_mem().as_micros(),
+                fresh.t_mem().as_micros(),
+                tolerance,
+            ) && within_band(
+                current.ref_cycles().get(),
+                fresh.ref_cycles().get(),
+                tolerance,
+            ) =>
+        {
+            *current
+        }
+        _ => {
+            held.insert(event_type, fresh);
+            fresh
+        }
+    }
+}
+
 /// Reusable per-replay state for the scheduling hot path: the solver's
 /// search arena, the window memoisation cache and the buffers the planner
 /// fills in place instead of allocating fresh `Vec`s every prediction round.
@@ -228,22 +342,17 @@ fn quantize_demand(demand: CpuDemand) -> CpuDemand {
 struct RunScratch {
     /// Branch-and-bound search arena, reused across every solve of the run.
     solve_scratch: SolveScratch,
-    /// Ring of recently solved windows, each kept whole so its precomputed
-    /// cost-sorted option order lives alongside its solution. The normalised
-    /// `items` vector is the memoisation key; a compare costs ~a hundred
-    /// scalar equality checks against a multi-thousand-node solve.
-    cache: Vec<(ScheduleProblem, ScheduleSolution)>,
-    /// Next ring slot to evict.
-    cache_cursor: usize,
-    /// Ring slot holding the window solved (or found) most recently.
-    cache_current: usize,
-    /// Scratch solution buffer for cache-miss solves.
-    solution_buf: ScheduleSolution,
-    /// Solves answered from the cache.
-    cache_hits: usize,
+    /// The shape-keyed solve-memoisation ring: a `u64` fingerprint per slot
+    /// filters candidates, a full item compare revalidates them, and misses
+    /// recycle the evicted slot's problem/solution allocations in place
+    /// (see [`crate::memo`]).
+    memo: SolveMemo,
     /// The window under construction; item slots (and their `options` Vecs)
     /// are overwritten in place.
     items_buf: Vec<ScheduleItem>,
+    /// Pre-sorted option orders aligned with `items_buf`, copied out of the
+    /// ladder cache's rows so a cache-miss re-pose never sorts.
+    orders_buf: Vec<OptionOrder>,
     /// `(event type, demand)` aligned with `items_buf`.
     kinds_buf: Vec<(EventType, CpuDemand)>,
     /// Predicted `(event type, demand)` pairs for the current round.
@@ -258,6 +367,11 @@ struct RunScratch {
     /// reactive fallbacks evaluate the same few (quantised) demands over and
     /// over, so the 17-configuration evaluation usually comes from cache.
     ladder_cache: LadderCache,
+    /// Hysteresis-held per-event-type demand classes the planner poses (see
+    /// [`PesConfig::planning_hysteresis`]).
+    planning_demands: BTreeMap<EventType, CpuDemand>,
+    /// Hysteresis-held inter-arrival gap the planner poses.
+    planning_gap_us: Option<u64>,
 }
 
 /// How the runtime knows about the future.
@@ -355,7 +469,8 @@ impl OracleScheduler {
         qos: &QosPolicy,
     ) -> RunReport {
         let plane = Arc::new(DvfsLadder::for_platform(platform));
-        self.runtime.run(platform, &plane, page, trace, qos, "Oracle")
+        self.runtime
+            .run(platform, &plane, page, trace, qos, "Oracle")
     }
 
     /// Replays one trace under the Oracle on a shared DVFS power plane.
@@ -367,7 +482,8 @@ impl OracleScheduler {
         trace: &Trace,
         qos: &QosPolicy,
     ) -> RunReport {
-        self.runtime.run(platform, plane, page, trace, qos, "Oracle")
+        self.runtime
+            .run(platform, plane, page, trace, qos, "Oracle")
     }
 }
 
@@ -418,6 +534,8 @@ impl ProactiveRuntime {
             outcomes: Vec::new(),
             solver_nodes: 0,
             solver_cache_hits: 0,
+            solver_cache_misses: 0,
+            solver_cache_revalidations: 0,
         };
 
         for (idx, ev) in events.iter().enumerate() {
@@ -435,16 +553,8 @@ impl ProactiveRuntime {
                         break;
                     }
                     let (degree, nodes) = self.plan_round(
-                        &mut rs,
-                        &mut plan,
-                        &session,
-                        &profiler,
-                        &engine,
-                        qos,
-                        events,
-                        idx,
-                        gap_ewma,
-                        None,
+                        &mut rs, &mut plan, &session, &profiler, &engine, qos, events, idx,
+                        gap_ewma, None,
                     );
                     report.solver_nodes += nodes;
                     if plan.is_empty() {
@@ -537,21 +647,20 @@ impl ProactiveRuntime {
             if !committed_from_pfb {
                 let start_time = engine.cpu_free_at().max(ev.arrival());
                 let config = if prediction_disabled || profiler.needs_profiling(ev.event_type()) {
-                    self.reactive_config(&mut rs.ladder_cache, &profiler, &engine, qos, ev, start_time)
+                    self.reactive_config(
+                        &mut rs.ladder_cache,
+                        &profiler,
+                        &engine,
+                        qos,
+                        ev,
+                        start_time,
+                    )
                 } else {
                     // `prediction_disabled` is false on this path, so the
                     // freshly planned speculation always replaces `plan`.
                     let (cfg, nodes) = self.plan_with_outstanding(
-                        &mut rs,
-                        &mut plan,
-                        &session,
-                        &profiler,
-                        &engine,
-                        qos,
-                        events,
-                        idx,
-                        gap_ewma,
-                        ev,
+                        &mut rs, &mut plan, &session, &profiler, &engine, qos, events, idx,
+                        gap_ewma, ev,
                     );
                     report.solver_nodes += nodes;
                     cfg
@@ -565,15 +674,14 @@ impl ProactiveRuntime {
             session.observe(ev);
         }
 
-        report.violations = report
-            .outcomes
-            .iter()
-            .filter(|(_, o)| o.violated())
-            .count();
+        report.violations = report.outcomes.iter().filter(|(_, o)| o.violated()).count();
         report.total_energy = engine.total_energy();
         report.waste_energy = engine.energy_for(ActivityKind::SpeculativeWaste);
         report.pfb_trace = pfb.occupancy_trace().to_vec();
-        report.solver_cache_hits = rs.cache_hits;
+        let memo_stats = rs.memo.stats();
+        report.solver_cache_hits = memo_stats.hits;
+        report.solver_cache_misses = memo_stats.misses;
+        report.solver_cache_revalidations = memo_stats.revalidations;
         report
     }
 
@@ -604,10 +712,14 @@ impl ProactiveRuntime {
     /// Predicts the upcoming event sequence from the current state into
     /// `out` (cleared first; both it and the learner's `predict_scratch`
     /// buffers are reused across rounds, so a round is allocation-free).
+    /// Learned predictions carry the hysteresis-held quantised demand
+    /// classes the planner poses; Oracle predictions carry exact demands.
+    #[allow(clippy::too_many_arguments)]
     fn predict_types(
         &self,
         out: &mut Vec<(EventType, CpuDemand)>,
         predict_scratch: &mut PredictScratch,
+        planning_demands: &mut BTreeMap<EventType, CpuDemand>,
         session: &SessionState,
         profiler: &DemandProfiler,
         events: &[WebEvent],
@@ -620,9 +732,17 @@ impl ProactiveRuntime {
                     .predict_sequence_with(session, predict_scratch)
                     .iter()
                     .map_while(|p| {
-                        profiler
-                            .estimate(p.event_type)
-                            .map(|d| (p.event_type, quantize_demand(d)))
+                        profiler.estimate(p.event_type).map(|d| {
+                            (
+                                p.event_type,
+                                held_demand(
+                                    planning_demands,
+                                    p.event_type,
+                                    quantize_demand(d),
+                                    self.config.planning_hysteresis,
+                                ),
+                            )
+                        })
                     }),
             ),
             Knowledge::Oracle { window } => out.extend(
@@ -635,74 +755,62 @@ impl ProactiveRuntime {
         }
     }
 
-    /// Solves the window currently held in `rs.items_buf`, memoising on the
-    /// window signature.
+    /// Solves the window currently held in `rs.items_buf` through the
+    /// shape-keyed memo ring.
     ///
     /// The window is first normalised to start at time zero: the solver's
     /// recurrence `start = max(cursor, release)` is shift-invariant, and
     /// clamping a release or deadline that lies before `now` to zero is
-    /// exact because the cursor never precedes `now` anyway. The normalised
-    /// `items` vector is the cache key, so a re-planned window whose
-    /// *relative* shape is unchanged — same predicted kinds, demands, gap
-    /// estimate and QoS targets, the common case across consecutive rounds
-    /// of a steady interaction burst — reuses the cached
-    /// [`ScheduleSolution`] (the planner only consumes `choices`, which are
-    /// shift-invariant) without touching the solver. On a miss the window is
-    /// solved anytime with the run-wide scratch arena — exact when the
-    /// budget suffices, otherwise the best-first incumbent (never worse
-    /// than the greedy schedule the pre-anytime runtime cliff-dropped to) —
-    /// and replaces the cache. Wide windows (more than
-    /// [`WIDE_WINDOW_THRESHOLD`] events, the Oracle's 12-event rounds) use
-    /// the second budget tier: exactness is out of reach for them anyway,
-    /// and a bounded incumbent search returns a better schedule than the
-    /// old full-budget burn-to-greedy ever did, in a fraction of the time.
-    /// Returns the number of new search nodes explored (0 on a hit).
+    /// exact because the cursor never precedes `now` anyway. The memo then
+    /// probes its ring with a fingerprint of the window *shape* — event
+    /// count, the quantised demand-class vector and the per-item
+    /// release/slack — and revalidates any candidate item-for-item, so a
+    /// hit is bit-identical to a cold solve of the posed window. Because
+    /// the planner quantises its noisy inputs onto the 1/32 grid *and*
+    /// holds them with the [`PesConfig::planning_hysteresis`] band, a
+    /// re-planned window of the same interaction burst lands on the same
+    /// shape even while the EWMAs drift — the reuse the exact-key ring
+    /// never achieved on realistic traces (0 hits on the cnn replay). On a
+    /// miss the window is solved anytime with the run-wide
+    /// scratch arena — exact when the budget suffices, otherwise the
+    /// best-first incumbent (never worse than the greedy schedule the
+    /// pre-anytime runtime cliff-dropped to) — into the recycled oldest
+    /// slot, re-posed sort-free from the ladder cache's pre-sorted rows.
+    /// Wide windows (more than [`WIDE_WINDOW_THRESHOLD`] events, the
+    /// Oracle's 12-event rounds) use the second budget tier plus the
+    /// ε incumbent-quality stop. Returns the number of new search nodes
+    /// explored (0 on a hit).
     fn solve_window(&self, rs: &mut RunScratch, start_us: u64) -> Result<usize, IlpError> {
         for item in &mut rs.items_buf {
             item.release_us = item.release_us.saturating_sub(start_us);
             item.deadline_us = item.deadline_us.saturating_sub(start_us);
         }
-        if let Some(hit) = rs
-            .cache
-            .iter()
-            .position(|(problem, _)| problem.items() == rs.items_buf.as_slice())
-        {
-            rs.cache_hits += 1;
-            rs.cache_current = hit;
-            return Ok(0);
-        }
+        let shape = window_shape(
+            rs.kinds_buf
+                .iter()
+                .map(|(_, d)| (d.t_mem().as_micros(), d.ref_cycles().get())),
+            rs.items_buf.iter(),
+        );
         let node_limit = if rs.items_buf.len() > WIDE_WINDOW_THRESHOLD {
             self.config.wide_window_node_limit
         } else {
             self.config.optimizer_node_limit
         };
-        // The ring's slots are allocated once (empty windows never match a
-        // real one) and recycled in place on every miss: the evicted slot's
-        // problem re-poses itself over the new window through
-        // `ScheduleProblem::rebuild` — reusing its item slots and solver
-        // tables — and the evicted solution's buffers become the solve
-        // target, so a steady replay's misses are allocation-free.
-        if rs.cache.is_empty() {
-            rs.cache.resize_with(SOLVE_CACHE_SIZE, || {
-                (ScheduleProblem::new(0, Vec::new()), ScheduleSolution::default())
-            });
-        }
-        let slot = &mut rs.cache[rs.cache_cursor];
-        slot.0.rebuild(0, &rs.items_buf);
-        slot.0.set_node_limit(node_limit);
-        match slot.0.solve_anytime_with(&mut rs.solve_scratch, &mut rs.solution_buf) {
-            Ok(_) => {}
-            Err(e) => {
-                // Never let a half-filled slot answer a future lookup.
-                slot.0.rebuild(0, &[]);
-                return Err(e);
-            }
-        }
-        let nodes = rs.solution_buf.nodes_explored;
-        std::mem::swap(&mut slot.1, &mut rs.solution_buf);
-        rs.cache_current = rs.cache_cursor;
-        rs.cache_cursor = (rs.cache_cursor + 1) % SOLVE_CACHE_SIZE;
-        Ok(nodes)
+        // Learned windows are posed from memoised (quantised, held) ladder
+        // rows whose sorted orders amortise across rounds, so their misses
+        // re-pose sort-free; Oracle windows are posed from exact one-shot
+        // demands, where pre-sorting rows nothing reuses would cost more
+        // than the re-pose sort it saves.
+        let orders = matches!(self.knowledge, Knowledge::Learned(_))
+            .then(|| &rs.orders_buf[..rs.items_buf.len()]);
+        rs.memo.solve(
+            &rs.items_buf,
+            orders,
+            shape,
+            node_limit,
+            self.config.incumbent_gap_epsilon,
+            &mut rs.solve_scratch,
+        )
     }
 
     /// Builds and solves the optimisation window for a fresh prediction round
@@ -732,6 +840,7 @@ impl ProactiveRuntime {
         self.predict_types(
             &mut rs.predicted_buf,
             &mut rs.predict_scratch,
+            &mut rs.planning_demands,
             session,
             profiler,
             events,
@@ -740,21 +849,39 @@ impl ProactiveRuntime {
         if rs.predicted_buf.is_empty() && outstanding.is_none() {
             return (0, 0);
         }
+        // The hysteresis-held inter-arrival gap (Learned knowledge only):
+        // the EWMA drifts every round, the held value only snaps when the
+        // drift leaves the tolerance band, so consecutive rounds of one
+        // burst pose identical predicted deadlines and the memo ring can
+        // revalidate them.
+        let held_gap = held_value(
+            &mut rs.planning_gap_us,
+            quantize(gap_ewma.as_micros()),
+            self.config.planning_hysteresis,
+        );
+        let sorted_rows = matches!(self.knowledge, Knowledge::Learned(_));
         rs.kinds_buf.clear();
         let mut used = 0usize;
         if let Some(ev) = outstanding {
             let demand = match &self.knowledge {
-                Knowledge::Learned(_) => quantize_demand(
-                    profiler.estimate(ev.event_type()).unwrap_or_else(|| ev.demand()),
+                Knowledge::Learned(_) => held_demand(
+                    &mut rs.planning_demands,
+                    ev.event_type(),
+                    quantize_demand(
+                        profiler
+                            .estimate(ev.event_type())
+                            .unwrap_or_else(|| ev.demand()),
+                    ),
+                    self.config.planning_hysteresis,
                 ),
-                Knowledge::Oracle { .. } => {
-                    profiler.estimate(ev.event_type()).unwrap_or_else(|| ev.demand())
-                }
+                Knowledge::Oracle { .. } => profiler
+                    .estimate(ev.event_type())
+                    .unwrap_or_else(|| ev.demand()),
             };
             Self::fill_schedule_item(
-                &mut rs.items_buf,
-                &mut rs.ladder_cache,
+                rs,
                 used,
+                sorted_rows,
                 engine,
                 &demand,
                 ev.arrival(),
@@ -771,14 +898,13 @@ impl ProactiveRuntime {
                     .map(|e| e.arrival())
                     .unwrap_or(now),
                 Knowledge::Learned(_) => {
-                    let gap = quantize(gap_ewma.as_micros());
-                    window_start + TimeUs::from_micros(gap * (k as u64 + 1))
+                    window_start + TimeUs::from_micros(held_gap * (k as u64 + 1))
                 }
             };
             Self::fill_schedule_item(
-                &mut rs.items_buf,
-                &mut rs.ladder_cache,
+                rs,
                 used,
+                sorted_rows,
                 engine,
                 &demand,
                 window_start,
@@ -795,7 +921,7 @@ impl ProactiveRuntime {
         plan.extend(
             rs.kinds_buf
                 .iter()
-                .zip(rs.cache[rs.cache_current].1.choices.iter())
+                .zip(rs.memo.solution().choices.iter())
                 .map(|(&(event_type, demand), &choice)| SpeculativeItem {
                     event_type,
                     demand,
@@ -865,33 +991,56 @@ impl ProactiveRuntime {
         }
     }
 
-    /// Writes the schedule item for one event into slot `used` of `items`,
-    /// reusing the slot's `options` allocation when one exists. The
+    /// Writes the schedule item for one event into slot `used` of the run
+    /// scratch's window buffers, reusing the slot's allocations. The
     /// per-configuration `(latency, energy)` table is a precomputed ladder
-    /// row served through the replay's demand memo: the pre-ladder code
+    /// row served through the replay's demand memo (the pre-ladder code
     /// re-derived every power term per configuration per fill, which
-    /// dominated the Oracle's per-event cost.
+    /// dominated the Oracle's per-event cost). With `sorted_rows` set (the
+    /// Learned planner, whose quantised + held demand classes recur across
+    /// rounds) the row's cost- and duration-sorted orders are copied
+    /// alongside the item, so a memo-miss re-pose builds its solver tables
+    /// without sorting a single option; the Oracle's exact one-shot demands
+    /// skip the orders — sorting rows nothing reuses costs more than the
+    /// re-pose sort it would save.
     fn fill_schedule_item(
-        items: &mut Vec<ScheduleItem>,
-        ladder_cache: &mut LadderCache,
+        rs: &mut RunScratch,
         used: usize,
+        sorted_rows: bool,
         engine: &ExecutionEngine<'_>,
         demand: &CpuDemand,
         release: TimeUs,
         deadline: TimeUs,
     ) {
-        if used == items.len() {
-            items.push(ScheduleItem {
+        if used == rs.items_buf.len() {
+            rs.items_buf.push(ScheduleItem {
                 release_us: 0,
                 deadline_us: 0,
                 options: Vec::with_capacity(engine.platform().configs().len()),
             });
         }
-        let item = &mut items[used];
+        if used == rs.orders_buf.len() {
+            rs.orders_buf.push(OptionOrder::default());
+        }
+        let item = &mut rs.items_buf[used];
         item.release_us = release.as_micros();
         item.deadline_us = deadline.as_micros();
-        let points = ladder_cache.points(engine.dvfs().ladder(), demand);
-        item.assign_options(points.iter().map(|p| (p.time.as_micros(), p.energy_uj)));
+        if sorted_rows {
+            let row = rs.ladder_cache.row(engine.dvfs().ladder(), demand);
+            item.assign_options(
+                row.points()
+                    .iter()
+                    .map(|p| (p.time.as_micros(), p.energy_uj)),
+            );
+            let order = &mut rs.orders_buf[used];
+            order.by_cost.clear();
+            order.by_cost.extend_from_slice(row.by_cost());
+            order.by_duration.clear();
+            order.by_duration.extend_from_slice(row.by_duration());
+        } else {
+            let points = rs.ladder_cache.points(engine.dvfs().ladder(), demand);
+            item.assign_options(points.iter().map(|p| (p.time.as_micros(), p.energy_uj)));
+        }
     }
 }
 
@@ -1064,7 +1213,10 @@ mod tests {
         assert!(*window > WIDE_WINDOW_THRESHOLD);
         let config = PesConfig::paper_defaults();
         assert!(config.wide_window_node_limit < config.optimizer_node_limit);
-        assert!(config.wide_window_node_limit >= 10_000, "enough budget to beat greedy");
+        assert!(
+            config.wide_window_node_limit >= 10_000,
+            "enough budget to beat greedy"
+        );
     }
 
     #[test]
@@ -1086,7 +1238,10 @@ mod tests {
             outcomes: vec![],
             solver_nodes: 100,
             solver_cache_hits: 4,
+            solver_cache_misses: 12,
+            solver_cache_revalidations: 5,
         };
+        assert!((report.solver_cache_hit_rate() - 0.25).abs() < 1e-12);
         assert!((report.violation_rate() - 0.2).abs() < 1e-12);
         assert!((report.prediction_accuracy() - 0.75).abs() < 1e-12);
         assert!((report.average_waste_ms() - 20.0).abs() < 1e-9);

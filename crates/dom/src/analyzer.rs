@@ -8,7 +8,6 @@
 //! events by statically applying their memoized effects through the
 //! [`SemanticTree`], which is what lets PES predict several events ahead.
 
-
 use crate::error::DomError;
 use crate::events::{EventType, EventTypeSet};
 use crate::geometry::Viewport;
@@ -152,7 +151,8 @@ impl DomAnalyzer {
             }
         }
         let root = tree.root();
-        if self.include_global_scroll && tree.document_height() > viewport.height() + viewport.scroll_y()
+        if self.include_global_scroll
+            && tree.document_height() > viewport.height() + viewport.scroll_y()
         {
             for event in [EventType::Scroll, EventType::TouchMove] {
                 if !events.iter().any(|p| p.node == root && p.event == event) {
@@ -481,10 +481,8 @@ impl IncrementalAnalyzer {
         else {
             return; // not a known toggle target: fall back to a rebuild
         };
-        state.displayed[target.index()] = tree
-            .node(target)
-            .map(|n| n.is_displayed())
-            .unwrap_or(false);
+        state.displayed[target.index()] =
+            tree.node(target).map(|n| n.is_displayed()).unwrap_or(false);
         // The subtree list is moved out while effective-display flags are
         // recomputed (the borrow checker cannot see the index sets are
         // disjoint from the node table) and restored afterwards.
@@ -508,7 +506,13 @@ impl IncrementalAnalyzer {
             if now_displayed != node.effectively_displayed {
                 let sign: i64 = if now_displayed { 1 } else { -1 };
                 let (scroll, height) = (state.scroll, state.vp_height);
-                Self::apply_node(&state.nodes[ti as usize], &mut state.agg, sign, scroll, height);
+                Self::apply_node(
+                    &state.nodes[ti as usize],
+                    &mut state.agg,
+                    sign,
+                    scroll,
+                    height,
+                );
                 Self::apply_node(&state.nodes[ti as usize], &mut state.agg0, sign, 0, height);
                 state.nodes[ti as usize].effectively_displayed = now_displayed;
             }
@@ -589,7 +593,9 @@ impl IncrementalAnalyzer {
         // Nodes strictly inside both viewports keep their full clipped area.
         let inner_lo = s0.max(s1);
         let inner_hi = s0.min(s1) + height;
-        let upper = state.order.partition_point(|&i| state.nodes[i as usize].y0 < band_hi);
+        let upper = state
+            .order
+            .partition_point(|&i| state.nodes[i as usize].y0 < band_hi);
         let mut idx = 0;
         while idx < upper {
             let block = idx / Y_INDEX_BLOCK;
@@ -626,7 +632,10 @@ impl IncrementalAnalyzer {
             let mut nav = false;
             for (event, effect) in node.listeners() {
                 types.insert(event);
-                if matches!(effect, CallbackEffect::Navigate | CallbackEffect::SubmitForm) {
+                if matches!(
+                    effect,
+                    CallbackEffect::Navigate | CallbackEffect::SubmitForm
+                ) {
                     nav = true;
                 }
                 if let CallbackEffect::ToggleVisibility(target) = effect {
@@ -759,8 +768,14 @@ mod tests {
         let nodes: Vec<NodeId> = lnes.nodes_for(EventType::Click);
         assert!(nodes.contains(&nav_link));
         assert!(nodes.contains(&menu_button));
-        assert!(!nodes.contains(&menu_item), "hidden menu item must be excluded");
-        assert!(!nodes.contains(&far_button), "below-the-fold button must be excluded");
+        assert!(
+            !nodes.contains(&menu_item),
+            "hidden menu item must be excluded"
+        );
+        assert!(
+            !nodes.contains(&far_button),
+            "below-the-fold button must be excluded"
+        );
     }
 
     #[test]
@@ -781,8 +796,11 @@ mod tests {
             for scroll in [0, 500, 1_900, 3_000] {
                 let mut vp = Viewport::phone();
                 vp.scroll_to(scroll);
-                let via_lnes: EventTypeSet =
-                    analyzer.lnes(&tree, &vp).event_types().into_iter().collect();
+                let via_lnes: EventTypeSet = analyzer
+                    .lnes(&tree, &vp)
+                    .event_types()
+                    .into_iter()
+                    .collect();
                 assert_eq!(
                     analyzer.lnes_types(&tree, &vp),
                     via_lnes,
@@ -896,8 +914,12 @@ mod tests {
     fn lnes_after_scroll_reveals_below_the_fold_content() {
         let (tree, _, _, _, far_button) = sample_page();
         let mut tree = tree;
-        tree.add_listener(tree.root(), EventType::Scroll, CallbackEffect::ScrollBy(1_900))
-            .unwrap();
+        tree.add_listener(
+            tree.root(),
+            EventType::Scroll,
+            CallbackEffect::ScrollBy(1_900),
+        )
+        .unwrap();
         let analyzer = DomAnalyzer::new();
         let semantic = SemanticTree::build(&tree);
         let vp = Viewport::phone();
@@ -957,7 +979,10 @@ mod tests {
             );
         }
         let stats = inc.stats();
-        assert_eq!(stats.rebuilds, 1, "steady state must run on deltas: {stats:?}");
+        assert_eq!(
+            stats.rebuilds, 1,
+            "steady state must run on deltas: {stats:?}"
+        );
         assert!(stats.scroll_deltas > 0);
         assert!(stats.scroll_resets > 0);
         assert!(stats.toggle_deltas > 0);

@@ -5,7 +5,6 @@
 //! controllable amounts of clickable area, links, collapsible menus and
 //! forms — the knobs that drive both the Table 1 features and the LNES.
 
-
 use std::sync::Arc;
 
 use crate::events::EventType;
@@ -133,7 +132,9 @@ impl PageBuilder {
     /// A full-width hero image of the given height (non-interactive).
     pub fn hero_image(mut self, height: i64) -> Self {
         let rect = Rect::new(0, self.cursor_y, self.width, height.max(1));
-        let img = self.tree.create_labelled_node(NodeKind::Image, rect, "hero");
+        let img = self
+            .tree
+            .create_labelled_node(NodeKind::Image, rect, "hero");
         self.attach(img);
         self.cursor_y += height.max(1) + 8;
         self
@@ -179,9 +180,9 @@ impl PageBuilder {
         let button_width = self.width / n_i;
         for i in 0..n_i {
             let rect = Rect::new(i * button_width, self.cursor_y, button_width - 6, height);
-            let button = self
-                .tree
-                .create_labelled_node(NodeKind::Button, rect, format!("action-{i}"));
+            let button =
+                self.tree
+                    .create_labelled_node(NodeKind::Button, rect, format!("action-{i}"));
             self.attach(button);
             self.tree
                 .add_listener(button, EventType::Click, CallbackEffect::MutateContent)
@@ -212,11 +213,13 @@ impl PageBuilder {
             .tree
             .create_labelled_node(NodeKind::Menu, menu_rect, "menu");
         self.attach(menu);
+        self.tree.set_displayed(menu, false).expect("fresh node");
         self.tree
-            .set_displayed(menu, false)
-            .expect("fresh node");
-        self.tree
-            .add_listener(button, EventType::Click, CallbackEffect::ToggleVisibility(menu))
+            .add_listener(
+                button,
+                EventType::Click,
+                CallbackEffect::ToggleVisibility(menu),
+            )
             .expect("fresh node");
         self.tree
             .add_listener(
@@ -228,13 +231,16 @@ impl PageBuilder {
         self.menu_buttons.push(button);
 
         for i in 0..n {
-            let rect = Rect::new(8, self.cursor_y + i * item_height, self.width - 16, item_height - 4);
-            let item = self
-                .tree
-                .create_labelled_node(NodeKind::MenuItem, rect, format!("menu-item-{i}"));
-            self.tree
-                .append_child(menu, item)
-                .expect("menu exists");
+            let rect = Rect::new(
+                8,
+                self.cursor_y + i * item_height,
+                self.width - 16,
+                item_height - 4,
+            );
+            let item =
+                self.tree
+                    .create_labelled_node(NodeKind::MenuItem, rect, format!("menu-item-{i}"));
+            self.tree.append_child(menu, item).expect("menu exists");
             self.tree
                 .add_listener(item, EventType::Click, CallbackEffect::Navigate)
                 .expect("fresh node");
@@ -376,7 +382,12 @@ mod tests {
     fn long_pages_get_document_level_scroll_listeners() {
         let page = news_page();
         let root = page.tree.root();
-        assert!(page.tree.node(root).unwrap().listener(EventType::Scroll).is_some());
+        assert!(page
+            .tree
+            .node(root)
+            .unwrap()
+            .listener(EventType::Scroll)
+            .is_some());
         assert!(page
             .tree
             .node(root)
@@ -389,10 +400,17 @@ mod tests {
     fn short_pages_do_not_scroll() {
         let page = PageBuilder::new(360).nav_bar(3).build();
         let root = page.tree.root();
-        assert!(page.tree.node(root).unwrap().listener(EventType::Scroll).is_none());
-        assert!(!DomAnalyzer::new()
-            .viewport_features(&page.tree, &Viewport::phone())
-            .scrollable);
+        assert!(page
+            .tree
+            .node(root)
+            .unwrap()
+            .listener(EventType::Scroll)
+            .is_none());
+        assert!(
+            !DomAnalyzer::new()
+                .viewport_features(&page.tree, &Viewport::phone())
+                .scrollable
+        );
     }
 
     #[test]
@@ -403,7 +421,11 @@ mod tests {
         let item = page.menu_items[0];
         assert!(!tree.is_effectively_displayed(item));
         let button = page.menu_buttons[0];
-        let effect = tree.node(button).unwrap().listener(EventType::Click).unwrap();
+        let effect = tree
+            .node(button)
+            .unwrap()
+            .listener(EventType::Click)
+            .unwrap();
         let mut scratch_vp = vp;
         tree.apply_effect(effect, &mut scratch_vp).unwrap();
         assert!(tree.is_effectively_displayed(item));

@@ -9,7 +9,6 @@
 
 use std::fmt;
 
-
 /// A user-visible interaction primitive (Sec. 5.5: loading, tapping, moving,
 /// plus submit as the form-completion action used in the Sec. 5.1 example).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -133,7 +132,10 @@ impl EventType {
     /// (Sec. 5.3); submissions and navigations are the event types that carry
     /// such requests.
     pub fn has_network_side_effects(self) -> bool {
-        matches!(self, EventType::Submit | EventType::Navigate | EventType::Load)
+        matches!(
+            self,
+            EventType::Submit | EventType::Navigate | EventType::Load
+        )
     }
 }
 
@@ -209,7 +211,9 @@ impl EventTypeSet {
 
     /// The member types in class-index order.
     pub fn iter(self) -> impl Iterator<Item = EventType> {
-        EventType::ALL.into_iter().filter(move |e| self.contains(*e))
+        EventType::ALL
+            .into_iter()
+            .filter(move |e| self.contains(*e))
     }
 }
 
@@ -306,6 +310,9 @@ mod tests {
         assert!(ab.contains(EventType::Click) && ab.contains(EventType::Scroll));
         assert_eq!(ab.len(), 2);
         assert_eq!(a.union(a), a);
-        assert_eq!(EventTypeSet::ALL.union(EventTypeSet::EMPTY), EventTypeSet::ALL);
+        assert_eq!(
+            EventTypeSet::ALL.union(EventTypeSet::EMPTY),
+            EventTypeSet::ALL
+        );
     }
 }

@@ -5,7 +5,6 @@
 //! ("clickable region percentage in the viewport", "visible link percentage
 //! in the viewport") are defined in terms of on-screen area.
 
-
 /// An axis-aligned rectangle in document coordinates (CSS pixels).
 ///
 /// # Examples

@@ -10,7 +10,6 @@
 
 use std::collections::BTreeMap;
 
-
 use crate::error::DomError;
 use crate::events::EventType;
 use crate::geometry::Viewport;
@@ -175,12 +174,20 @@ mod tests {
         tree.append_child(root, button).unwrap();
         tree.append_child(root, menu).unwrap();
         tree.append_child(menu, item).unwrap();
-        tree.add_listener(button, EventType::Click, CallbackEffect::ToggleVisibility(menu))
-            .unwrap();
+        tree.add_listener(
+            button,
+            EventType::Click,
+            CallbackEffect::ToggleVisibility(menu),
+        )
+        .unwrap();
         tree.add_listener(item, EventType::Click, CallbackEffect::Navigate)
             .unwrap();
-        tree.add_listener(tree.root(), EventType::Scroll, CallbackEffect::ScrollBy(300))
-            .unwrap();
+        tree.add_listener(
+            tree.root(),
+            EventType::Scroll,
+            CallbackEffect::ScrollBy(300),
+        )
+        .unwrap();
         tree.set_displayed(menu, false).unwrap();
         (tree, button, menu, item)
     }
@@ -204,7 +211,10 @@ mod tests {
             semantic.role_of(button, EventType::Click),
             Some(SemanticRole::DisclosureButton)
         );
-        assert_eq!(semantic.role_of(item, EventType::Click), Some(SemanticRole::Link));
+        assert_eq!(
+            semantic.role_of(item, EventType::Click),
+            Some(SemanticRole::Link)
+        );
         assert_eq!(
             semantic.role_of(tree.root(), EventType::Scroll),
             Some(SemanticRole::ScrollRegion)

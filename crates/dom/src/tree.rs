@@ -11,7 +11,6 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-
 use crate::error::DomError;
 use crate::events::EventType;
 use crate::geometry::{Rect, Viewport};
@@ -324,7 +323,9 @@ impl DomTree {
         self.check_id(parent)?;
         self.check_id(child)?;
         if child == self.root {
-            return Err(DomError::InvalidStructure("the root cannot be a child".into()));
+            return Err(DomError::InvalidStructure(
+                "the root cannot be a child".into(),
+            ));
         }
         if self.nodes[child.0].parent.is_some() {
             return Err(DomError::InvalidStructure(format!(
@@ -561,8 +562,12 @@ mod tests {
         tree.append_child(root, button).unwrap();
         tree.append_child(root, menu).unwrap();
         tree.append_child(menu, item).unwrap();
-        tree.add_listener(button, EventType::Click, CallbackEffect::ToggleVisibility(menu))
-            .unwrap();
+        tree.add_listener(
+            button,
+            EventType::Click,
+            CallbackEffect::ToggleVisibility(menu),
+        )
+        .unwrap();
         tree.add_listener(item, EventType::Click, CallbackEffect::Navigate)
             .unwrap();
         tree.set_displayed(menu, false).unwrap();
@@ -595,8 +600,14 @@ mod tests {
         let b = tree.create_node(NodeKind::Container, Rect::EMPTY);
         tree.append_child(root, a).unwrap();
         tree.append_child(a, b).unwrap();
-        assert!(tree.append_child(root, b).is_err(), "b already has a parent");
-        assert!(tree.append_child(b, root).is_err(), "root cannot be a child");
+        assert!(
+            tree.append_child(root, b).is_err(),
+            "b already has a parent"
+        );
+        assert!(
+            tree.append_child(b, root).is_err(),
+            "root cannot be a child"
+        );
         let c = tree.create_node(NodeKind::Container, Rect::EMPTY);
         assert!(tree.append_child(NodeId(99), c).is_err());
         assert!(tree.append_child(c, NodeId(99)).is_err());
@@ -634,7 +645,11 @@ mod tests {
         let (mut tree, button, menu, item) = small_tree();
         let mut vp = Viewport::phone();
         assert!(!tree.is_effectively_visible(item, &vp));
-        let effect = tree.node(button).unwrap().listener(EventType::Click).unwrap();
+        let effect = tree
+            .node(button)
+            .unwrap()
+            .listener(EventType::Click)
+            .unwrap();
         let changed = tree.apply_effect(effect, &mut vp).unwrap();
         assert!(changed);
         assert!(tree.is_effectively_displayed(menu));
@@ -652,7 +667,9 @@ mod tests {
             .apply_effect(CallbackEffect::ScrollBy(300), &mut vp)
             .unwrap());
         assert_eq!(vp.scroll_y(), 300);
-        assert!(tree.apply_effect(CallbackEffect::Navigate, &mut vp).unwrap());
+        assert!(tree
+            .apply_effect(CallbackEffect::Navigate, &mut vp)
+            .unwrap());
         assert_eq!(vp.scroll_y(), 0);
         assert!(!tree.apply_effect(CallbackEffect::None, &mut vp).unwrap());
     }
@@ -723,7 +740,9 @@ mod tests {
         let stale = NodeId(42);
         let mut vp = Viewport::phone();
         assert!(tree.node(stale).is_err());
-        assert!(tree.add_listener(stale, EventType::Click, CallbackEffect::None).is_err());
+        assert!(tree
+            .add_listener(stale, EventType::Click, CallbackEffect::None)
+            .is_err());
         assert!(tree.set_displayed(stale, false).is_err());
         assert!(tree.toggle_displayed(stale).is_err());
         assert!(tree.translate_node(stale, 1, 1).is_err());

@@ -31,10 +31,22 @@ fn main() {
     for slack in [0.55, 0.7, 0.85] {
         for n in [6u64, 8, 10, 12] {
             let p = window(n, slack);
-            let a = match p.solve() { Ok(a) => a, Err(e) => { println!("slack={slack} n={n:2} optimised: {e:?}"); continue } };
+            let a = match p.solve() {
+                Ok(a) => a,
+                Err(e) => {
+                    println!("slack={slack} n={n:2} optimised: {e:?}");
+                    continue;
+                }
+            };
             let b = match p.solve_reference() {
                 Ok(b) => b,
-                Err(e) => { println!("slack={slack} n={n:2} reference: {e:?} (optimised nodes {})", a.nodes_explored); continue; }
+                Err(e) => {
+                    println!(
+                        "slack={slack} n={n:2} reference: {e:?} (optimised nodes {})",
+                        a.nodes_explored
+                    );
+                    continue;
+                }
             };
             assert_eq!(a.selected, b.selected, "n={n} slack={slack}");
             assert_eq!(a.violations, b.violations);
@@ -42,10 +54,15 @@ fn main() {
             let mut scratch = SolveScratch::new();
             let mut sol = ScheduleSolution::default();
             let t0 = Instant::now();
-            for _ in 0..reps { p.solve_with(&mut scratch, &mut sol).unwrap(); std::hint::black_box(&sol); }
+            for _ in 0..reps {
+                p.solve_with(&mut scratch, &mut sol).unwrap();
+                std::hint::black_box(&sol);
+            }
             let opt_t = t0.elapsed().as_secs_f64() / reps as f64;
             let t0 = Instant::now();
-            for _ in 0..reps { std::hint::black_box(p.solve_reference().unwrap()); }
+            for _ in 0..reps {
+                std::hint::black_box(p.solve_reference().unwrap());
+            }
             let ref_t = t0.elapsed().as_secs_f64() / reps as f64;
             println!("slack={slack} n={n:2} viol={} nodes {} -> {}  time {:.1}us -> {:.1}us  speedup {:.1}x",
                 a.violations, b.nodes_explored, a.nodes_explored, ref_t*1e6, opt_t*1e6, ref_t/opt_t);

@@ -37,7 +37,9 @@ mod tests {
     fn display_messages() {
         assert!(IlpError::Infeasible.to_string().contains("feasible"));
         assert!(IlpError::NodeLimit(7).to_string().contains('7'));
-        assert!(IlpError::EmptyProblem.to_string().contains("no schedulable"));
+        assert!(IlpError::EmptyProblem
+            .to_string()
+            .contains("no schedulable"));
     }
 
     #[test]

@@ -56,7 +56,8 @@ pub mod solver;
 pub use error::IlpError;
 pub use linear::{Comparison, Constraint, LinearExpr};
 pub use schedule::{
-    ScheduleItem, ScheduleOption, ScheduleProblem, ScheduleSolution, SolveScratch, SolveTier,
+    OptionOrder, ScheduleItem, ScheduleOption, ScheduleProblem, ScheduleSolution, SolveScratch,
+    SolveTier,
 };
 pub use solver::{exactly_one, IlpProblem, IlpSolution};
 

@@ -79,7 +79,13 @@ impl LinearExpr {
     pub fn evaluate(&self, assignment: &[bool]) -> f64 {
         self.terms
             .iter()
-            .map(|(v, c)| if assignment.get(*v).copied().unwrap_or(false) { *c } else { 0.0 })
+            .map(|(v, c)| {
+                if assignment.get(*v).copied().unwrap_or(false) {
+                    *c
+                } else {
+                    0.0
+                }
+            })
             .sum()
     }
 
@@ -184,7 +190,11 @@ mod tests {
 
     #[test]
     fn constraint_satisfaction() {
-        let c = Constraint::new(LinearExpr::from_terms([(0, 1.0), (1, 1.0)]), Comparison::Equal, 1.0);
+        let c = Constraint::new(
+            LinearExpr::from_terms([(0, 1.0), (1, 1.0)]),
+            Comparison::Equal,
+            1.0,
+        );
         assert!(c.is_satisfied(&[true, false]));
         assert!(!c.is_satisfied(&[true, true]));
         assert!(!c.is_satisfied(&[false, false]));
@@ -193,7 +203,11 @@ mod tests {
         assert!(le.is_satisfied(&[false]));
         assert!(!le.is_satisfied(&[true]));
 
-        let ge = Constraint::new(LinearExpr::from_terms([(0, 5.0)]), Comparison::GreaterEq, 4.0);
+        let ge = Constraint::new(
+            LinearExpr::from_terms([(0, 5.0)]),
+            Comparison::GreaterEq,
+            4.0,
+        );
         assert!(ge.is_satisfied(&[true]));
         assert!(!ge.is_satisfied(&[false]));
     }

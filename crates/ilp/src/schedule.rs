@@ -173,14 +173,84 @@ impl ScheduleItem {
         I: IntoIterator<Item = (u64, f64)>,
     {
         self.options.clear();
-        self.options
-            .extend(options.into_iter().enumerate().map(|(choice, (duration_us, cost))| {
-                ScheduleOption {
-                    choice,
-                    duration_us,
-                    cost,
+        self.options.extend(options.into_iter().enumerate().map(
+            |(choice, (duration_us, cost))| ScheduleOption {
+                choice,
+                duration_us,
+                cost,
+            },
+        ));
+    }
+}
+
+/// Pre-sorted option orders for one item of a (re-)posed window, supplied
+/// by callers that already hold the option rows sorted — the PES runtime's
+/// DVFS ladder cache memoises its 17-point rows together with exactly these
+/// two permutations.
+///
+/// Both orders must be **stable** sorts of `0..options.len()` over the
+/// item's option keys: `by_cost` ascending by `ScheduleOption::cost`,
+/// `by_duration` ascending by `ScheduleOption::duration_us`, ties keeping
+/// index order in both. [`ScheduleProblem::rebuild_sorted`] consumes them to
+/// build its solver tables without sorting, bit-identical to the sorting
+/// path (`debug_assert`ed, and pinned by the workspace proptests).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OptionOrder {
+    /// Option indices sorted ascending by cost (stable).
+    pub by_cost: Vec<u32>,
+    /// Option indices sorted ascending by duration (stable).
+    pub by_duration: Vec<u32>,
+}
+
+impl OptionOrder {
+    /// Builds the canonical stable orders of `options`: exactly the
+    /// permutations [`ScheduleProblem`]'s own table build produces, with
+    /// identical tie-breaking. This is the reference implementation the
+    /// bit-identity tests compare external row providers (the DVFS ladder
+    /// cache) against.
+    pub fn from_options(options: &[ScheduleOption]) -> Self {
+        let mut by_cost: Vec<u32> = (0..options.len() as u32).collect();
+        by_cost.sort_by(|&a, &b| {
+            options[a as usize]
+                .cost
+                .partial_cmp(&options[b as usize].cost)
+                .expect("costs are finite")
+        });
+        let mut by_duration: Vec<u32> = (0..options.len() as u32).collect();
+        by_duration.sort_by_key(|&a| options[a as usize].duration_us);
+        OptionOrder {
+            by_cost,
+            by_duration,
+        }
+    }
+
+    /// Whether this order is a valid stable-sorted view of `options` — the
+    /// contract [`ScheduleProblem::rebuild_sorted`] `debug_assert`s.
+    pub fn is_valid_for(&self, options: &[ScheduleOption]) -> bool {
+        let stable_perm = |perm: &[u32], key_le: &dyn Fn(u32, u32) -> bool| {
+            perm.len() == options.len()
+                && {
+                    let mut seen = vec![false; options.len()];
+                    perm.iter().all(|&i| {
+                        let fresh = (i as usize) < options.len() && !seen[i as usize];
+                        if fresh {
+                            seen[i as usize] = true;
+                        }
+                        fresh
+                    })
                 }
-            }));
+                && perm.windows(2).all(|w| key_le(w[0], w[1]))
+        };
+        stable_perm(&self.by_cost, &|a, b| {
+            let (ca, cb) = (options[a as usize].cost, options[b as usize].cost);
+            ca < cb || (ca == cb && a < b)
+        }) && stable_perm(&self.by_duration, &|a, b| {
+            let (da, db) = (
+                options[a as usize].duration_us,
+                options[b as usize].duration_us,
+            );
+            da < db || (da == db && a < b)
+        })
     }
 }
 
@@ -345,6 +415,10 @@ pub struct ScheduleProblem {
     /// the weight a child subtree contributes to the adaptive probe's
     /// enumeration-space progress estimate.
     inv_breadth: Vec<f64>,
+    /// Relative incumbent-quality gap at which the best-first tier stops
+    /// early (see [`ScheduleProblem::with_incumbent_gap`]); `0.0` disables
+    /// the early stop.
+    incumbent_gap: f64,
 }
 
 /// How many remaining items the per-node lower bound inspects in detail;
@@ -363,14 +437,24 @@ const BOUND_SCAN_LIMIT: usize = 6;
 /// cost is lexicographic: first minimise violations, then energy.
 const VIOLATION_PENALTY: f64 = 1.0e15;
 
-/// The adaptive probe interval: every this many nodes the search projects
-/// its total size from the enumeration-space progress so far and, when the
-/// projection exceeds the node budget, stops paying for the earliest-finish
-/// scan bound (see [`ScheduleProblem::solve_with`]). Small enough that a
-/// budget-bound search spends only a few percent of the budget probing,
-/// large enough that searches the bound *does* finish (the PES 6×17 window
-/// completes in ~105 k nodes) see a stable estimate.
-const ADAPT_PROBE_INTERVAL: usize = 2048;
+/// The adaptive probe interval ceiling: every `clamp(budget / 64, 512,
+/// 2048)` nodes the search projects its total size from the
+/// enumeration-space progress so far and, when the projection exceeds the
+/// node budget, stops paying for the earliest-finish scan bound (see
+/// [`ScheduleProblem::solve_with`]). The interval scales with the budget
+/// because the three probes a hopeless verdict needs (baseline + two
+/// consecutive over-projections) bound the worst-case latency of a solve
+/// that was never going to finish: under the wide-tier 60 k budget the
+/// verdict lands within ~3 k nodes instead of ~6 k, which is what pulled
+/// the hostile 12×17 anytime worst case down. Large budgets (the 200 k
+/// narrow tier and up) keep the 2048 ceiling, so searches the bound *does*
+/// finish (the PES 6×17 window completes in ~105 k nodes) see the same
+/// stable estimate as before.
+const ADAPT_PROBE_INTERVAL_MAX: usize = 2048;
+
+/// The adaptive probe interval floor: tiny budgets still need enough nodes
+/// between probes for the residual projection to mean anything.
+const ADAPT_PROBE_INTERVAL_MIN: usize = 512;
 
 /// Safety margin on the adaptive probe's projection: the scan bound is only
 /// dropped when the projected total exceeds this multiple of the node
@@ -404,14 +488,15 @@ impl ScheduleProblem {
             dur_offsets: Vec::new(),
             suffix_min_cost: Vec::new(),
             inv_breadth: Vec::new(),
+            incumbent_gap: 0.0,
         };
-        problem.rebuild_tables();
+        problem.rebuild_tables(None);
         problem
     }
 
     /// Re-poses this problem for a new window, reusing **every** internal
     /// allocation: the item slots (including their `options` vectors) and
-    /// all solver cache tables. The node limit is kept.
+    /// all solver cache tables. The node limit and incumbent gap are kept.
     ///
     /// Construction cost is what put `ScheduleProblem::new` on the Oracle's
     /// replay profile — a dozen table allocations per cache-miss solve, paid
@@ -419,6 +504,41 @@ impl ScheduleProblem {
     /// recycles its evicted slots through this method, so a steady replay
     /// allocates nothing per solve.
     pub fn rebuild(&mut self, start_us: u64, items: &[ScheduleItem]) {
+        self.copy_items(start_us, items);
+        self.rebuild_tables(None);
+    }
+
+    /// [`ScheduleProblem::rebuild`] without the per-item sorting: the caller
+    /// supplies one pre-sorted [`OptionOrder`] per item (the PES runtime's
+    /// ladder cache holds its 17-option rows sorted already), and the solver
+    /// tables are built by walking those orders instead of re-sorting —
+    /// which was most of a re-pose's cost. Bit-identical to
+    /// [`ScheduleProblem::rebuild`] when the orders satisfy
+    /// [`OptionOrder::is_valid_for`] (`debug_assert`ed here).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `orders.len() != items.len()`.
+    pub fn rebuild_sorted(
+        &mut self,
+        start_us: u64,
+        items: &[ScheduleItem],
+        orders: &[OptionOrder],
+    ) {
+        assert_eq!(items.len(), orders.len(), "one OptionOrder per window item");
+        debug_assert!(
+            items
+                .iter()
+                .zip(orders)
+                .all(|(item, order)| order.is_valid_for(&item.options)),
+            "orders must be stable sorts of the item options"
+        );
+        self.copy_items(start_us, items);
+        self.rebuild_tables(Some(orders));
+    }
+
+    /// Copies a new window into the recycled item slots.
+    fn copy_items(&mut self, start_us: u64, items: &[ScheduleItem]) {
         self.start_us = start_us;
         self.items.truncate(items.len());
         while self.items.len() < items.len() {
@@ -434,13 +554,14 @@ impl ScheduleProblem {
             slot.options.clear();
             slot.options.extend_from_slice(&item.options);
         }
-        self.rebuild_tables();
     }
 
     /// Recomputes the solver's cached tables from `self.items`, reusing the
     /// table allocations. Produces exactly the tables
-    /// [`ScheduleProblem::new`] builds.
-    fn rebuild_tables(&mut self) {
+    /// [`ScheduleProblem::new`] builds; with `orders` supplied the per-item
+    /// sorts are replaced by walks of the given (identically tie-broken)
+    /// permutations.
+    fn rebuild_tables(&mut self, orders: Option<&[OptionOrder]>) {
         let n = self.items.len();
         let items = &self.items;
 
@@ -455,17 +576,23 @@ impl ScheduleProblem {
         self.order_offsets.clear();
         let mut scratch_idx: Vec<u32> = Vec::new();
         self.order_offsets.push(0);
-        for item in items {
-            scratch_idx.clear();
-            scratch_idx.extend(0..item.options.len() as u32);
-            scratch_idx.sort_by(|&a, &b| {
-                item.options[a as usize]
-                    .cost
-                    .partial_cmp(&item.options[b as usize].cost)
-                    .expect("costs are finite")
-            });
+        for (i, item) in items.iter().enumerate() {
+            let by_cost: &[u32] = match orders {
+                Some(orders) => &orders[i].by_cost,
+                None => {
+                    scratch_idx.clear();
+                    scratch_idx.extend(0..item.options.len() as u32);
+                    scratch_idx.sort_by(|&a, &b| {
+                        item.options[a as usize]
+                            .cost
+                            .partial_cmp(&item.options[b as usize].cost)
+                            .expect("costs are finite")
+                    });
+                    &scratch_idx
+                }
+            };
             let mut fastest_so_far = u64::MAX;
-            for &idx in &scratch_idx {
+            for &idx in by_cost {
                 let duration = item.options[idx as usize].duration_us;
                 if duration < fastest_so_far {
                     fastest_so_far = duration;
@@ -500,15 +627,28 @@ impl ScheduleProblem {
         self.dur_offsets.clear();
         self.dur_offsets.push(0);
         let mut by_duration: Vec<(u64, f64)> = Vec::new();
-        for item in items {
-            by_duration.clear();
-            by_duration.extend(item.options.iter().map(|o| (o.duration_us, o.cost)));
-            by_duration.sort_by_key(|&(duration, _)| duration);
-            let mut cheapest = f64::INFINITY;
-            for &(duration, cost) in &by_duration {
-                cheapest = cheapest.min(cost);
-                self.dur_sorted.push(duration);
-                self.dur_cheapest.push(cheapest);
+        for (i, item) in items.iter().enumerate() {
+            match orders {
+                Some(orders) => {
+                    let mut cheapest = f64::INFINITY;
+                    for &idx in &orders[i].by_duration {
+                        let opt = item.options[idx as usize];
+                        cheapest = cheapest.min(opt.cost);
+                        self.dur_sorted.push(opt.duration_us);
+                        self.dur_cheapest.push(cheapest);
+                    }
+                }
+                None => {
+                    by_duration.clear();
+                    by_duration.extend(item.options.iter().map(|o| (o.duration_us, o.cost)));
+                    by_duration.sort_by_key(|&(duration, _)| duration);
+                    let mut cheapest = f64::INFINITY;
+                    for &(duration, cost) in &by_duration {
+                        cheapest = cheapest.min(cost);
+                        self.dur_sorted.push(duration);
+                        self.dur_cheapest.push(cheapest);
+                    }
+                }
             }
             self.dur_offsets.push(self.dur_sorted.len() as u32);
         }
@@ -549,6 +689,34 @@ impl ScheduleProblem {
         self.node_limit = limit.max(1);
     }
 
+    /// Sets the best-first tier's incumbent-quality early stop: the search
+    /// ends as soon as the best open lower bound proves the incumbent within
+    /// `gap` (relative) of the optimal cost *at the incumbent's violation
+    /// count* — nodes that could still reduce violations keep the search
+    /// alive, so the lexicographic contract is untouched. `0.0` (the
+    /// default) disables the stop. Only [`SolveTier::Incumbent`] results are
+    /// affected; exact-tier solves never see the gap.
+    pub fn with_incumbent_gap(mut self, gap: f64) -> Self {
+        self.set_incumbent_gap(gap);
+        self
+    }
+
+    /// In-place form of [`ScheduleProblem::with_incumbent_gap`], for
+    /// recycled problems.
+    pub fn set_incumbent_gap(&mut self, gap: f64) {
+        self.incumbent_gap = gap.max(0.0);
+    }
+
+    /// The configured node budget.
+    pub fn node_limit(&self) -> usize {
+        self.node_limit
+    }
+
+    /// The configured incumbent-quality gap (`0.0` = disabled).
+    pub fn incumbent_gap(&self) -> f64 {
+        self.incumbent_gap
+    }
+
     /// Admissible lower bound on `(cost, violations)` of items `index..` when
     /// execution resumes at `cursor_us`.
     ///
@@ -567,13 +735,7 @@ impl ScheduleProblem {
         let mut cost = 0.0;
         let mut violations = 0usize;
         let scan_end = (index + BOUND_SCAN_LIMIT).min(self.items.len());
-        for (j, item) in self
-            .items
-            .iter()
-            .enumerate()
-            .take(scan_end)
-            .skip(index)
-        {
+        for (j, item) in self.items.iter().enumerate().take(scan_end).skip(index) {
             let start = chain.max(item.release_us);
             let budget = item.deadline_us.saturating_sub(start);
             if budget < self.min_duration[j] {
@@ -632,13 +794,7 @@ impl ScheduleProblem {
         if index == scan_end {
             return penalised + self.suffix_min_cost[scan_end] >= threshold;
         }
-        for (j, item) in self
-            .items
-            .iter()
-            .enumerate()
-            .take(scan_end)
-            .skip(index)
-        {
+        for (j, item) in self.items.iter().enumerate().take(scan_end).skip(index) {
             let start = chain.max(item.release_us);
             let budget = item.deadline_us.saturating_sub(start);
             if budget < self.min_duration[j] {
@@ -648,7 +804,8 @@ impl ScheduleProblem {
                 cost += self.cheapest_fitting(j, budget);
             }
             chain = start + self.min_duration[j];
-            if penalised + (cost + self.suffix_min_cost[j + 1])
+            if penalised
+                + (cost + self.suffix_min_cost[j + 1])
                 + violations as f64 * VIOLATION_PENALTY
                 >= threshold
             {
@@ -791,7 +948,14 @@ impl ScheduleProblem {
         solution.nodes_explored = scratch.nodes;
     }
 
-    /// Adaptive probe, evaluated every [`ADAPT_PROBE_INTERVAL`] nodes while
+    /// The budget-scaled adaptive probe interval (see
+    /// [`ADAPT_PROBE_INTERVAL_MAX`]).
+    #[inline]
+    fn probe_interval(&self) -> usize {
+        (self.node_limit / 64).clamp(ADAPT_PROBE_INTERVAL_MIN, ADAPT_PROBE_INTERVAL_MAX)
+    }
+
+    /// Adaptive probe, evaluated every [`ScheduleProblem::probe_interval`] nodes while
     /// the scan bound is on: projects the search's total node count and
     /// drops the scan bound when the projection exceeds the node budget.
     ///
@@ -858,7 +1022,7 @@ impl ScheduleProblem {
         if scratch.nodes > self.node_limit {
             return Err(SearchStop::Budget);
         }
-        if scratch.nodes.is_multiple_of(ADAPT_PROBE_INTERVAL) {
+        if scratch.nodes.is_multiple_of(self.probe_interval()) {
             self.adapt_probe(scratch);
         }
         let penalised = cost + violations as f64 * VIOLATION_PENALTY;
@@ -1071,10 +1235,13 @@ impl ScheduleProblem {
     /// Every child generation counts against the same node budget the
     /// depth-first tier metered, so a capped anytime solve does bounded
     /// total work. The search ends when the budget is spent, the heap runs
-    /// dry, or the best open bound can no longer beat the incumbent (at
-    /// which point the incumbent is in fact optimal — still reported as
+    /// dry, the best open bound can no longer beat the incumbent (at which
+    /// point the incumbent is in fact optimal — still reported as
     /// [`SolveTier::Incumbent`], since tie-breaking may differ from the
-    /// reference search's).
+    /// reference search's), or — with
+    /// [`ScheduleProblem::with_incumbent_gap`] configured — the best open
+    /// bound proves the incumbent within ε of the optimal cost at its
+    /// violation count.
     ///
     /// Precondition: `scratch.has_best` (the caller seeds the incumbent with
     /// the greedy schedule), and `scratch.selected`/`best_selected` are
@@ -1107,6 +1274,26 @@ impl ScheduleProblem {
             if node.bound >= scratch.best_penalised - 1e-9 {
                 break;
             }
+            // ε incumbent-quality stop: when no open node can still reduce
+            // the violation count (the popped bound already carries at least
+            // the incumbent's violations — and every other open node is at
+            // least as bad) and the best open bound is within the configured
+            // relative cost gap of the incumbent, the incumbent is provably
+            // within ε of optimal; burning the rest of the budget buys at
+            // most that sliver. The incumbent only ever improves from its
+            // greedy seed, so stopping early can never violate the
+            // never-worse-than-greedy contract.
+            if self.incumbent_gap > 0.0 {
+                let inc_violations = (scratch.best_penalised / VIOLATION_PENALTY).round();
+                let bound_violations = (node.bound / VIOLATION_PENALTY).round();
+                if bound_violations >= inc_violations {
+                    let inc_cost = scratch.best_penalised - inc_violations * VIOLATION_PENALTY;
+                    let bound_cost = node.bound - bound_violations * VIOLATION_PENALTY;
+                    if inc_cost - bound_cost <= self.incumbent_gap * inc_cost.abs().max(1.0) {
+                        break;
+                    }
+                }
+            }
             let index = node.index as usize;
             debug_assert!(index < n, "complete assignments never enter the heap");
             let item = &self.items[index];
@@ -1121,8 +1308,7 @@ impl ScheduleProblem {
                 let opt = item.options[opt_idx];
                 let finish = start + opt.duration_us;
                 let child_cost = node.cost + opt.cost;
-                let child_violations =
-                    node.violations + u32::from(finish > item.deadline_us);
+                let child_violations = node.violations + u32::from(finish > item.deadline_us);
                 let penalised = child_cost + child_violations as f64 * VIOLATION_PENALTY;
                 if child_is_leaf {
                     if penalised < scratch.best_penalised - 1e-9 {
@@ -1138,8 +1324,7 @@ impl ScheduleProblem {
                     }
                     continue;
                 }
-                let (suffix_cost, unavoidable) =
-                    self.suffix_lower_bound(index + 1, finish);
+                let (suffix_cost, unavoidable) = self.suffix_lower_bound(index + 1, finish);
                 let bound = penalised + suffix_cost + unavoidable as f64 * VIOLATION_PENALTY;
                 if bound >= scratch.best_penalised - 1e-9 {
                     continue;
@@ -1213,8 +1398,18 @@ impl ScheduleProblem {
             best: None,
             nodes: 0,
         };
-        self.branch_reference(&mut state, 0, self.start_us, 0.0, 0, &order, &suffix_min_cost)?;
-        let (selected, penalised) = state.best.expect("at least one full assignment is explored");
+        self.branch_reference(
+            &mut state,
+            0,
+            self.start_us,
+            0.0,
+            0,
+            &order,
+            &suffix_min_cost,
+        )?;
+        let (selected, penalised) = state
+            .best
+            .expect("at least one full assignment is explored");
         let violations = (penalised / VIOLATION_PENALTY).round() as usize;
         let mut finish_us = Vec::with_capacity(self.items.len());
         let mut cursor = self.start_us;
@@ -1405,8 +1600,10 @@ mod tests {
         assert!(optimal.finish_us[1] <= 1_800_000);
         // Even with E1 sped up, only E2's fast option fits before 1.8 s.
         assert_eq!(optimal.choices[1], 1);
-        assert!(optimal.total_cost > greedy.total_cost,
-            "meeting every deadline costs more energy than the greedy schedule spends");
+        assert!(
+            optimal.total_cost > greedy.total_cost,
+            "meeting every deadline costs more energy than the greedy schedule spends"
+        );
     }
 
     #[test]
@@ -1488,12 +1685,17 @@ mod tests {
             .map(|i| ScheduleItem {
                 release_us: 0,
                 deadline_us: 1_000_000,
-                options: (0..8).map(|j| opt(j, 100 + j as u64, (i + j) as f64)).collect(),
+                options: (0..8)
+                    .map(|j| opt(j, 100 + j as u64, (i + j) as f64))
+                    .collect(),
             })
             .collect();
         let problem = ScheduleProblem::new(0, items).with_node_limit(5);
         assert!(matches!(problem.solve(), Err(IlpError::NodeLimit(5))));
-        assert!(matches!(problem.solve_reference(), Err(IlpError::NodeLimit(5))));
+        assert!(matches!(
+            problem.solve_reference(),
+            Err(IlpError::NodeLimit(5))
+        ));
     }
 
     #[test]
@@ -1602,7 +1804,9 @@ mod tests {
         let exact = problem.solve().unwrap();
         let mut scratch = SolveScratch::new();
         let mut solution = ScheduleSolution::default();
-        let tier = problem.solve_anytime_with(&mut scratch, &mut solution).unwrap();
+        let tier = problem
+            .solve_anytime_with(&mut scratch, &mut solution)
+            .unwrap();
         assert_eq!(tier, SolveTier::Exact);
         assert_eq!(solution, exact);
     }
@@ -1614,7 +1818,9 @@ mod tests {
             let greedy = problem.solve_greedy().unwrap();
             let mut scratch = SolveScratch::new();
             let mut solution = ScheduleSolution::default();
-            let tier = problem.solve_anytime_with(&mut scratch, &mut solution).unwrap();
+            let tier = problem
+                .solve_anytime_with(&mut scratch, &mut solution)
+                .unwrap();
             assert_eq!(solution.selected.len(), 12);
             assert!(
                 no_worse(&solution, &greedy),
@@ -1677,9 +1883,14 @@ mod tests {
         assert_eq!(greedy.violations, 6, "greedy misses every tight deadline");
         let mut scratch = SolveScratch::new();
         let mut solution = ScheduleSolution::default();
-        let tier = problem.solve_anytime_with(&mut scratch, &mut solution).unwrap();
+        let tier = problem
+            .solve_anytime_with(&mut scratch, &mut solution)
+            .unwrap();
         assert_eq!(tier, SolveTier::Incumbent);
-        assert_eq!(solution.violations, 0, "the incumbent tier meets every deadline");
+        assert_eq!(
+            solution.violations, 0,
+            "the incumbent tier meets every deadline"
+        );
         assert!(no_worse(&solution, &greedy));
     }
 
@@ -1688,7 +1899,9 @@ mod tests {
         let problem = ScheduleProblem::new(0, hard_window(10)).with_node_limit(20_000);
         let mut scratch = SolveScratch::new();
         let mut first = ScheduleSolution::default();
-        let tier_a = problem.solve_anytime_with(&mut scratch, &mut first).unwrap();
+        let tier_a = problem
+            .solve_anytime_with(&mut scratch, &mut first)
+            .unwrap();
         for _ in 0..3 {
             let mut again = ScheduleSolution::default();
             let tier_b = problem
@@ -1697,6 +1910,93 @@ mod tests {
             assert_eq!(tier_a, tier_b);
             assert_eq!(first, again);
         }
+    }
+
+    /// Stable sorted orders per item, via the canonical builder.
+    fn orders_for(items: &[ScheduleItem]) -> Vec<OptionOrder> {
+        items
+            .iter()
+            .map(|item| OptionOrder::from_options(&item.options))
+            .collect()
+    }
+
+    #[test]
+    fn rebuild_sorted_is_bit_identical_to_the_sorting_rebuild() {
+        for items in [fig2_like_items(), hard_window(7), greedy_hostile_chain(3)] {
+            let orders = orders_for(&items);
+            assert!(orders
+                .iter()
+                .zip(&items)
+                .all(|(o, i)| o.is_valid_for(&i.options)));
+            let mut sorting = ScheduleProblem::new(0, Vec::new()).with_node_limit(60_000);
+            sorting.rebuild(0, &items);
+            let mut sorted = ScheduleProblem::new(0, Vec::new()).with_node_limit(60_000);
+            sorted.rebuild_sorted(0, &items, &orders);
+            // Every solver table (the derived PartialEq spans them all) and
+            // therefore every solve is identical.
+            assert_eq!(sorting, sorted);
+            let mut scratch = SolveScratch::new();
+            let (mut a, mut b) = (ScheduleSolution::default(), ScheduleSolution::default());
+            let tier_a = sorting.solve_anytime_with(&mut scratch, &mut a).unwrap();
+            let tier_b = sorted.solve_anytime_with(&mut scratch, &mut b).unwrap();
+            assert_eq!(tier_a, tier_b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn incumbent_gap_stop_keeps_the_quality_contract_and_saves_nodes() {
+        // The hard-window timing with a near-flat cost curve: the search is
+        // as large as ever (the probe flips it to the incumbent tier), but
+        // every feasible schedule costs within a fraction of a percent of
+        // the admissible bound — so the ε stop can certify the incumbent
+        // almost immediately, where the gap-less burn grinds through
+        // near-tie incumbents until the budget dies.
+        let items: Vec<ScheduleItem> = (0..12)
+            .map(|i| ScheduleItem {
+                release_us: i * 60_000,
+                deadline_us: (i + 1) * 230_000,
+                options: (0..17)
+                    .map(|j| ScheduleOption {
+                        choice: j,
+                        duration_us: 260_000 - (j as u64) * 9_000,
+                        cost: 5.0 + j as f64 * 1e-3,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let full = ScheduleProblem::new(0, items.clone()).with_node_limit(60_000);
+        let greedy = full.solve_greedy().unwrap();
+        let mut scratch = SolveScratch::new();
+        let mut burn = ScheduleSolution::default();
+        assert_eq!(
+            full.solve_anytime_with(&mut scratch, &mut burn).unwrap(),
+            SolveTier::Incumbent
+        );
+        let eager = ScheduleProblem::new(0, items)
+            .with_node_limit(60_000)
+            .with_incumbent_gap(0.01);
+        let mut early = ScheduleSolution::default();
+        assert_eq!(
+            eager.solve_anytime_with(&mut scratch, &mut early).unwrap(),
+            SolveTier::Incumbent
+        );
+        assert!(no_worse(&early, &greedy));
+        // The ε stop only fires when no open node can still reduce the
+        // violation count, so the stopped incumbent ties the full burn's.
+        assert_eq!(early.violations, burn.violations);
+        assert!(
+            early.nodes_explored < burn.nodes_explored,
+            "ε stop should end the incumbent burn early ({} vs {})",
+            early.nodes_explored,
+            burn.nodes_explored
+        );
+        assert!(
+            early.total_cost <= burn.total_cost * 1.01 + 1e-9,
+            "ε-stopped incumbent within the configured gap ({} vs {})",
+            early.total_cost,
+            burn.total_cost
+        );
     }
 
     #[test]

@@ -135,11 +135,7 @@ impl IlpProblem {
             }
         }
         if var == self.num_vars {
-            let assignment: Vec<bool> = state
-                .partial
-                .iter()
-                .map(|v| v.unwrap_or(false))
-                .collect();
+            let assignment: Vec<bool> = state.partial.iter().map(|v| v.unwrap_or(false)).collect();
             if self.constraints.iter().all(|c| c.is_satisfied(&assignment)) {
                 let objective = self.objective.evaluate(&assignment);
                 let better = match &state.best {
@@ -160,7 +156,11 @@ impl IlpProblem {
             .find(|(v, _)| *v == var)
             .map(|(_, c)| *c)
             .unwrap_or(0.0);
-        let order = if coeff >= 0.0 { [false, true] } else { [true, false] };
+        let order = if coeff >= 0.0 {
+            [false, true]
+        } else {
+            [true, false]
+        };
         for value in order {
             state.partial[var] = Some(value);
             let delta = if value { coeff } else { 0.0 };

@@ -83,7 +83,10 @@ impl HistoryWindow {
 
     /// Number of navigation-class events (load / navigate) in the window.
     pub fn navigations(&self) -> usize {
-        self.events.iter().filter(|(e, _)| e.is_navigation()).count()
+        self.events
+            .iter()
+            .filter(|(e, _)| e.is_navigation())
+            .count()
     }
 
     /// Number of move-class events (scroll / touchmove) in the window.
@@ -218,7 +221,8 @@ impl SessionState {
 
     /// The centre of a node, used as the position of a tap.
     fn node_center(&self, node: Option<NodeId>) -> Option<(i64, i64)> {
-        node.and_then(|id| self.tree.node(id).ok()).map(|n| n.rect().center())
+        node.and_then(|id| self.tree.node(id).ok())
+            .map(|n| n.rect().center())
     }
 
     /// Records an observed event: updates the history window and applies the
@@ -335,7 +339,8 @@ impl SessionState {
     /// bitmask — exactly the set `self.lnes().event_types()` would return,
     /// served from the incremental analyzer's delta-maintained aggregates.
     pub fn allowed_types(&mut self) -> EventTypeSet {
-        self.inc.lnes_types(&self.analyzer, &self.tree, &self.viewport)
+        self.inc
+            .lnes_types(&self.analyzer, &self.tree, &self.viewport)
     }
 
     /// How the incremental analyzer has kept itself in sync over this
@@ -348,8 +353,8 @@ impl SessionState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pes_acmp::CpuDemand;
     use pes_acmp::units::TimeUs;
+    use pes_acmp::CpuDemand;
     use pes_dom::PageBuilder;
     use pes_webrt::EventId;
 
@@ -366,7 +371,13 @@ mod tests {
     }
 
     fn ev(id: u64, ty: EventType, target: Option<NodeId>, ms: u64) -> WebEvent {
-        WebEvent::new(EventId::new(id), ty, target, TimeUs::from_millis(ms), CpuDemand::ZERO)
+        WebEvent::new(
+            EventId::new(id),
+            ty,
+            target,
+            TimeUs::from_millis(ms),
+            CpuDemand::ZERO,
+        )
     }
 
     #[test]
@@ -453,10 +464,18 @@ mod tests {
         let (page, mut state) = page_state();
         let menu_item = page.menu_items[0];
         assert!(!state.tree().is_effectively_displayed(menu_item));
-        state.observe(&ev(0, EventType::Click, page.menu_buttons.first().copied(), 0));
+        state.observe(&ev(
+            0,
+            EventType::Click,
+            page.menu_buttons.first().copied(),
+            0,
+        ));
         assert!(state.tree().is_effectively_displayed(menu_item));
         // The LNES now includes the menu items as click targets.
-        assert!(state.lnes().nodes_for(EventType::Click).contains(&menu_item));
+        assert!(state
+            .lnes()
+            .nodes_for(EventType::Click)
+            .contains(&menu_item));
     }
 
     #[test]
@@ -488,7 +507,10 @@ mod tests {
         assert_eq!(stats.rebuilds, 1, "session must run on deltas: {stats:?}");
         assert!(stats.scroll_deltas > 0, "{stats:?}");
         assert!(stats.scroll_resets > 0, "{stats:?}");
-        assert_eq!(stats.toggle_deltas, 2, "both menu toggles take the fast path: {stats:?}");
+        assert_eq!(
+            stats.toggle_deltas, 2,
+            "both menu toggles take the fast path: {stats:?}"
+        );
     }
 
     #[test]

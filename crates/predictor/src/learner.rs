@@ -8,7 +8,6 @@
 //! per-event confidences drops below the configured threshold (70 % by
 //! default). The number of events predicted ahead is the *prediction degree*.
 
-
 use pes_acmp::units::TimeUs;
 use pes_acmp::CpuDemand;
 use pes_dom::{EventType, EventTypeSet};
@@ -254,7 +253,10 @@ mod tests {
         let mut models: Vec<LogisticModel> = Vec::new();
         for e in EventType::ALL {
             let bias = if e == EventType::Scroll { 4.0 } else { -4.0 };
-            models.push(LogisticModel::from_coefficients(vec![0.0; FEATURE_DIM], bias));
+            models.push(LogisticModel::from_coefficients(
+                vec![0.0; FEATURE_DIM],
+                bias,
+            ));
         }
         let mut clf = OneVsRestClassifier::zeros(FEATURE_DIM);
         // Replace by re-creating: OneVsRestClassifier does not expose mutable
@@ -347,7 +349,11 @@ mod tests {
             EventSequenceLearner::new(clf, LearnerConfig::paper_defaults().with_lnes(false));
         let (masked, _) = with_lnes.predict_next(&mut state);
         let (unmasked, _) = without_lnes.predict_next(&mut state);
-        assert_ne!(masked, EventType::Scroll, "LNES must exclude scrolling on a short page");
+        assert_ne!(
+            masked,
+            EventType::Scroll,
+            "LNES must exclude scrolling on a short page"
+        );
         assert_eq!(unmasked, EventType::Scroll);
     }
 

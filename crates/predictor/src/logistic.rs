@@ -111,7 +111,10 @@ impl OneVsRestClassifier {
     /// Creates a zero-initialised classifier for `dim` features.
     pub fn zeros(dim: usize) -> Self {
         OneVsRestClassifier {
-            models: EventType::ALL.iter().map(|_| LogisticModel::zeros(dim)).collect(),
+            models: EventType::ALL
+                .iter()
+                .map(|_| LogisticModel::zeros(dim))
+                .collect(),
             dim,
         }
     }
@@ -153,7 +156,11 @@ impl OneVsRestClassifier {
     /// set. Ties resolve to the later class in [`EventType::ALL`] order,
     /// matching the slice-based `predict`.
     pub fn predict_masked(&self, features: &[f64], allowed: EventTypeSet) -> (EventType, f64) {
-        let mask = if allowed.is_empty() { EventTypeSet::ALL } else { allowed };
+        let mask = if allowed.is_empty() {
+            EventTypeSet::ALL
+        } else {
+            allowed
+        };
         let mut winner: Option<(EventType, f64)> = None;
         for e in EventType::ALL {
             if !mask.contains(e) {

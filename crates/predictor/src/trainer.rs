@@ -8,7 +8,6 @@
 //! synthetic traces: training traces come from the [`pes_workload::TRAINING_SEED_BASE`]
 //! seed range, evaluation traces from the disjoint [`pes_workload::EVAL_SEED_BASE`] range.
 
-
 use pes_dom::{BuiltPage, EventType};
 use pes_workload::{AppCatalog, AppProfile, Trace, TraceGenerator, TRAINING_SEED_BASE};
 
@@ -135,7 +134,11 @@ impl Trainer {
 
     /// Convenience: trains and wraps the classifier into a sequence learner
     /// with the given configuration.
-    pub fn train_learner(&self, catalog: &AppCatalog, config: LearnerConfig) -> EventSequenceLearner {
+    pub fn train_learner(
+        &self,
+        catalog: &AppCatalog,
+        config: LearnerConfig,
+    ) -> EventSequenceLearner {
         EventSequenceLearner::new(self.train(catalog), config)
     }
 }
@@ -247,7 +250,11 @@ mod tests {
             avg(&accuracies),
             avg(&majority_baselines)
         );
-        assert!(avg(&accuracies) > 0.7, "accuracy too low: {:.3}", avg(&accuracies));
+        assert!(
+            avg(&accuracies) > 0.7,
+            "accuracy too low: {:.3}",
+            avg(&accuracies)
+        );
     }
 
     #[test]

@@ -81,11 +81,17 @@ fn label_distribution_report() {
             .map(|(_, e)| format!("{e:?}"))
             .unwrap_or_else(|| "none".into());
         let scrolls = (f[4] * 5.0).round() as u32;
-        *by_key.entry((prev, scrolls)).or_default().entry(*label).or_default() += 1;
+        *by_key
+            .entry((prev, scrolls))
+            .or_default()
+            .entry(*label)
+            .or_default() += 1;
     }
     for ((prev, scrolls), labels) in &by_key {
         let total: usize = labels.values().sum();
-        if total < 30 { continue; }
+        if total < 30 {
+            continue;
+        }
         print!("prev={prev:<11} scrolls={scrolls} total={total:<5}");
         for (l, c) in labels {
             print!(" {:?}={:.2}", l, *c as f64 / total as f64);

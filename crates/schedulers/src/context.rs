@@ -104,7 +104,13 @@ mod tests {
         );
         let cfg = sched.schedule_event(&ctx, &event);
         assert_eq!(cfg, platform.max_performance_config());
-        sched.on_event_complete(&ctx, &event, &cfg, TimeUs::from_millis(1), TimeUs::from_millis(1));
+        sched.on_event_complete(
+            &ctx,
+            &event,
+            &cfg,
+            TimeUs::from_millis(1),
+            TimeUs::from_millis(1),
+        );
         sched.reset();
         assert_eq!(sched.name(), "always-fastest");
     }

@@ -150,7 +150,10 @@ mod tests {
             current_config: fixture.platform.min_power_config(),
         };
         let cfg = ebs.schedule_event(&ctx, &event(0, EventType::Click, 0, 300));
-        assert!(cfg.core().is_big(), "profiling runs happen on the big cluster");
+        assert!(
+            cfg.core().is_big(),
+            "profiling runs happen on the big cluster"
+        );
         assert!(ebs.profiler().needs_profiling(EventType::Click));
     }
 
@@ -254,7 +257,10 @@ mod tests {
             assert_eq!(chosen, reference, "decision diverged at delay {delay_ms}ms");
         }
         let (hits, misses) = ebs.ladder_cache.stats();
-        assert!(hits >= 7, "repeated estimates must hit the memo: {hits}/{misses}");
+        assert!(
+            hits >= 7,
+            "repeated estimates must hit the memo: {hits}/{misses}"
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ impl InteractiveGovernor {
         let min = big.min_frequency().as_mhz() as f64;
         let max = big.max_frequency().as_mhz() as f64;
         let target = min + utilization * (max - min);
-        AcmpConfig::new(big.core_kind(), big.snap_up(pes_acmp::units::FreqMhz::new(target as u32)))
+        AcmpConfig::new(
+            big.core_kind(),
+            big.snap_up(pes_acmp::units::FreqMhz::new(target as u32)),
+        )
     }
 }
 
@@ -238,9 +241,15 @@ mod tests {
         let dvfs = DvfsModel::new(&platform);
         let qos = QosPolicy::paper_defaults();
         let mut gov = InteractiveGovernor::new();
-        let cfg = gov.schedule_event(&ctx(&platform, &dvfs, &qos, 0), &event(EventType::Load, 2_000));
+        let cfg = gov.schedule_event(
+            &ctx(&platform, &dvfs, &qos, 0),
+            &event(EventType::Load, 2_000),
+        );
         assert_eq!(cfg, platform.max_performance_config());
-        let tap = gov.schedule_event(&ctx(&platform, &dvfs, &qos, 0), &event(EventType::Click, 400));
+        let tap = gov.schedule_event(
+            &ctx(&platform, &dvfs, &qos, 0),
+            &event(EventType::Click, 400),
+        );
         assert_eq!(tap, platform.max_performance_config());
     }
 

@@ -6,6 +6,16 @@
 //! observations are then solved against Eqn. 1 to recover the demand, which
 //! is subsequently refined with an exponential moving average as more
 //! executions of the same event type are observed.
+//!
+//! The EWMA estimates are *noisy by construction* — per-event workloads on
+//! the evaluation traces vary by double-digit percentages around their
+//! profile, so the estimate drifts on every observation. Consumers that
+//! need stable values derive them on their side: the PES planner quantises
+//! each estimate onto a relative 1/32 grid and holds the result with a
+//! hysteresis band (`pes_core`'s planning layer), which is what lets its
+//! shape-keyed solve memoisation revalidate re-planned windows while the
+//! raw estimates here keep moving. Reactive consumers (EBS, the runtime's
+//! fallback) use the raw estimates directly.
 
 use std::collections::BTreeMap;
 
@@ -96,7 +106,10 @@ impl DemandProfiler {
 
     /// Number of observations recorded for an event type.
     pub fn samples(&self, event_type: EventType) -> usize {
-        self.profiles.get(&event_type).map(|p| p.samples).unwrap_or(0)
+        self.profiles
+            .get(&event_type)
+            .map(|p| p.samples)
+            .unwrap_or(0)
     }
 
     /// Records a measured execution: the configuration it ran on and the
@@ -147,7 +160,8 @@ impl DemandProfiler {
                 // measured time, then blend with the EWMA.
                 let cfg_time_mem = current.t_mem().min(busy_time);
                 let compute_time = busy_time.saturating_sub(cfg_time_mem);
-                let cycles_on_core = compute_time.as_micros() as f64 * config.frequency().as_mhz() as f64;
+                let cycles_on_core =
+                    compute_time.as_micros() as f64 * config.frequency().as_mhz() as f64;
                 let ref_cycles = cycles_on_core * config.core().ipc_relative_to_a7();
                 let observed = CpuDemand::new(
                     cfg_time_mem,
@@ -155,16 +169,20 @@ impl DemandProfiler {
                 );
                 let blend = |old: f64, new: f64| old * (1.0 - alpha) + new * alpha;
                 profile.estimate = Some(CpuDemand::new(
-                    TimeUs::from_micros(blend(
-                        current.t_mem().as_micros() as f64,
-                        observed.t_mem().as_micros() as f64,
-                    )
-                    .round() as u64),
-                    pes_acmp::units::CpuCycles::new(blend(
-                        current.ref_cycles().get() as f64,
-                        observed.ref_cycles().get() as f64,
-                    )
-                    .round() as u64),
+                    TimeUs::from_micros(
+                        blend(
+                            current.t_mem().as_micros() as f64,
+                            observed.t_mem().as_micros() as f64,
+                        )
+                        .round() as u64,
+                    ),
+                    pes_acmp::units::CpuCycles::new(
+                        blend(
+                            current.ref_cycles().get() as f64,
+                            observed.ref_cycles().get() as f64,
+                        )
+                        .round() as u64,
+                    ),
                 ));
             }
         }
@@ -227,14 +245,24 @@ mod tests {
         let mut profiler = DemandProfiler::new(&platform);
         for _ in 0..2 {
             let cfg = profiler.profiling_config(EventType::Click, &dvfs);
-            profiler.observe(EventType::Click, cfg, dvfs.execution_time(&true_demand, &cfg), &dvfs);
+            profiler.observe(
+                EventType::Click,
+                cfg,
+                dvfs.execution_time(&true_demand, &cfg),
+                &dvfs,
+            );
         }
         let before = profiler.estimate(EventType::Click).unwrap();
         // The workload doubles; feed several observations of the new demand.
         let heavier = true_demand.scale(2.0);
         let cfg = platform.max_performance_config();
         for _ in 0..10 {
-            profiler.observe(EventType::Click, cfg, dvfs.execution_time(&heavier, &cfg), &dvfs);
+            profiler.observe(
+                EventType::Click,
+                cfg,
+                dvfs.execution_time(&heavier, &cfg),
+                &dvfs,
+            );
         }
         let after = profiler.estimate(EventType::Click).unwrap();
         assert!(after.ref_cycles().get() > before.ref_cycles().get());
@@ -247,7 +275,12 @@ mod tests {
         let mut profiler = DemandProfiler::new(&platform);
         for _ in 0..2 {
             let cfg = profiler.profiling_config(EventType::Scroll, &dvfs);
-            profiler.observe(EventType::Scroll, cfg, dvfs.execution_time(&true_demand, &cfg), &dvfs);
+            profiler.observe(
+                EventType::Scroll,
+                cfg,
+                dvfs.execution_time(&true_demand, &cfg),
+                &dvfs,
+            );
         }
         assert!(profiler.estimate(EventType::Scroll).is_some());
         profiler.reset();
@@ -262,7 +295,12 @@ mod tests {
         let mut profiler = DemandProfiler::new(&platform);
         for _ in 0..2 {
             let cfg = profiler.profiling_config(EventType::Click, &dvfs);
-            profiler.observe(EventType::Click, cfg, dvfs.execution_time(&true_demand, &cfg), &dvfs);
+            profiler.observe(
+                EventType::Click,
+                cfg,
+                dvfs.execution_time(&true_demand, &cfg),
+                &dvfs,
+            );
         }
         assert!(profiler.estimate(EventType::Click).is_some());
         assert!(profiler.estimate(EventType::Scroll).is_none());

@@ -103,6 +103,32 @@ impl ExperimentContext {
     pub fn app_index(&self, name: &str) -> Option<usize> {
         self.catalog.apps().iter().position(|a| a.name() == name)
     }
+
+    /// Replays one shared `(application, trace)` scenario under PES with
+    /// `config` and returns the full [`pes_core::RunReport`] — including the
+    /// solve-memoisation counters (`solver_cache_hits` / `_misses` /
+    /// `_revalidations`), which is how the end-to-end tests assert the
+    /// shape-keyed memo ring actually engages on realistic traces instead
+    /// of assuming it.
+    pub fn pes_replay(
+        &self,
+        app_name: &str,
+        trace_idx: usize,
+        config: PesConfig,
+    ) -> Option<pes_core::RunReport> {
+        let app_idx = self.app_index(app_name)?;
+        if trace_idx >= self.scenarios.traces_per_app() {
+            return None;
+        }
+        let pes = PesScheduler::new(self.learner.clone(), config);
+        Some(pes.run_trace_with_plane(
+            &self.platform,
+            &self.power_plane,
+            self.scenarios.page_ref(app_idx),
+            self.scenarios.trace_ref(app_idx, trace_idx),
+            &self.qos,
+        ))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -141,11 +167,20 @@ pub struct CaseStudy {
 pub fn fig2_trace() -> Trace {
     use pes_acmp::units::CpuCycles;
     let demand = |mem_ms: u64, mcycles: u64| {
-        CpuDemand::new(TimeUs::from_millis(mem_ms), CpuCycles::new(mcycles * 1_000_000))
+        CpuDemand::new(
+            TimeUs::from_millis(mem_ms),
+            CpuCycles::new(mcycles * 1_000_000),
+        )
     };
     let events = vec![
         // E1: page load, plenty of slack under its 3 s target.
-        WebEvent::new(EventId::new(0), EventType::Load, None, TimeUs::ZERO, demand(200, 2_000)),
+        WebEvent::new(
+            EventId::new(0),
+            EventType::Load,
+            None,
+            TimeUs::ZERO,
+            demand(200, 2_000),
+        ),
         // E2: heavy tap triggered while E1's slack is still being enjoyed.
         WebEvent::new(
             EventId::new(1),
@@ -196,7 +231,11 @@ pub fn fig2_case_study(ctx: &ExperimentContext) -> CaseStudy {
                 violated: r.outcome.violated(),
             })
             .collect();
-        (name.to_string(), entries, report.total_energy.as_millijoules())
+        (
+            name.to_string(),
+            entries,
+            report.total_energy.as_millijoules(),
+        )
     };
 
     let os_report = run_reactive_with_plane(
@@ -224,7 +263,10 @@ pub fn fig2_case_study(ctx: &ExperimentContext) -> CaseStudy {
     // The oracle replays the same events with full knowledge. It needs a page
     // only for its session state; an empty page suffices for a hand-built
     // trace with document-level events.
-    let page = pes_dom::PageBuilder::new(360).nav_bar(2).text_block(2_000).build();
+    let page = pes_dom::PageBuilder::new(360)
+        .nav_bar(2)
+        .text_block(2_000)
+        .build();
     let oracle_report = OracleScheduler::new().run_trace_with_plane(
         &ctx.platform,
         &ctx.power_plane,
@@ -246,7 +288,10 @@ pub fn fig2_case_study(ctx: &ExperimentContext) -> CaseStudy {
         })
         .collect();
     timelines.push(("Oracle".to_string(), entries));
-    energy.push(("Oracle".to_string(), oracle_report.total_energy.as_millijoules()));
+    energy.push((
+        "Oracle".to_string(),
+        oracle_report.total_energy.as_millijoules(),
+    ));
 
     CaseStudy {
         timelines,
@@ -357,7 +402,13 @@ pub fn fig10_waste(ctx: &ExperimentContext) -> Vec<(String, bool, f64, f64)> {
             pes.run_trace_with_plane(&ctx.platform, &ctx.power_plane, page, trace, &ctx.qos);
         (report.average_waste_ms(), report.waste_energy_fraction())
     });
-    let avg = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    let avg = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
     apps.iter()
         .enumerate()
         .map(|(app_idx, app)| {
@@ -482,13 +533,23 @@ pub fn full_comparison_with_config(
                 (r.total_energy.as_millijoules(), r.violations(), events)
             }
             "PES" => {
-                let r =
-                    pes.run_trace_with_plane(&ctx.platform, &ctx.power_plane, page, trace, &ctx.qos);
+                let r = pes.run_trace_with_plane(
+                    &ctx.platform,
+                    &ctx.power_plane,
+                    page,
+                    trace,
+                    &ctx.qos,
+                );
                 (r.total_energy.as_millijoules(), r.violations, events)
             }
             _ => {
-                let r = oracle
-                    .run_trace_with_plane(&ctx.platform, &ctx.power_plane, page, trace, &ctx.qos);
+                let r = oracle.run_trace_with_plane(
+                    &ctx.platform,
+                    &ctx.power_plane,
+                    page,
+                    trace,
+                    &ctx.qos,
+                );
                 (r.total_energy.as_millijoules(), r.violations, events)
             }
         }
@@ -579,27 +640,31 @@ pub fn fig14_sensitivity(
                 ctx.learner.clone(),
                 PesConfig::paper_defaults().with_confidence_threshold(threshold),
             );
-            let per_unit: Vec<(f64, usize, f64, usize)> =
-                par_map(subset.len() * traces, |unit| {
-                    let app_idx = subset[unit / traces];
-                    let page = ctx.scenarios.page_ref(app_idx);
-                    let trace = ctx.scenarios.trace_ref(app_idx, unit % traces);
-                    let e = run_reactive_with_plane(
-                        &ctx.platform,
-                        &ctx.power_plane,
-                        trace,
-                        &mut Ebs::new(&ctx.platform),
-                        &ctx.qos,
-                    );
-                    let p = pes
-                        .run_trace_with_plane(&ctx.platform, &ctx.power_plane, page, trace, &ctx.qos);
-                    (
-                        e.total_energy.as_millijoules(),
-                        e.violations(),
-                        p.total_energy.as_millijoules(),
-                        p.violations,
-                    )
-                });
+            let per_unit: Vec<(f64, usize, f64, usize)> = par_map(subset.len() * traces, |unit| {
+                let app_idx = subset[unit / traces];
+                let page = ctx.scenarios.page_ref(app_idx);
+                let trace = ctx.scenarios.trace_ref(app_idx, unit % traces);
+                let e = run_reactive_with_plane(
+                    &ctx.platform,
+                    &ctx.power_plane,
+                    trace,
+                    &mut Ebs::new(&ctx.platform),
+                    &ctx.qos,
+                );
+                let p = pes.run_trace_with_plane(
+                    &ctx.platform,
+                    &ctx.power_plane,
+                    page,
+                    trace,
+                    &ctx.qos,
+                );
+                (
+                    e.total_energy.as_millijoules(),
+                    e.violations(),
+                    p.total_energy.as_millijoules(),
+                    p.violations,
+                )
+            });
             let mut pes_energy = 0.0;
             let mut ebs_energy = 0.0;
             let mut pes_violations = 0usize;
@@ -612,7 +677,11 @@ pub fn fig14_sensitivity(
             }
             SensitivityPoint {
                 threshold,
-                energy_vs_ebs: if ebs_energy > 0.0 { pes_energy / ebs_energy } else { 1.0 },
+                energy_vs_ebs: if ebs_energy > 0.0 {
+                    pes_energy / ebs_energy
+                } else {
+                    1.0
+                },
                 qos_violation_reduction: if ebs_violations > 0 {
                     1.0 - pes_violations as f64 / ebs_violations as f64
                 } else {
@@ -676,9 +745,8 @@ mod tests {
         let ctx = tiny_ctx();
         let with_dom = fig8_accuracy(&ctx, true);
         let without_dom = fig8_accuracy(&ctx, false);
-        let avg = |v: &[(String, bool, f64)]| {
-            v.iter().map(|(_, _, a)| *a).sum::<f64>() / v.len() as f64
-        };
+        let avg =
+            |v: &[(String, bool, f64)]| v.iter().map(|(_, _, a)| *a).sum::<f64>() / v.len() as f64;
         assert_eq!(with_dom.len(), 18);
         assert!(avg(&with_dom) + 1e-9 >= avg(&without_dom));
     }
@@ -771,13 +839,15 @@ mod tests {
         let ctx = tiny_ctx();
         for (app_idx, app) in ctx.catalog.apps().iter().enumerate() {
             let page = app.build_page();
-            assert_eq!(*ctx.scenarios.page_ref(app_idx), page, "page of {}", app.name());
+            assert_eq!(
+                *ctx.scenarios.page_ref(app_idx),
+                page,
+                "page of {}",
+                app.name()
+            );
             for trace_idx in 0..ctx.scenarios.traces_per_app() {
-                let trace = TraceGenerator::new().generate(
-                    app,
-                    &page,
-                    EVAL_SEED_BASE + trace_idx as u64,
-                );
+                let trace =
+                    TraceGenerator::new().generate(app, &page, EVAL_SEED_BASE + trace_idx as u64);
                 assert_eq!(
                     *ctx.scenarios.trace_ref(app_idx, trace_idx),
                     trace,
@@ -796,7 +866,10 @@ mod tests {
         let ctx = tiny_ctx();
         let parallel_a = full_comparison(&ctx);
         let parallel_b = full_comparison(&ctx);
-        assert_eq!(parallel_a, parallel_b, "parallel driver must be deterministic");
+        assert_eq!(
+            parallel_a, parallel_b,
+            "parallel driver must be deterministic"
+        );
         // Force the serial path (PES_THREADS=1 short-circuits par_map into a
         // plain `(0..n).map(f)` loop) and compare byte-for-byte. Rust's std
         // synchronises environment access internally, and a concurrent test
@@ -804,7 +877,10 @@ mod tests {
         std::env::set_var("PES_THREADS", "1");
         let serial = full_comparison(&ctx);
         std::env::remove_var("PES_THREADS");
-        assert_eq!(parallel_a, serial, "parallel output must match the serial driver");
+        assert_eq!(
+            parallel_a, serial,
+            "parallel output must match the serial driver"
+        );
         // The shared-artifact fan-out must also be byte-identical to the old
         // regenerate-per-unit serial nested loops.
         let regenerated = full_comparison_regenerate_serial(&ctx);
@@ -829,9 +905,15 @@ mod tests {
         let (_, ebs_e, ebs_v) = get("EBS");
         let (_, oracle_e, oracle_v) = get("Oracle");
         assert!((interactive_e - 1.0).abs() < 1e-9);
-        assert!(pes_e < 1.0, "PES should save energy vs Interactive: {pes_e}");
+        assert!(
+            pes_e < 1.0,
+            "PES should save energy vs Interactive: {pes_e}"
+        );
         assert!(pes_e < ebs_e, "PES should save energy vs EBS");
-        assert!(oracle_e <= pes_e * 1.02, "Oracle should be at least as good");
+        assert!(
+            oracle_e <= pes_e * 1.02,
+            "Oracle should be at least as good"
+        );
         assert!(pes_v < ebs_v, "PES should reduce QoS violations vs EBS");
         assert!(oracle_v <= pes_v + 1e-9);
     }

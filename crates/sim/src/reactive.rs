@@ -127,7 +127,12 @@ mod tests {
         let app = catalog.find("cnn").unwrap();
         let page = app.build_page();
         let trace = TraceGenerator::new().generate(app, &page, EVAL_SEED_BASE + 1);
-        (Platform::exynos_5410(), QosPolicy::paper_defaults(), page, trace)
+        (
+            Platform::exynos_5410(),
+            QosPolicy::paper_defaults(),
+            page,
+            trace,
+        )
     }
 
     #[test]
@@ -147,12 +152,7 @@ mod tests {
     #[test]
     fn interactive_spends_more_energy_than_ebs_and_ondemand_spends_least() {
         let (platform, qos, _page, trace) = setup();
-        let interactive = run_reactive(
-            &platform,
-            &trace,
-            &mut InteractiveGovernor::new(),
-            &qos,
-        );
+        let interactive = run_reactive(&platform, &trace, &mut InteractiveGovernor::new(), &qos);
         let ebs = run_reactive(&platform, &trace, &mut Ebs::new(&platform), &qos);
         let ondemand = run_reactive(&platform, &trace, &mut OndemandGovernor::new(), &qos);
         assert!(
@@ -161,9 +161,7 @@ mod tests {
             interactive.total_energy.as_millijoules(),
             ebs.total_energy.as_millijoules()
         );
-        assert!(
-            ondemand.total_energy.as_microjoules() < interactive.total_energy.as_microjoules()
-        );
+        assert!(ondemand.total_energy.as_microjoules() < interactive.total_energy.as_microjoules());
         // Ondemand pays for its savings with many more violations (Fig. 13).
         assert!(ondemand.violations() >= interactive.violations());
     }
@@ -174,6 +172,9 @@ mod tests {
         let report = run_reactive(&platform, &trace, &mut Ebs::new(&platform), &qos);
         let rate = report.violation_rate();
         assert!(rate > 0.0, "some Type I/II events must exist");
-        assert!(rate < 0.6, "EBS should serve the majority of events: {rate}");
+        assert!(
+            rate < 0.6,
+            "EBS should serve the majority of events: {rate}"
+        );
     }
 }

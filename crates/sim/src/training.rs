@@ -58,9 +58,10 @@ mod tests {
         // env mutation here: the test harness runs tests concurrently and
         // other tests read that variable).
         let apps: Vec<_> = catalog.seen_apps().collect();
-        let forced_serial = trainer.train_from_app_datasets(
-            crate::parallel::par_map_with(1, apps.len(), |i| trainer.app_dataset(apps[i])),
-        );
+        let forced_serial =
+            trainer.train_from_app_datasets(crate::parallel::par_map_with(1, apps.len(), |i| {
+                trainer.app_dataset(apps[i])
+            }));
         assert_eq!(serial, forced_serial);
     }
 }

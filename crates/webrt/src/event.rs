@@ -6,15 +6,12 @@
 
 use std::fmt;
 
-
 use pes_acmp::units::TimeUs;
 use pes_acmp::CpuDemand;
 use pes_dom::{EventType, NodeId};
 
 /// A monotonically increasing event identifier, unique within one trace.
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(u64);
 
 impl EventId {
@@ -129,11 +126,7 @@ impl WebEvent {
 
 impl fmt::Display for WebEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} {} @ {}",
-            self.id, self.event_type, self.arrival
-        )
+        write!(f, "{} {} @ {}", self.id, self.event_type, self.arrival)
     }
 }
 

@@ -226,7 +226,8 @@ impl<'p> ExecutionEngine<'p> {
         // Speculative work is attributed as useful for now; it is
         // re-attributed to waste if the frame is later squashed
         // (see `account_squashed_frame`).
-        self.meter.record_busy(config, busy, ActivityKind::UsefulWork);
+        self.meter
+            .record_busy(config, busy, ActivityKind::UsefulWork);
         self.cpu_free_at = frame_ready_at;
         let record = ExecutionRecord {
             event: event.id(),
@@ -414,6 +415,9 @@ mod tests {
         let second = event(1, EventType::Click, 10, 100);
         let r1 = engine.execute_event(&first, &platform.max_performance_config(), false);
         let r2 = engine.execute_event(&second, &platform.max_performance_config(), false);
-        assert!(r2.started_at >= r1.frame_ready_at, "second event waits for the first");
+        assert!(
+            r2.started_at >= r1.frame_ready_at,
+            "second event waits for the first"
+        );
     }
 }

@@ -4,7 +4,6 @@
 //! input and parked in the Pending Frame Buffer until the input arrives and
 //! either commits or squashes it (Sec. 5.1, Sec. 5.4).
 
-
 use pes_acmp::units::TimeUs;
 
 use crate::event::EventId;

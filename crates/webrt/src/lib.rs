@@ -133,6 +133,9 @@ mod tests {
             displayed_at: vsync.next_refresh_at_or_after(exec.frame_ready_at),
             target: qos.target_for_event(EventType::Scroll),
         };
-        assert!(outcome.violated(), "33 ms budget cannot absorb ~170 ms of work");
+        assert!(
+            outcome.violated(),
+            "33 ms budget cannot absorb ~170 ms of work"
+        );
     }
 }

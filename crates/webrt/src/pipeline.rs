@@ -6,7 +6,6 @@
 //! paint/composite, taps by callback execution — and the whole pipeline runs
 //! on the single ACMP configuration chosen by the scheduler for the event.
 
-
 use pes_acmp::units::TimeUs;
 use pes_acmp::{AcmpConfig, CpuDemand, DvfsModel};
 use pes_dom::Interaction;
@@ -307,7 +306,8 @@ mod tests {
             for cfg in platform.configs() {
                 let start = TimeUs::from_micros(12_345);
                 let exec = pipeline.execute(&demand, interaction, &model, cfg, start);
-                let (busy, ready) = pipeline.execute_timing(&demand, interaction, &model, cfg, start);
+                let (busy, ready) =
+                    pipeline.execute_timing(&demand, interaction, &model, cfg, start);
                 assert_eq!(busy, exec.busy_time(), "{interaction} on {cfg}");
                 assert_eq!(ready, exec.frame_ready_at, "{interaction} on {cfg}");
             }

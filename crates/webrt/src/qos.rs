@@ -4,7 +4,6 @@
 //! *move* as the maximally tolerable delays; exceeding the target counts as a
 //! QoS violation (Sec. 6.1).
 
-
 use pes_acmp::units::TimeUs;
 use pes_dom::{EventType, Interaction};
 
@@ -131,10 +130,22 @@ mod tests {
     #[test]
     fn event_types_inherit_their_interaction_target() {
         let p = QosPolicy::paper_defaults();
-        assert_eq!(p.target_for_event(EventType::Click), p.target(Interaction::Tap));
-        assert_eq!(p.target_for_event(EventType::TouchMove), p.target(Interaction::Move));
-        assert_eq!(p.target_for_event(EventType::Load), p.target(Interaction::Load));
-        assert_eq!(p.target_for_event(EventType::Navigate), p.target(Interaction::Load));
+        assert_eq!(
+            p.target_for_event(EventType::Click),
+            p.target(Interaction::Tap)
+        );
+        assert_eq!(
+            p.target_for_event(EventType::TouchMove),
+            p.target(Interaction::Move)
+        );
+        assert_eq!(
+            p.target_for_event(EventType::Load),
+            p.target(Interaction::Load)
+        );
+        assert_eq!(
+            p.target_for_event(EventType::Navigate),
+            p.target(Interaction::Load)
+        );
     }
 
     #[test]

@@ -5,7 +5,6 @@
 //! (Sec. 2, Fig. 1). The event latency therefore includes an idle period
 //! between frame readiness and the next VSync.
 
-
 use pes_acmp::units::TimeUs;
 
 /// A fixed-rate VSync clock.

@@ -7,7 +7,6 @@
 //! behaviour), and user-behaviour tendencies (which drive the temporal
 //! correlation the predictor learns).
 
-
 use pes_dom::{BuiltPage, PageBuilder};
 
 /// The broad category of an application; categories share page shapes and
@@ -189,7 +188,9 @@ impl AppProfile {
         } else {
             builder = builder.hero_image(160);
         }
-        builder = builder.article_list(p.articles, p.with_images).button_row(3);
+        builder = builder
+            .article_list(p.articles, p.with_images)
+            .button_row(3);
         if p.text_height > 0 {
             builder = builder.text_block(p.text_height);
         }

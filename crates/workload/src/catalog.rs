@@ -5,7 +5,6 @@
 //! compute-light, amazon has a large clickable area and is harder to predict,
 //! slashdot is sparse and highly predictable).
 
-
 use crate::app::{AppCategory, AppProfile, PageParams};
 
 /// The full application catalog.
@@ -61,14 +60,49 @@ impl AppCatalog {
             menu: f64,
             form: f64,
         ) -> AppProfile {
-            AppProfile::new(name, category, seen, page, intensity, heavy, burst, touch, menu, form)
+            AppProfile::new(
+                name, category, seen, page, intensity, heavy, burst, touch, menu, form,
+            )
         }
 
         let apps = vec![
             // ------------------------- 12 seen applications -----------------
-            app("163", AppCategory::News, true, news(14, 6, 2_400), 1.15, 0.10, 3, 0.92, 0.15, 0.0),
-            app("msn", AppCategory::News, true, news(12, 5, 2_000), 1.05, 0.08, 3, 0.88, 0.12, 0.0),
-            app("slashdot", AppCategory::News, true, news(12, 0, 3_000), 0.85, 0.05, 3, 0.95, 0.0, 0.0),
+            app(
+                "163",
+                AppCategory::News,
+                true,
+                news(14, 6, 2_400),
+                1.15,
+                0.10,
+                3,
+                0.92,
+                0.15,
+                0.0,
+            ),
+            app(
+                "msn",
+                AppCategory::News,
+                true,
+                news(12, 5, 2_000),
+                1.05,
+                0.08,
+                3,
+                0.88,
+                0.12,
+                0.0,
+            ),
+            app(
+                "slashdot",
+                AppCategory::News,
+                true,
+                news(12, 0, 3_000),
+                0.85,
+                0.05,
+                3,
+                0.95,
+                0.0,
+                0.0,
+            ),
             app(
                 "youtube",
                 AppCategory::Video,
@@ -109,12 +143,78 @@ impl AppCatalog {
                 0.08,
                 0.55,
             ),
-            app("amazon", AppCategory::Shopping, true, shopping(16), 1.30, 0.14, 3, 0.90, 0.25, 0.20),
-            app("ebay", AppCategory::Shopping, true, shopping(14), 1.20, 0.12, 3, 0.90, 0.20, 0.18),
-            app("sina", AppCategory::News, true, news(16, 6, 2_800), 0.55, 0.04, 3, 0.92, 0.15, 0.0),
-            app("espn", AppCategory::News, true, news(12, 4, 2_200), 1.10, 0.10, 3, 0.90, 0.12, 0.0),
-            app("bbc", AppCategory::News, true, news(12, 5, 2_400), 1.00, 0.08, 3, 0.88, 0.12, 0.0),
-            app("cnn", AppCategory::News, true, news(14, 6, 2_600), 1.25, 0.13, 3, 0.92, 0.15, 0.0),
+            app(
+                "amazon",
+                AppCategory::Shopping,
+                true,
+                shopping(16),
+                1.30,
+                0.14,
+                3,
+                0.90,
+                0.25,
+                0.20,
+            ),
+            app(
+                "ebay",
+                AppCategory::Shopping,
+                true,
+                shopping(14),
+                1.20,
+                0.12,
+                3,
+                0.90,
+                0.20,
+                0.18,
+            ),
+            app(
+                "sina",
+                AppCategory::News,
+                true,
+                news(16, 6, 2_800),
+                0.55,
+                0.04,
+                3,
+                0.92,
+                0.15,
+                0.0,
+            ),
+            app(
+                "espn",
+                AppCategory::News,
+                true,
+                news(12, 4, 2_200),
+                1.10,
+                0.10,
+                3,
+                0.90,
+                0.12,
+                0.0,
+            ),
+            app(
+                "bbc",
+                AppCategory::News,
+                true,
+                news(12, 5, 2_400),
+                1.00,
+                0.08,
+                3,
+                0.88,
+                0.12,
+                0.0,
+            ),
+            app(
+                "cnn",
+                AppCategory::News,
+                true,
+                news(14, 6, 2_600),
+                1.25,
+                0.13,
+                3,
+                0.92,
+                0.15,
+                0.0,
+            ),
             app(
                 "twitter",
                 AppCategory::Social,
@@ -156,7 +256,18 @@ impl AppCatalog {
                 0.10,
                 0.40,
             ),
-            app("nytimes", AppCategory::News, false, news(12, 5, 3_000), 1.15, 0.11, 3, 0.88, 0.12, 0.0),
+            app(
+                "nytimes",
+                AppCategory::News,
+                false,
+                news(12, 5, 3_000),
+                1.15,
+                0.11,
+                3,
+                0.88,
+                0.12,
+                0.0,
+            ),
             app(
                 "stack overflow",
                 AppCategory::Social,
@@ -177,9 +288,42 @@ impl AppCatalog {
                 0.08,
                 0.12,
             ),
-            app("taobao", AppCategory::Shopping, false, shopping(18), 1.30, 0.14, 3, 0.92, 0.25, 0.22),
-            app("tmall", AppCategory::Shopping, false, shopping(16), 1.25, 0.13, 3, 0.92, 0.22, 0.20),
-            app("jd", AppCategory::Shopping, false, shopping(15), 1.20, 0.12, 3, 0.92, 0.22, 0.18),
+            app(
+                "taobao",
+                AppCategory::Shopping,
+                false,
+                shopping(18),
+                1.30,
+                0.14,
+                3,
+                0.92,
+                0.25,
+                0.22,
+            ),
+            app(
+                "tmall",
+                AppCategory::Shopping,
+                false,
+                shopping(16),
+                1.25,
+                0.13,
+                3,
+                0.92,
+                0.22,
+                0.20,
+            ),
+            app(
+                "jd",
+                AppCategory::Shopping,
+                false,
+                shopping(15),
+                1.20,
+                0.12,
+                3,
+                0.92,
+                0.22,
+                0.18,
+            ),
         ];
         AppCatalog { apps }
     }
@@ -238,12 +382,22 @@ mod tests {
     fn app_names_match_the_papers_figures() {
         let c = AppCatalog::paper_suite();
         for name in [
-            "163", "msn", "slashdot", "youtube", "google", "amazon", "ebay", "sina", "espn",
-            "bbc", "cnn", "twitter",
+            "163", "msn", "slashdot", "youtube", "google", "amazon", "ebay", "sina", "espn", "bbc",
+            "cnn", "twitter",
         ] {
-            assert!(c.find(name).map(|a| a.is_seen()).unwrap_or(false), "{name} missing from seen suite");
+            assert!(
+                c.find(name).map(|a| a.is_seen()).unwrap_or(false),
+                "{name} missing from seen suite"
+            );
         }
-        for name in ["yahoo", "nytimes", "stack overflow", "taobao", "tmall", "jd"] {
+        for name in [
+            "yahoo",
+            "nytimes",
+            "stack overflow",
+            "taobao",
+            "tmall",
+            "jd",
+        ] {
             assert!(
                 c.find(name).map(|a| !a.is_seen()).unwrap_or(false),
                 "{name} missing from unseen suite"

@@ -110,7 +110,11 @@ impl DemandModel {
     ) -> CpuDemand {
         let range = self.range(event_type.interaction());
         // Navigations within an application are lighter than the initial load.
-        let nav_scale = if event_type == EventType::Navigate { 0.7 } else { 1.0 };
+        let nav_scale = if event_type == EventType::Navigate {
+            0.7
+        } else {
+            1.0
+        };
         let t_mem = rng.gen_range(range.t_mem_min_us..=range.t_mem_max_us);
         let mcycles = rng.gen_range(range.mcycles_min..=range.mcycles_max) as f64;
         let heavy = rng.gen_bool(app.heavy_tail_prob());

@@ -11,7 +11,9 @@ use pes::webrt::QosPolicy;
 use pes::workload::{AppCatalog, TraceGenerator, EVAL_SEED_BASE};
 
 fn main() {
-    let app_name = std::env::args().nth(1).unwrap_or_else(|| "ebay".to_string());
+    let app_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ebay".to_string());
     let catalog = AppCatalog::paper_suite();
     let Some(app) = catalog.find(&app_name) else {
         eprintln!(

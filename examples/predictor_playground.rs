@@ -17,7 +17,10 @@ fn main() {
     let generator = TraceGenerator::new();
 
     println!("\nper-application one-step prediction accuracy (evaluation traces):");
-    println!("{:<16} {:>6} {:>12} {:>16}", "app", "seen", "with DOM", "without DOM");
+    println!(
+        "{:<16} {:>6} {:>12} {:>16}",
+        "app", "seen", "with DOM", "without DOM"
+    );
     let mut seen_acc = Vec::new();
     let mut unseen_acc = Vec::new();
     for app in catalog.apps() {
@@ -54,7 +57,10 @@ fn main() {
     for ev in &trace.events()[..prefix] {
         state.observe(ev);
     }
-    println!("\nafter observing the first {prefix} events of an {} session, PES predicts:", app.name());
+    println!(
+        "\nafter observing the first {prefix} events of an {} session, PES predicts:",
+        app.name()
+    );
     for (i, p) in learner.predict_sequence(&state).iter().enumerate() {
         println!(
             "  +{}: {:<12} confidence {:.2} (cumulative {:.2})",

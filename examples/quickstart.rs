@@ -35,7 +35,10 @@ fn main() {
         .run_trace(&platform, &page, &trace, &qos);
     let oracle = OracleScheduler::new().run_trace(&platform, &page, &trace, &qos);
 
-    println!("{:<14} {:>12} {:>16} {:>14}", "policy", "energy (mJ)", "vs Interactive", "QoS violations");
+    println!(
+        "{:<14} {:>12} {:>16} {:>14}",
+        "policy", "energy (mJ)", "vs Interactive", "QoS violations"
+    );
     let base = interactive.total_energy.as_millijoules();
     let row = |name: &str, energy: f64, violations: usize, events: usize| {
         println!(
@@ -47,10 +50,30 @@ fn main() {
             events
         );
     };
-    row("Interactive", base, interactive.violations(), interactive.events());
-    row("EBS", ebs.total_energy.as_millijoules(), ebs.violations(), ebs.events());
-    row("PES", pes.total_energy.as_millijoules(), pes.violations, pes.events);
-    row("Oracle", oracle.total_energy.as_millijoules(), oracle.violations, oracle.events);
+    row(
+        "Interactive",
+        base,
+        interactive.violations(),
+        interactive.events(),
+    );
+    row(
+        "EBS",
+        ebs.total_energy.as_millijoules(),
+        ebs.violations(),
+        ebs.events(),
+    );
+    row(
+        "PES",
+        pes.total_energy.as_millijoules(),
+        pes.violations,
+        pes.events,
+    );
+    row(
+        "Oracle",
+        oracle.total_energy.as_millijoules(),
+        oracle.violations,
+        oracle.events,
+    );
 
     println!(
         "\nPES prediction accuracy (online): {:.1}%  |  mispredictions: {}  |  avg prediction degree: {:.1}",

@@ -6,10 +6,14 @@ use pes::acmp::units::{CpuCycles, FreqMhz, TimeUs};
 use pes::acmp::{
     AcmpConfig, ActivityKind, CoreKind, CpuDemand, DvfsLadder, DvfsModel, EnergyMeter, Platform,
 };
+use pes::core::SolveMemo;
 use pes::dom::{
     CallbackEffect, DomAnalyzer, EventType, IncrementalAnalyzer, PageBuilder, Viewport,
 };
-use pes::ilp::{ScheduleItem, ScheduleOption, ScheduleProblem, ScheduleSolution, SolveScratch, SolveTier};
+use pes::ilp::{
+    OptionOrder, ScheduleItem, ScheduleOption, ScheduleProblem, ScheduleSolution, SolveScratch,
+    SolveTier,
+};
 use pes::webrt::VsyncClock;
 
 proptest! {
@@ -290,7 +294,10 @@ fn ladder_is_exhaustively_bit_identical_to_the_direct_model() {
                         cfg
                     );
                     assert_eq!(
-                        model.marginal_energy(&demand, cfg).as_microjoules().to_bits(),
+                        model
+                            .marginal_energy(&demand, cfg)
+                            .as_microjoules()
+                            .to_bits(),
                         model
                             .marginal_energy_reference(&demand, cfg)
                             .as_microjoules()
@@ -318,8 +325,16 @@ fn window_from_specs(specs: &[(u64, u64)], slack_ms: u64) -> ScheduleProblem {
             release_us: i as u64 * 100_000,
             deadline_us: (i as u64 + 1) * 100_000 + slack_ms * 1_000,
             options: vec![
-                ScheduleOption { choice: 0, duration_us: *duration, cost: *cost as f64 },
-                ScheduleOption { choice: 1, duration_us: duration / 3, cost: *cost as f64 * 3.0 },
+                ScheduleOption {
+                    choice: 0,
+                    duration_us: *duration,
+                    cost: *cost as f64,
+                },
+                ScheduleOption {
+                    choice: 1,
+                    duration_us: duration / 3,
+                    cost: *cost as f64 * 3.0,
+                },
             ],
         })
         .collect();
@@ -432,6 +447,178 @@ proptest! {
 fn lex_no_worse(a: &ScheduleSolution, b: &ScheduleSolution) -> bool {
     a.violations < b.violations
         || (a.violations == b.violations && a.total_cost <= b.total_cost + 1e-9)
+}
+
+/// A PES/Oracle-shaped window: `n` events × 17-option convex cost curves
+/// with randomised load, the shape both the memo-ring and sorted-rebuild
+/// bit-identity properties below exercise.
+fn shaped_window(
+    n: u64,
+    base_dur: u64,
+    step: u64,
+    slack_pct: u64,
+    curve_quarters: u64,
+    release_gap: u64,
+) -> Vec<ScheduleItem> {
+    (0..n)
+        .map(|i| ScheduleItem {
+            release_us: i * release_gap,
+            deadline_us: (i + 1) * (base_dur * slack_pct / 100),
+            options: (0..17)
+                .map(|j| ScheduleOption {
+                    choice: j,
+                    duration_us: base_dur.saturating_sub(j as u64 * step),
+                    cost: 1.0 + 0.25 * curve_quarters as f64 * (j * j) as f64 / 16.0,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// The stable sorted option orders of a window — the canonical
+/// `OptionOrder::from_options` reference, shared with the ladder cache's
+/// row orders.
+fn stable_orders(items: &[ScheduleItem]) -> Vec<OptionOrder> {
+    items
+        .iter()
+        .map(|item| OptionOrder::from_options(&item.options))
+        .collect()
+}
+
+/// Field-for-field bit identity of two schedules (total cost compared on
+/// its bit pattern, not within an epsilon).
+fn assert_bit_identical(a: &ScheduleSolution, b: &ScheduleSolution) {
+    assert_eq!(&a.selected, &b.selected);
+    assert_eq!(&a.choices, &b.choices);
+    assert_eq!(&a.finish_us, &b.finish_us);
+    assert_eq!(a.violations, b.violations);
+    assert!(
+        a.total_cost.to_bits() == b.total_cost.to_bits(),
+        "total cost drifted: {} vs {}",
+        a.total_cost,
+        b.total_cost
+    );
+}
+
+proptest! {
+    /// The shape-tolerant memo ring's hit contract: re-posing a window that
+    /// revalidates against a cached slot returns a schedule (and therefore
+    /// energy) bit-identical to a cold solve of the same posed window —
+    /// with decoy windows interleaved so the hit comes from a mid-ring
+    /// slot, and under both the sorted-row and the sorting re-pose path.
+    #[test]
+    fn shape_tolerant_memo_hits_are_bit_identical_to_cold_solves(
+        n in 6u64..=12,
+        base_dur in 150_000u64..350_000,
+        step in 5_000u64..15_000,
+        slack_pct in 40u64..160,
+        curve_quarters in 2u64..9,
+        release_gap in 20_000u64..120_000,
+        decoys in 1u64..4,
+        sorted_flag in 0u64..2,
+    ) {
+        let sorted_rows = sorted_flag == 1;
+        let items = shaped_window(n, base_dur, step, slack_pct, curve_quarters, release_gap);
+        let orders = stable_orders(&items);
+        let orders_arg = if sorted_rows { Some(&orders[..]) } else { None };
+        // The fingerprint the runtime would compute is opaque to the ring;
+        // any deterministic value works as long as equal windows share it.
+        let shape = items.iter().fold(n, |h, i| {
+            h.wrapping_mul(0x100000001b3) ^ i.deadline_us ^ i.release_us.rotate_left(17)
+        });
+        let mut scratch = SolveScratch::new();
+
+        let mut memo = SolveMemo::new();
+        let nodes = memo.solve(&items, orders_arg, shape, 24_000, 0.01, &mut scratch).unwrap();
+        prop_assert!(nodes > 0, "first pose must solve");
+        let first = memo.solution().clone();
+
+        // Decoy windows push the slot into the middle of the ring.
+        for d in 0..decoys {
+            let decoy = shaped_window(
+                6 + d,
+                base_dur / 2 + d * 10_000,
+                step,
+                slack_pct,
+                curve_quarters,
+                release_gap,
+            );
+            let decoy_orders = stable_orders(&decoy);
+            memo.solve(&decoy, Some(&decoy_orders), shape ^ (d + 1), 24_000, 0.01, &mut scratch)
+                .unwrap();
+        }
+
+        let hit_nodes = memo.solve(&items, orders_arg, shape, 24_000, 0.01, &mut scratch).unwrap();
+        prop_assert_eq!(hit_nodes, 0, "the re-posed window must revalidate as a hit");
+        let hit = memo.solution().clone();
+
+        // A cold ring solving the same posed window answers bit-identically.
+        let mut cold = SolveMemo::new();
+        cold.solve(&items, orders_arg, shape, 24_000, 0.01, &mut scratch).unwrap();
+        assert_bit_identical(&hit, &first);
+        assert_bit_identical(&hit, cold.solution());
+    }
+
+    /// The sorted-row re-pose is bit-identical to the sorting path: every
+    /// solver table (the derived `PartialEq` spans them all) and every
+    /// anytime solve agree exactly.
+    #[test]
+    fn sorted_row_rebuild_is_bit_identical_to_the_sorting_path(
+        n in 1u64..=12,
+        base_dur in 150_000u64..350_000,
+        step in 0u64..15_000,
+        slack_pct in 40u64..160,
+        curve_quarters in 0u64..9,
+        release_gap in 20_000u64..120_000,
+    ) {
+        // `step == 0` makes every duration equal and `curve_quarters == 0`
+        // every cost equal: the all-ties cases where only stable ordering
+        // keeps the two paths aligned.
+        let items = shaped_window(n, base_dur, step, slack_pct, curve_quarters, release_gap);
+        let orders = stable_orders(&items);
+        prop_assert!(orders.iter().zip(&items).all(|(o, i)| o.is_valid_for(&i.options)));
+
+        let mut sorting = ScheduleProblem::new(0, Vec::new()).with_node_limit(24_000);
+        sorting.rebuild(0, &items);
+        let mut sorted = ScheduleProblem::new(0, Vec::new()).with_node_limit(24_000);
+        sorted.rebuild_sorted(0, &items, &orders);
+        prop_assert_eq!(&sorting, &sorted);
+
+        let mut scratch = SolveScratch::new();
+        let mut a = ScheduleSolution::default();
+        let mut b = ScheduleSolution::default();
+        let tier_a = sorting.solve_anytime_with(&mut scratch, &mut a).unwrap();
+        let tier_b = sorted.solve_anytime_with(&mut scratch, &mut b).unwrap();
+        prop_assert_eq!(tier_a, tier_b);
+        assert_bit_identical(&a, &b);
+    }
+
+    /// The ε incumbent-quality stop never weakens the anytime quality
+    /// contract: with the runtime's default gap configured, a capped solve
+    /// is still never lexicographically worse than the greedy schedule.
+    #[test]
+    fn incumbent_gap_stop_never_worse_than_greedy(
+        n in 6u64..=12,
+        base_dur in 150_000u64..350_000,
+        step in 5_000u64..15_000,
+        slack_pct in 40u64..160,
+        curve_quarters in 2u64..9,
+        release_gap in 20_000u64..120_000,
+    ) {
+        let items = shaped_window(n, base_dur, step, slack_pct, curve_quarters, release_gap);
+        let problem = ScheduleProblem::new(0, items)
+            .with_node_limit(24_000)
+            .with_incumbent_gap(pes::core::PesConfig::paper_defaults().incumbent_gap_epsilon);
+        let greedy = problem.solve_greedy().unwrap();
+        let mut scratch = SolveScratch::new();
+        let mut solution = ScheduleSolution::default();
+        problem.solve_anytime_with(&mut scratch, &mut solution).unwrap();
+        prop_assert!(
+            lex_no_worse(&solution, &greedy),
+            "ε-stopped anytime ({}, {}) worse than greedy ({}, {})",
+            solution.violations, solution.total_cost, greedy.violations, greedy.total_cost
+        );
+    }
 }
 
 proptest! {
@@ -637,16 +824,32 @@ fn optimised_solver_matches_reference_on_fig2_fixture() {
             release_us: 0,
             deadline_us: 3_000_000,
             options: vec![
-                ScheduleOption { choice: 0, duration_us: 2_500_000, cost: 10.0 },
-                ScheduleOption { choice: 1, duration_us: 1_000_000, cost: 25.0 },
+                ScheduleOption {
+                    choice: 0,
+                    duration_us: 2_500_000,
+                    cost: 10.0,
+                },
+                ScheduleOption {
+                    choice: 1,
+                    duration_us: 1_000_000,
+                    cost: 25.0,
+                },
             ],
         },
         ScheduleItem {
             release_us: 500_000,
             deadline_us: 1_800_000,
             options: vec![
-                ScheduleOption { choice: 0, duration_us: 1_500_000, cost: 8.0 },
-                ScheduleOption { choice: 1, duration_us: 700_000, cost: 20.0 },
+                ScheduleOption {
+                    choice: 0,
+                    duration_us: 1_500_000,
+                    cost: 8.0,
+                },
+                ScheduleOption {
+                    choice: 1,
+                    duration_us: 700_000,
+                    cost: 20.0,
+                },
             ],
         },
     ];
@@ -657,8 +860,15 @@ fn optimised_solver_matches_reference_on_fig2_fixture() {
     assert_eq!(optimised.choices, reference.choices);
     assert_eq!(optimised.finish_us, reference.finish_us);
     assert_eq!(optimised.violations, reference.violations);
-    assert_eq!(optimised.total_cost.to_bits(), reference.total_cost.to_bits());
+    assert_eq!(
+        optimised.total_cost.to_bits(),
+        reference.total_cost.to_bits()
+    );
     assert!(optimised.nodes_explored <= reference.nodes_explored);
     assert_eq!(optimised.violations, 0, "the Fig. 2 window is feasible");
-    assert_eq!(optimised.choices, vec![1, 1], "both events need their fast option");
+    assert_eq!(
+        optimised.choices,
+        vec![1, 1],
+        "both events need their fast option"
+    );
 }
