@@ -338,6 +338,10 @@ impl LadderRow {
 
     /// Builds the sorted orders if this row does not hold them yet. Pure
     /// `points()` consumers (reactive decisions) never pay for the sorts.
+    // The comparator `expect` restates a ladder invariant: `eval_into` only
+    // produces finite energies (finite power × finite time), so the partial
+    // ordering is total here.
+    #[allow(clippy::expect_used)]
     fn ensure_sorted(&mut self) {
         if self.by_cost.len() == self.points.len() {
             return;

@@ -1,6 +1,15 @@
 //! ACMP platform descriptions: clusters, frequency tables and the derived
 //! per-configuration latency/power trade-off space (Sec. 3 and Sec. 4.1).
 
+// Every `expect` in this module restates a construction-time invariant of
+// the static device tables: `ClusterSpec::new` / `Platform::new` reject
+// empty ladders and empty cluster sets, the Exynos 5410 / TX2 Parker specs
+// are compile-time constants validated by tier-1 tests, and throughput /
+// power are finite for the positive frequencies those tables contain.
+// Converting them to `Result` would force infallible error plumbing onto
+// every consumer of the static platforms.
+#![allow(clippy::expect_used)]
+
 use crate::config::{AcmpConfig, ConfigId, CoreKind};
 use crate::error::AcmpError;
 use crate::power::CorePowerParams;

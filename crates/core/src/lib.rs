@@ -39,10 +39,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fault;
 pub mod memo;
 pub mod pfb;
 pub mod runtime;
 
+pub use fault::{
+    DegradationLevel, DegradationTrace, FaultConfig, FaultCounts, FaultPlane, FaultSession,
+};
 pub use memo::{window_shape, MemoStats, SolveMemo, SOLVE_CACHE_SIZE};
 pub use pfb::{PendingFrame, PendingFrameBuffer};
 pub use runtime::{

@@ -29,7 +29,7 @@
 //! sort-free.
 
 use pes_ilp::{
-    IlpError, OptionOrder, ScheduleItem, ScheduleProblem, ScheduleSolution, SolveScratch,
+    IlpError, OptionOrder, ScheduleItem, ScheduleProblem, ScheduleSolution, SolveScratch, SolveTier,
 };
 
 /// Number of recent windows the per-replay solve memoisation retains.
@@ -70,6 +70,10 @@ struct MemoSlot {
     shape: u64,
     problem: ScheduleProblem,
     solution: ScheduleSolution,
+    /// The tier the slot's solve completed at: a hit serves the cached
+    /// solution *and* the tier it was originally solved at, so the
+    /// degradation ladder stays truthful across memoised rounds.
+    tier: SolveTier,
 }
 
 /// The shape-keyed solve-memoisation ring. See the module docs.
@@ -126,6 +130,13 @@ impl SolveMemo {
         &self.slots[self.current].solution
     }
 
+    /// The [`SolveTier`] the most recent [`SolveMemo::solve`] completed at.
+    /// A hit reports the tier of the cached solve it served (hits are
+    /// bit-identical to that solve, quality tier included).
+    pub fn tier(&self) -> SolveTier {
+        self.slots[self.current].tier
+    }
+
     /// Answers the posed window `items` (already normalised to start at
     /// time zero and bucketed by the planner) from the ring, solving it
     /// anytime into the recycled oldest slot on a miss. `orders`, when
@@ -164,6 +175,7 @@ impl SolveMemo {
                 shape: 0,
                 problem: ScheduleProblem::new(0, Vec::new()),
                 solution: ScheduleSolution::default(),
+                tier: SolveTier::Exact,
             });
         }
         let slot = &mut self.slots[self.cursor];
@@ -175,7 +187,7 @@ impl SolveMemo {
         slot.problem.set_incumbent_gap(incumbent_gap);
         slot.shape = shape;
         match slot.problem.solve_anytime_with(scratch, &mut slot.solution) {
-            Ok(_) => {}
+            Ok(tier) => slot.tier = tier,
             Err(e) => {
                 // Never let a half-filled slot answer a future lookup.
                 slot.problem.rebuild(0, &[]);
@@ -367,5 +379,28 @@ mod tests {
             .solve(&items, Some(&orders), shape, 200_000, 0.01, &mut scratch)
             .unwrap();
         assert_eq!(hit_nodes, 0, "matching parameters hit");
+    }
+
+    #[test]
+    fn hits_serve_the_tier_of_the_cached_solve() {
+        let items = window(50_000);
+        let orders = orders_for(&items);
+        let shape = shape_of(&items);
+        let mut memo = SolveMemo::new();
+        let mut scratch = SolveScratch::new();
+        // Starved to one node: the incumbent (greedy seed) answers.
+        memo.solve(&items, Some(&orders), shape, 1, 0.0, &mut scratch)
+            .unwrap();
+        assert_eq!(memo.tier(), SolveTier::Incumbent);
+        let hit = memo
+            .solve(&items, Some(&orders), shape, 1, 0.0, &mut scratch)
+            .unwrap();
+        assert_eq!(hit, 0, "starved re-pose hits");
+        assert_eq!(memo.tier(), SolveTier::Incumbent, "hit repeats its tier");
+        // A full-budget solve of the same window lands in a fresh slot at
+        // the exact tier.
+        memo.solve(&items, Some(&orders), shape, 200_000, 0.0, &mut scratch)
+            .unwrap();
+        assert_eq!(memo.tier(), SolveTier::Exact);
     }
 }

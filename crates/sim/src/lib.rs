@@ -39,11 +39,15 @@ pub mod training;
 
 pub use classify::{classify_events, distribution, ClassDistribution, EventClass};
 pub use experiments::{
-    fig10_waste, fig13_pareto, fig14_sensitivity, fig2_case_study, fig2_trace, fig3_event_types,
-    fig8_accuracy, fig9_pfb_trace, full_comparison, full_comparison_with_config, AppComparison,
-    CaseStudy, ExperimentContext, SensitivityPoint, TimelineEntry,
+    chaos_fleet, fig10_waste, fig13_pareto, fig14_sensitivity, fig2_case_study, fig2_trace,
+    fig3_event_types, fig8_accuracy, fig9_pfb_trace, full_comparison, full_comparison_with_config,
+    pareto_entry, AppComparison, CaseStudy, ChaosFleetReport, ExperimentContext,
+    MissingPolicyError, SensitivityPoint, TimelineEntry,
 };
-pub use parallel::{par_map, par_map_with, parallelism};
+pub use parallel::{
+    par_map, par_map_supervised, par_map_supervised_with, par_map_with, parallelism, FleetReport,
+    UnitFailure,
+};
 pub use reactive::{run_reactive, run_reactive_with_plane, ReactiveEventRecord, ReactiveReport};
 pub use scenario::ScenarioCache;
 pub use training::{train_learner_parallel, train_parallel};

@@ -8,7 +8,14 @@
 //! identical to the serial loop no matter how the units interleave at
 //! runtime. Setting `PES_THREADS=1` (or running on a single-core host)
 //! degenerates to the plain serial path.
+//!
+//! [`par_map_supervised`] is the fleet-grade tier underneath: every unit runs
+//! inside `catch_unwind`, panicking units are retried a bounded number of
+//! times and then **quarantined** — their index is reported in the returned
+//! [`FleetReport`] instead of aborting the whole fan-out. One poisoned
+//! session replay must cost the fleet one result, not the suite.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Worker count: the `PES_THREADS` environment variable when set to a
@@ -25,10 +32,94 @@ pub fn parallelism() -> usize {
         })
 }
 
+/// One quarantined unit of a supervised fan-out: the unit index, how many
+/// times it was attempted, and the panic payload of the last attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitFailure {
+    /// Index of the failing unit in `0..n`.
+    pub index: usize,
+    /// Attempts made (`1 + retries` unless the worker thread itself died).
+    pub attempts: usize,
+    /// Stringified panic payload of the final attempt.
+    pub message: String,
+}
+
+/// The outcome of a [`par_map_supervised`] fan-out: per-unit results in
+/// index order (`None` where the unit was quarantined) plus the structured
+/// failure list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport<T> {
+    /// One slot per unit, in index order; quarantined units hold `None`.
+    pub results: Vec<Option<T>>,
+    /// Every quarantined unit, in index order.
+    pub failures: Vec<UnitFailure>,
+}
+
+impl<T> FleetReport<T> {
+    /// Number of units that produced a result.
+    pub fn completed(&self) -> usize {
+        self.results.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Number of quarantined (persistently failing) units.
+    pub fn quarantined(&self) -> usize {
+        self.failures.len()
+    }
+
+    /// Whether every unit completed.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The completed results in index order, dropping quarantined slots.
+    pub fn into_results(self) -> Vec<T> {
+        self.results.into_iter().flatten().collect()
+    }
+}
+
+/// Runs one unit under `catch_unwind` with bounded retry; `Ok` carries the
+/// result, `Err` the last panic payload (already stringified).
+fn run_supervised<T, F>(f: &F, index: usize, retries: usize) -> Result<T, UnitFailure>
+where
+    F: Fn(usize) -> T + Sync,
+{
+    let attempts = retries + 1;
+    let mut last = String::new();
+    for _ in 0..attempts {
+        match catch_unwind(AssertUnwindSafe(|| f(index))) {
+            Ok(value) => return Ok(value),
+            Err(payload) => {
+                last = panic_message(payload.as_ref());
+            }
+        }
+    }
+    Err(UnitFailure {
+        index,
+        attempts,
+        message: last,
+    })
+}
+
+/// Best-effort stringification of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Maps `f` over `0..n` with up to [`parallelism`] scoped threads, returning
 /// results in index order. For a deterministic `f` (every experiment unit is
 /// — traces are seeded per unit) the result is identical to
 /// `(0..n).map(f).collect()`.
+///
+/// # Panics
+///
+/// Panics if any unit panics (the legacy all-or-nothing contract); fleets
+/// that must survive failing units use [`par_map_supervised`].
 pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -38,22 +129,77 @@ where
 }
 
 /// [`par_map`] with an explicit worker count (`1` forces the serial path).
+///
+/// # Panics
+///
+/// Panics if any unit panics, naming the first failing unit.
 pub fn par_map_with<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let report = par_map_supervised_with(threads, n, 0, f);
+    if let Some(failure) = report.failures.first() {
+        panic!(
+            "experiment unit {} panicked ({} quarantined of {}): {}",
+            failure.index,
+            report.failures.len(),
+            n,
+            failure.message
+        );
+    }
+    report.into_results()
+}
+
+/// Supervised fan-out: maps `f` over `0..n` with up to [`parallelism`]
+/// workers, catching per-unit panics, retrying each failing unit up to
+/// `retries` more times, and quarantining units that still fail. The
+/// returned [`FleetReport`] keeps results in index order (deterministic for
+/// deterministic units, exactly like [`par_map`]) with `None` holes for the
+/// quarantined indices.
+pub fn par_map_supervised<T, F>(n: usize, retries: usize, f: F) -> FleetReport<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_supervised_with(parallelism(), n, retries, f)
+}
+
+/// [`par_map_supervised`] with an explicit worker count (`1` forces the
+/// serial path).
+pub fn par_map_supervised_with<T, F>(
+    threads: usize,
+    n: usize,
+    retries: usize,
+    f: F,
+) -> FleetReport<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let threads = threads.max(1).min(n.max(1));
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let mut failures: Vec<UnitFailure> = Vec::new();
     if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        for (index, slot) in slots.iter_mut().enumerate() {
+            match run_supervised(&f, index, retries) {
+                Ok(value) => *slot = Some(value),
+                Err(failure) => failures.push(failure),
+            }
+        }
+        return FleetReport {
+            results: slots,
+            failures,
+        };
     }
     // Workers pull the next unit index from a shared counter (work stealing
     // in its simplest form: unit costs are uneven, so static chunking would
-    // leave threads idle) and tag each result with its index.
+    // leave threads idle) and tag each outcome with its index.
     let next = AtomicUsize::new(0);
     let next = &next;
     let f = &f;
-    let mut tagged: Vec<(usize, T)> = Vec::with_capacity(n);
+    let mut tagged: Vec<(usize, Result<T, UnitFailure>)> = Vec::with_capacity(n);
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {
@@ -64,28 +210,46 @@ where
                         if index >= n {
                             break;
                         }
-                        out.push((index, f(index)));
+                        out.push((index, run_supervised(f, index, retries)));
                     }
                     out
                 })
             })
             .collect();
         for worker in workers {
-            tagged.extend(worker.join().expect("experiment worker panicked"));
+            // A worker thread can only die to a non-unwinding abort (unit
+            // panics are caught above); its claimed-but-unreported units are
+            // synthesized as failures below instead of poisoning the fleet.
+            if let Ok(batch) = worker.join() {
+                tagged.extend(batch);
+            }
         }
     });
-    // Reassemble in index order: this is what makes the parallel driver
-    // byte-identical to the serial one.
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    for (index, value) in tagged {
-        debug_assert!(slots[index].is_none(), "unit {index} produced twice");
-        slots[index] = Some(value);
+    let mut seen = vec![false; n];
+    for (index, outcome) in tagged {
+        debug_assert!(!seen[index], "unit {index} produced twice");
+        seen[index] = true;
+        match outcome {
+            Ok(value) => slots[index] = Some(value),
+            Err(failure) => failures.push(failure),
+        }
     }
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every unit produces exactly one result"))
-        .collect()
+    for (index, seen) in seen.iter().enumerate() {
+        if !seen {
+            failures.push(UnitFailure {
+                index,
+                attempts: 0,
+                message: "worker thread died before reporting".to_string(),
+            });
+        }
+    }
+    // Reassembled in index order (failures too): this is what makes the
+    // parallel driver byte-identical to the serial one.
+    failures.sort_by_key(|failure| failure.index);
+    FleetReport {
+        results: slots,
+        failures,
+    }
 }
 
 #[cfg(test)]
@@ -122,5 +286,73 @@ mod tests {
     #[test]
     fn parallelism_is_at_least_one() {
         assert!(parallelism() >= 1);
+    }
+
+    #[test]
+    fn supervised_fan_out_quarantines_failing_units() {
+        let report = par_map_supervised_with(4, 20, 0, |i| {
+            if i % 7 == 3 {
+                panic!("unit {i} is poisoned");
+            }
+            i * 2
+        });
+        assert_eq!(report.quarantined(), 3); // units 3, 10, 17
+        assert_eq!(report.completed(), 17);
+        assert!(!report.is_clean());
+        assert_eq!(
+            report.failures.iter().map(|f| f.index).collect::<Vec<_>>(),
+            vec![3, 10, 17]
+        );
+        assert_eq!(report.failures[0].message, "unit 3 is poisoned");
+        assert_eq!(report.results[3], None);
+        assert_eq!(report.results[4], Some(8));
+        // Holes drop out of into_results, order preserved.
+        assert_eq!(report.into_results().len(), 17);
+    }
+
+    #[test]
+    fn supervised_retry_rescues_flaky_units() {
+        use std::sync::atomic::AtomicUsize;
+        let attempts = AtomicUsize::new(0);
+        let report = par_map_supervised_with(1, 4, 2, |i| {
+            if i == 2 && attempts.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("transient failure");
+            }
+            i + 1
+        });
+        assert!(report.is_clean(), "two retries rescue a twice-flaky unit");
+        assert_eq!(report.results, vec![Some(1), Some(2), Some(3), Some(4)]);
+        assert_eq!(attempts.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn persistent_failures_record_their_attempt_count() {
+        let report = par_map_supervised_with(2, 3, 2, |i| {
+            if i == 1 {
+                panic!("always fails");
+            }
+            i
+        });
+        assert_eq!(report.quarantined(), 1);
+        assert_eq!(report.failures[0].attempts, 3);
+        assert_eq!(report.failures[0].message, "always fails");
+    }
+
+    #[test]
+    fn clean_supervised_runs_match_par_map() {
+        let supervised = par_map_supervised_with(6, 64, 1, |i| i * i).into_results();
+        let legacy = par_map_with(6, 64, |i| i * i);
+        assert_eq!(supervised, legacy);
+    }
+
+    #[test]
+    #[should_panic(expected = "experiment unit 5 panicked")]
+    fn legacy_par_map_still_aborts_on_unit_panic() {
+        par_map_with(2, 8, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
     }
 }

@@ -77,10 +77,11 @@ impl EventQueue {
     /// All events that arrived at or before `now`, removed from the queue.
     pub fn drain_arrived(&mut self, now: TimeUs) -> Vec<WebEvent> {
         let mut out = Vec::new();
-        while let Some(front) = self.queue.front() {
-            if front.arrival() <= now {
-                out.push(self.queue.pop_front().expect("front exists"));
+        while let Some(ev) = self.queue.pop_front() {
+            if ev.arrival() <= now {
+                out.push(ev);
             } else {
+                self.queue.push_front(ev);
                 break;
             }
         }

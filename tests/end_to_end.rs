@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use pes::acmp::{DvfsLadder, DvfsModel, Platform};
-use pes::core::{OracleScheduler, PesConfig, PesScheduler};
+use pes::core::{FaultConfig, FaultPlane, OracleScheduler, PesConfig, PesScheduler};
 use pes::predictor::{LearnerConfig, Trainer, TrainingConfig};
 use pes::schedulers::{DemandProfiler, Ebs, InteractiveGovernor, OndemandGovernor};
 use pes::sim::{classify_events, distribution, run_reactive, ExperimentContext, ScenarioCache};
@@ -345,6 +345,7 @@ fn cnn_replay_scores_solve_memo_hits() {
         catalog,
         traces_per_app: 1,
         scenarios: ScenarioCache::build(&AppCatalog::paper_suite(), 2),
+        faults: FaultPlane::none(),
     };
     let report = ctx
         .pes_replay("cnn", 0, PesConfig::paper_defaults())
@@ -423,6 +424,87 @@ fn golden_pes_shape_memo_session_stays_pinned() {
 /// seed `EVAL_SEED_BASE`): `(frame-deadline misses, session energy in µJ,
 /// solve-memo hits)`. Identical in debug and release builds.
 const GOLDEN_PES_MEMO: (usize, f64, usize) = (0, 16_238_803.662925582, 5);
+
+/// Zero-fault identity golden: replaying the pinned sessions through the
+/// fault-aware entry point with [`FaultPlane::none`] must be byte-identical
+/// to the fault-free path — same pinned violations, energy within the same
+/// 0.5 µJ golden band, same memo hit count, zero injections, a fully
+/// populated degradation ladder and an energy breakdown that sums to the
+/// session total. Identical in debug and release builds. This is the
+/// contract that lets every existing driver ignore the fault plane: the
+/// disabled plane never draws from its RNG stream.
+#[test]
+fn zero_fault_plane_replays_stay_pinned_to_the_goldens() {
+    let catalog = AppCatalog::paper_suite();
+    let platform = Platform::exynos_5410();
+    let plane = Arc::new(DvfsLadder::for_platform(&platform));
+    let qos = QosPolicy::paper_defaults();
+    let app = catalog.find("cnn").unwrap();
+    let page = app.build_page();
+    let learner = quick_learner(&catalog);
+    let pes = PesScheduler::new(learner, PesConfig::paper_defaults());
+    let none = FaultPlane::none();
+    assert!(none.is_none());
+    assert!(FaultPlane::new(FaultConfig::disabled()).is_none());
+
+    // The PR 5 golden session (cnn, EVAL_SEED_BASE + 1), driven through the
+    // fault-aware entry point.
+    let trace = TraceGenerator::new().generate(app, &page, EVAL_SEED_BASE + 1);
+    let golden = pes.run_trace_with_plane_and_faults(&platform, &plane, &page, &trace, &qos, &none);
+    assert_eq!(
+        golden.violations, GOLDEN_PES.0,
+        "zero-fault replay drifted from the golden frame-deadline misses"
+    );
+    assert!(
+        (golden.total_energy.as_microjoules() - GOLDEN_PES.1).abs() < 0.5,
+        "zero-fault replay drifted from the golden session energy \
+         (got {:.3} µJ, golden {:.3} µJ)",
+        golden.total_energy.as_microjoules(),
+        GOLDEN_PES.1
+    );
+
+    // The memo-ring golden session (cnn, EVAL_SEED_BASE): violations, energy
+    // and memo hits all pinned through the fault-aware path too.
+    let memo_trace = TraceGenerator::new().generate(app, &page, EVAL_SEED_BASE);
+    let memo =
+        pes.run_trace_with_plane_and_faults(&platform, &plane, &page, &memo_trace, &qos, &none);
+    assert_eq!(memo.violations, GOLDEN_PES_MEMO.0);
+    assert!((memo.total_energy.as_microjoules() - GOLDEN_PES_MEMO.1).abs() < 0.5);
+    assert_eq!(
+        memo.solver_cache_hits, GOLDEN_PES_MEMO.2,
+        "memo hit count drifted under the disabled fault plane"
+    );
+
+    // The disabled plane is observable as exactly that: no injections, a
+    // ladder entry for every planning decision, and an energy breakdown
+    // that reconciles with the session total.
+    for report in [&golden, &memo] {
+        assert_eq!(report.fault_injections.total(), 0, "no faults injected");
+        assert_eq!(report.unprofiled_fallbacks, 0);
+        assert!(report.degradation.decisions() > 0, "ladder is populated");
+        let breakdown: f64 = report
+            .energy_breakdown
+            .iter()
+            .map(|(_, e)| e.as_microjoules())
+            .sum();
+        assert!(
+            (breakdown - report.total_energy.as_microjoules()).abs() < 0.5,
+            "energy breakdown must sum to the session total \
+             (sum {breakdown:.3} µJ vs total {:.3} µJ)",
+            report.total_energy.as_microjoules()
+        );
+    }
+
+    // And the fault-free legacy entry point agrees bit for bit.
+    let legacy = pes.run_trace_with_plane(&platform, &plane, &page, &trace, &qos);
+    assert_eq!(
+        legacy.total_energy.as_microjoules().to_bits(),
+        golden.total_energy.as_microjoules().to_bits(),
+        "FaultPlane::none() must be bit-identical to the fault-free path"
+    );
+    assert_eq!(legacy.violations, golden.violations);
+    assert_eq!(legacy.solver_cache_hits, golden.solver_cache_hits);
+}
 
 #[test]
 fn disabling_dom_analysis_never_helps_prediction() {

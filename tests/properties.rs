@@ -872,3 +872,211 @@ fn optimised_solver_matches_reference_on_fig2_fixture() {
         "both events need their fast option"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Chaos tier: arbitrary fault schedules through the full PES replay. The
+// fault plane is seeded and replayable, so every property here is
+// deterministic run-to-run despite exercising random fault schedules.
+// ---------------------------------------------------------------------------
+
+mod chaos {
+    use super::*;
+    use std::sync::{Arc, OnceLock};
+
+    use pes::acmp::DvfsLadder;
+    use pes::core::{FaultConfig, FaultPlane, PesConfig, PesScheduler, RunReport};
+    use pes::predictor::{LearnerConfig, Trainer, TrainingConfig};
+    use pes::webrt::QosPolicy;
+    use pes::workload::{AppCatalog, Trace, TraceGenerator, EVAL_SEED_BASE};
+
+    /// The shared seeded session every chaos case replays: one trained
+    /// scheduler, one trace, one fault-free baseline report. Built once —
+    /// training dominates the cost of the whole module otherwise.
+    struct Fixture {
+        platform: pes::acmp::Platform,
+        plane: Arc<DvfsLadder>,
+        page: pes::dom::BuiltPage,
+        trace: Trace,
+        pes: PesScheduler,
+        qos: QosPolicy,
+        baseline: RunReport,
+    }
+
+    fn fixture() -> &'static Fixture {
+        static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+        FIXTURE.get_or_init(|| {
+            let catalog = AppCatalog::paper_suite();
+            let platform = pes::acmp::Platform::exynos_5410();
+            let plane = Arc::new(DvfsLadder::for_platform(&platform));
+            let qos = QosPolicy::paper_defaults();
+            let app = catalog.find("cnn").unwrap();
+            let page = app.build_page();
+            let trace = TraceGenerator::new().generate(app, &page, EVAL_SEED_BASE + 1);
+            let learner = Trainer::with_config(TrainingConfig {
+                traces_per_app: 3,
+                epochs: 25,
+                ..Default::default()
+            })
+            .train_learner(&catalog, LearnerConfig::paper_defaults());
+            let pes = PesScheduler::new(learner, PesConfig::paper_defaults());
+            let baseline = pes.run_trace_with_plane(&platform, &plane, &page, &trace, &qos);
+            Fixture {
+                platform,
+                plane,
+                page,
+                trace,
+                pes,
+                qos,
+                baseline,
+            }
+        })
+    }
+
+    fn replay(faults: &FaultPlane) -> RunReport {
+        let f = fixture();
+        f.pes.run_trace_with_plane_and_faults(
+            &f.platform,
+            &f.plane,
+            &f.page,
+            &f.trace,
+            &f.qos,
+            faults,
+        )
+    }
+
+    /// The internal-consistency contract every report must satisfy no
+    /// matter what the fault plane injected.
+    fn assert_report_consistent(report: &RunReport, trace_len: usize) {
+        // Event accounting: every delivered event (after queue faults) has
+        // exactly one QoS outcome.
+        assert_eq!(
+            report.events,
+            trace_len + report.fault_injections.duplicated_events
+                - report.fault_injections.dropped_events,
+            "queue-fault accounting must reconcile with the replayed events"
+        );
+        assert_eq!(report.outcomes.len(), report.events);
+        // Energy identity: the meter integrates each sample into exactly
+        // one activity kind, so the breakdown sums to the session total.
+        let breakdown: f64 = report
+            .energy_breakdown
+            .iter()
+            .map(|(_, e)| e.as_microjoules())
+            .sum();
+        assert!(
+            (breakdown - report.total_energy.as_microjoules()).abs() < 0.5,
+            "energy breakdown must sum to the total ({breakdown:.3} vs {:.3} µJ)",
+            report.total_energy.as_microjoules()
+        );
+        // Ladder accounting: optimizer rounds only ever land on
+        // Exact/Anytime/Greedy — a starved solve degrades to the greedy
+        // floor, never below it — and every observed round is a memo
+        // lookup (errored solves may skip the observation, never add one).
+        let solves =
+            report.degradation.exact + report.degradation.anytime + report.degradation.greedy;
+        assert!(
+            solves <= report.solver_cache_hits + report.solver_cache_misses,
+            "solve-ladder entries must map onto memo lookups"
+        );
+        assert_eq!(
+            report.degradation.ondemand_floor, report.unprofiled_fallbacks,
+            "the OndemandFloor count is the unprofiled-fallback count"
+        );
+        assert!(report.degradation.decisions() > 0);
+    }
+
+    proptest! {
+        /// Chaos: an arbitrary fault schedule over every class at once
+        /// never panics the replay, keeps the event and energy accounting
+        /// internally consistent, and is deterministic — the same seeded
+        /// plane replays to the bit.
+        #[test]
+        fn arbitrary_fault_schedules_replay_safely_and_deterministically(
+            seed in 0u64..1_000_000_000,
+            flip in 0.0f64..0.5,
+            corrupt in 0.0f64..0.4,
+            drift in 0.0f64..0.5,
+            magnitude in 0.0f64..1.5,
+            starvation in 0.0f64..1.0,
+            rung_mask in 0u32..65_536,
+            vsync in 0.0f64..0.4,
+            dup in 0.0f64..0.3,
+            drop in 0.0f64..0.3,
+        ) {
+            let faults = FaultPlane::new(FaultConfig {
+                seed,
+                prediction_flip: flip,
+                confidence_corruption: corrupt,
+                demand_drift: drift,
+                drift_magnitude: magnitude,
+                solver_starvation: starvation,
+                rung_mask,
+                vsync_delay: vsync,
+                queue_duplicate: dup,
+                queue_drop: drop,
+            });
+            let report = replay(&faults);
+            assert_report_consistent(&report, fixture().trace.len());
+            let again = replay(&faults);
+            prop_assert_eq!(report.violations, again.violations);
+            prop_assert_eq!(report.fault_injections, again.fault_injections);
+            prop_assert_eq!(report.degradation, again.degradation);
+            prop_assert!(
+                report.total_energy.as_microjoules().to_bits()
+                    == again.total_energy.as_microjoules().to_bits(),
+                "a seeded fault plane must replay bit-identically"
+            );
+        }
+
+        /// A zero-rate plane is inert regardless of its seed: the RNG
+        /// stream is never drawn from, so the replay is bit-identical to
+        /// the fault-free baseline.
+        #[test]
+        fn zero_rate_planes_are_bit_identical_to_the_baseline_for_any_seed(
+            seed in 0u64..1_000_000_000,
+        ) {
+            let faults = FaultPlane::new(FaultConfig {
+                seed,
+                ..FaultConfig::disabled()
+            });
+            let report = replay(&faults);
+            let base = &fixture().baseline;
+            prop_assert_eq!(report.violations, base.violations);
+            prop_assert_eq!(report.fault_injections.total(), 0);
+            prop_assert_eq!(report.solver_cache_hits, base.solver_cache_hits);
+            prop_assert!(
+                report.total_energy.as_microjoules().to_bits()
+                    == base.total_energy.as_microjoules().to_bits(),
+                "an all-zero schedule must never perturb the replay"
+            );
+        }
+
+        /// Bounded inflation for the vsync fault class: `commit` is pure
+        /// QoS accounting, so each delayed frame can add at most one
+        /// violation — with only vsync faults enabled, the violation count
+        /// is bounded by the baseline plus the injection count.
+        #[test]
+        fn vsync_delays_inflate_violations_by_at_most_one_each(
+            seed in 0u64..1_000_000_000,
+            rate in 0.0f64..1.0,
+        ) {
+            let faults = FaultPlane::new(FaultConfig {
+                seed,
+                vsync_delay: rate,
+                ..FaultConfig::disabled()
+            });
+            let report = replay(&faults);
+            let base = &fixture().baseline;
+            prop_assert_eq!(report.events, base.events, "vsync faults drop nothing");
+            prop_assert!(
+                report.violations <= base.violations + report.fault_injections.delayed_vsyncs,
+                "violations {} exceed baseline {} + {} delayed frames",
+                report.violations,
+                base.violations,
+                report.fault_injections.delayed_vsyncs
+            );
+            prop_assert!(report.violations + report.fault_injections.delayed_vsyncs >= base.violations,
+                "a delayed frame can also only add violations, never remove more than itself");
+        }
+    }
+}
