@@ -70,6 +70,20 @@ impl DegradationLevel {
         DegradationLevel::OndemandFloor,
     ];
 
+    /// One step worse on the ladder, saturating at the
+    /// [`DegradationLevel::OndemandFloor`] floor. Watchdog trips demote the
+    /// replay's serving tier through this.
+    pub fn demoted(self) -> DegradationLevel {
+        match self {
+            DegradationLevel::Exact => DegradationLevel::Anytime,
+            DegradationLevel::Anytime => DegradationLevel::Greedy,
+            DegradationLevel::Greedy => DegradationLevel::Reactive,
+            DegradationLevel::Reactive | DegradationLevel::OndemandFloor => {
+                DegradationLevel::OndemandFloor
+            }
+        }
+    }
+
     /// Human-readable level name.
     pub fn name(self) -> &'static str {
         match self {
@@ -348,8 +362,10 @@ impl FaultCounts {
     }
 }
 
-/// One SplitMix64 step (also the plane's seed-derivation mix).
-fn splitmix(state: u64) -> u64 {
+/// One SplitMix64 step (also the plane's seed-derivation mix). Public so
+/// fleet drivers can derive per-unit seeds with the exact same mix the
+/// plane uses for [`FaultPlane::reseeded`].
+pub fn splitmix(state: u64) -> u64 {
     let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -696,6 +712,19 @@ mod tests {
         trace.merge(&other);
         assert_eq!(trace.worst(), Some(DegradationLevel::OndemandFloor));
         assert_eq!(trace.decisions(), 5);
+    }
+
+    #[test]
+    fn demotion_walks_the_ladder_and_saturates() {
+        let mut level = DegradationLevel::Exact;
+        let mut walked = vec![level];
+        for _ in 0..6 {
+            level = level.demoted();
+            walked.push(level);
+        }
+        assert_eq!(&walked[..5], &DegradationLevel::ALL);
+        assert_eq!(level, DegradationLevel::OndemandFloor);
+        assert_eq!(level.demoted(), DegradationLevel::OndemandFloor);
     }
 
     #[test]

@@ -43,15 +43,19 @@ pub mod fault;
 pub mod memo;
 pub mod pfb;
 pub mod runtime;
+pub mod watchdog;
 
 pub use fault::{
-    DegradationLevel, DegradationTrace, FaultConfig, FaultCounts, FaultPlane, FaultSession,
+    splitmix, DegradationLevel, DegradationTrace, FaultConfig, FaultCounts, FaultPlane,
+    FaultSession,
 };
 pub use memo::{window_shape, MemoStats, SolveMemo, SOLVE_CACHE_SIZE};
 pub use pfb::{PendingFrame, PendingFrameBuffer};
 pub use runtime::{
-    OracleScheduler, PesConfig, PesScheduler, ProactiveRuntime, RunReport, WIDE_WINDOW_THRESHOLD,
+    OracleScheduler, PesConfig, PesScheduler, ProactiveRuntime, RunReport, ANYTIME_TIER_NODE_CAP,
+    WIDE_WINDOW_THRESHOLD,
 };
+pub use watchdog::{WatchdogConfig, WatchdogState};
 
 #[cfg(test)]
 mod tests {

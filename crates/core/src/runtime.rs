@@ -24,6 +24,7 @@ use pes_workload::Trace;
 use crate::fault::{DegradationLevel, DegradationTrace, FaultCounts, FaultPlane, FaultSession};
 use crate::memo::{window_shape, SolveMemo};
 use crate::pfb::{PendingFrame, PendingFrameBuffer};
+use crate::watchdog::{WatchdogConfig, WatchdogState};
 
 /// Configuration of the PES runtime.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,11 +69,28 @@ pub struct PesConfig {
     /// quantised estimates). Oracle windows use exact knowledge and are
     /// never held.
     pub planning_hysteresis: f64,
+    /// The serving tier the replay *starts* at. [`DegradationLevel::Exact`]
+    /// (the default) is the full proactive runtime; worse tiers cap it —
+    /// `Anytime` bounds every solve to [`ANYTIME_TIER_NODE_CAP`] nodes,
+    /// `Greedy` floors solves to their greedy seed, `Reactive` disables
+    /// speculation and serves every event reactively, and `OndemandFloor`
+    /// serves every event at the conservative profiling configuration.
+    /// Fleet circuit breakers route units here while open; watchdog trips
+    /// demote the live tier below this starting point.
+    pub forced_tier: DegradationLevel,
+    /// Per-replay watchdog deadlines (see [`crate::watchdog`]); the
+    /// disabled default never charges, never trips.
+    pub watchdog: WatchdogConfig,
 }
 
 /// Windows with more events than this use
 /// [`PesConfig::wide_window_node_limit`] as their solver budget.
 pub const WIDE_WINDOW_THRESHOLD: usize = 8;
+
+/// Solver node cap of the [`DegradationLevel::Anytime`] serving tier: a
+/// demoted replay still refines a best-first incumbent, just on a budget two
+/// orders below the full tiers.
+pub const ANYTIME_TIER_NODE_CAP: usize = 4_096;
 
 impl Default for PesConfig {
     fn default() -> Self {
@@ -84,6 +102,8 @@ impl Default for PesConfig {
             wide_window_node_limit: 60_000,
             incumbent_gap_epsilon: 0.01,
             planning_hysteresis: 0.35,
+            forced_tier: DegradationLevel::Exact,
+            watchdog: WatchdogConfig::disabled(),
         }
     }
 }
@@ -125,6 +145,21 @@ impl PesConfig {
     /// (`0.0` disables the hysteresis).
     pub fn with_planning_hysteresis(mut self, tolerance: f64) -> Self {
         self.planning_hysteresis = tolerance.max(0.0);
+        self
+    }
+
+    /// Returns a copy starting every replay at `tier` (breaker-forced
+    /// degradation routing; [`DegradationLevel::Exact`] is the full
+    /// runtime).
+    pub fn with_forced_tier(mut self, tier: DegradationLevel) -> Self {
+        self.forced_tier = tier;
+        self
+    }
+
+    /// Returns a copy with per-replay watchdog deadlines
+    /// ([`WatchdogConfig::disabled`] turns them off).
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = watchdog;
         self
     }
 }
@@ -189,6 +224,12 @@ pub struct RunReport {
     /// breakdown sums to [`RunReport::total_energy`] — the internal
     /// consistency the chaos tier asserts under every fault schedule.
     pub energy_breakdown: Vec<(ActivityKind, EnergyUj)>,
+    /// Watchdog deadline crossings (each one demoted the serving tier one
+    /// level); zero under the disabled default.
+    pub watchdog_trips: usize,
+    /// The serving tier the replay ended at:
+    /// [`PesConfig::forced_tier`] demoted once per watchdog trip.
+    pub final_tier: DegradationLevel,
 }
 
 impl RunReport {
@@ -579,6 +620,12 @@ impl ProactiveRuntime {
         let mut rs = RunScratch::default();
         let mut fs = faults.session();
         let mut ladder = DegradationTrace::default();
+        // The live serving tier: starts at the (breaker-)forced tier and
+        // only descends — one watchdog trip, one demotion. Both the meters
+        // and the demotions are deterministic, so a watchdogged replay is as
+        // replayable as a plain one.
+        let mut tier = self.config.forced_tier;
+        let mut wd = WatchdogState::new(self.config.watchdog);
 
         // Queue faults perturb the delivered event sequence itself; with
         // both classes disabled the replay borrows the trace untouched.
@@ -612,6 +659,8 @@ impl ProactiveRuntime {
             unprofiled_fallbacks: 0,
             fault_injections: FaultCounts::default(),
             energy_breakdown: Vec::new(),
+            watchdog_trips: 0,
+            final_tier: tier,
         };
 
         for (idx, ev) in events.iter().enumerate() {
@@ -620,7 +669,12 @@ impl ProactiveRuntime {
             //     arrives. Each speculative execution produces a frame that
             //     waits in the PFB.
             // ---------------------------------------------------------------
-            while !prediction_disabled && engine.cpu_free_at() < ev.arrival() {
+            // Tiers at Reactive or worse never speculate: the breaker (or a
+            // tripped watchdog) has taken the optimizer out of the loop.
+            while !prediction_disabled
+                && tier < DegradationLevel::Reactive
+                && engine.cpu_free_at() < ev.arrival()
+            {
                 if plan.is_empty() {
                     if !pfb.is_empty() {
                         // A new prediction round only starts once every
@@ -641,8 +695,12 @@ impl ProactiveRuntime {
                         None,
                         &mut fs,
                         &mut ladder,
+                        tier,
                     );
                     report.solver_nodes += nodes;
+                    for _ in 0..wd.charge_nodes(nodes) {
+                        tier = tier.demoted();
+                    }
                     if plan.is_empty() {
                         break;
                     }
@@ -674,6 +732,9 @@ impl ProactiveRuntime {
                     predicted_type: item.event_type,
                     record,
                 });
+                for _ in 0..wd.charge_event() {
+                    tier = tier.demoted();
+                }
             }
 
             // ---------------------------------------------------------------
@@ -737,7 +798,10 @@ impl ProactiveRuntime {
             // ---------------------------------------------------------------
             if !committed_from_pfb {
                 let start_time = engine.cpu_free_at().max(ev.arrival());
-                let config = if prediction_disabled || profiler.needs_profiling(ev.event_type()) {
+                let config = if tier >= DegradationLevel::Reactive
+                    || prediction_disabled
+                    || profiler.needs_profiling(ev.event_type())
+                {
                     self.reactive_config(
                         &mut rs.ladder_cache,
                         &profiler,
@@ -746,6 +810,7 @@ impl ProactiveRuntime {
                         ev,
                         start_time,
                         &mut ladder,
+                        tier,
                     )
                 } else {
                     // `prediction_disabled` is false on this path, so the
@@ -763,8 +828,12 @@ impl ProactiveRuntime {
                         ev,
                         &mut fs,
                         &mut ladder,
+                        tier,
                     );
                     report.solver_nodes += nodes;
+                    for _ in 0..wd.charge_nodes(nodes) {
+                        tier = tier.demoted();
+                    }
                     cfg
                 };
                 let config = fs.mask_config(engine.platform().configs(), config);
@@ -773,6 +842,9 @@ impl ProactiveRuntime {
                 let outcome = engine.commit(ev, ready_at);
                 report.outcomes.push((ev.id(), outcome));
                 profiler.observe(ev.event_type(), config, record.busy_time, engine.dvfs());
+                for _ in 0..wd.charge_event() {
+                    tier = tier.demoted();
+                }
             }
 
             session.observe(ev);
@@ -793,13 +865,17 @@ impl ProactiveRuntime {
             .iter()
             .map(|&kind| (kind, engine.energy_for(kind)))
             .collect();
+        report.watchdog_trips = wd.trips();
+        report.final_tier = tier;
         report
     }
 
     /// Reactive (EBS-equivalent) configuration choice for one event, served
     /// from the precomputed DVFS ladder through the replay's demand memo.
     /// Records the event on the degradation ladder: `Reactive` normally,
-    /// `OndemandFloor` when the event type has no demand estimate at all —
+    /// `OndemandFloor` when the serving tier is pinned at the floor (a
+    /// breaker routed the unit there, or the watchdog demoted it all the
+    /// way down) or when the event type has no demand estimate at all —
     /// possible when a fault (or a hostile trace) delivers a type the
     /// profiler never observed — in which case the conservative profiling
     /// configuration serves the event instead of panicking.
@@ -813,7 +889,12 @@ impl ProactiveRuntime {
         ev: &WebEvent,
         start_time: TimeUs,
         ladder: &mut DegradationTrace,
+        tier: DegradationLevel,
     ) -> AcmpConfig {
+        if tier == DegradationLevel::OndemandFloor {
+            ladder.observe(DegradationLevel::OndemandFloor);
+            return profiler.profiling_config(ev.event_type(), engine.dvfs());
+        }
         if profiler.needs_profiling(ev.event_type()) {
             ladder.observe(DegradationLevel::Reactive);
             return profiler.profiling_config(ev.event_type(), engine.dvfs());
@@ -911,6 +992,7 @@ impl ProactiveRuntime {
         rs: &mut RunScratch,
         start_us: u64,
         fs: &mut FaultSession,
+        tier: DegradationLevel,
     ) -> Result<(usize, DegradationLevel), IlpError> {
         for item in &mut rs.items_buf {
             item.release_us = item.release_us.saturating_sub(start_us);
@@ -926,6 +1008,15 @@ impl ProactiveRuntime {
             self.config.wide_window_node_limit
         } else {
             self.config.optimizer_node_limit
+        };
+        // The serving tier caps the budget before fault starvation: a
+        // demoted replay refines a small incumbent (`Anytime`) or takes the
+        // greedy seed (`Greedy`); tiers at `Reactive` or worse never reach
+        // a solve at all.
+        let node_limit = match tier {
+            DegradationLevel::Exact => node_limit,
+            DegradationLevel::Anytime => node_limit.min(ANYTIME_TIER_NODE_CAP),
+            _ => 1,
         };
         // Budget starvation injects here, between the tier choice and the
         // solve: a starved budget re-keys the memo lookup (parameters are
@@ -975,6 +1066,7 @@ impl ProactiveRuntime {
         outstanding: Option<&WebEvent>,
         fs: &mut FaultSession,
         ladder: &mut DegradationTrace,
+        tier: DegradationLevel,
     ) -> (usize, usize) {
         plan.clear();
         let now = engine.cpu_free_at();
@@ -1070,7 +1162,7 @@ impl ProactiveRuntime {
         }
         rs.items_buf.truncate(used);
         let degree = rs.predicted_buf.len();
-        let Ok((nodes, level)) = self.solve_window(rs, window_start.as_micros(), fs) else {
+        let Ok((nodes, level)) = self.solve_window(rs, window_start.as_micros(), fs, tier) else {
             return (0, 0);
         };
         ladder.observe(level);
@@ -1106,6 +1198,7 @@ impl ProactiveRuntime {
         ev: &WebEvent,
         fs: &mut FaultSession,
         ladder: &mut DegradationTrace,
+        tier: DegradationLevel,
     ) -> (AcmpConfig, usize) {
         // Predict the events that follow `ev` from the state in which `ev`
         // has already been observed. The scratch session is taken out of the
@@ -1133,6 +1226,7 @@ impl ProactiveRuntime {
             Some(ev),
             fs,
             ladder,
+            tier,
         );
         rs.session_scratch = Some(scratch_session);
         match plan.pop_front() {
@@ -1146,6 +1240,7 @@ impl ProactiveRuntime {
                     ev,
                     engine.cpu_free_at().max(ev.arrival()),
                     ladder,
+                    tier,
                 ),
                 nodes,
             ),
@@ -1405,6 +1500,8 @@ mod tests {
             unprofiled_fallbacks: 0,
             fault_injections: FaultCounts::default(),
             energy_breakdown: Vec::new(),
+            watchdog_trips: 0,
+            final_tier: DegradationLevel::Exact,
         };
         assert!((report.solver_cache_hit_rate() - 0.25).abs() < 1e-12);
         assert!((report.violation_rate() - 0.2).abs() < 1e-12);
@@ -1492,6 +1589,116 @@ mod tests {
             a.events,
             trace.len() - a.fault_injections.dropped_events + a.fault_injections.duplicated_events
         );
+    }
+
+    #[test]
+    fn forced_reactive_tier_never_speculates() {
+        let catalog = AppCatalog::paper_suite();
+        let app = catalog.find("cnn").unwrap();
+        let page = app.build_page();
+        let trace = TraceGenerator::new().generate(app, &page, EVAL_SEED_BASE + 2);
+        let platform = Platform::exynos_5410();
+        let qos = QosPolicy::paper_defaults();
+
+        let pes = PesScheduler::new(
+            quick_learner(&catalog),
+            PesConfig::paper_defaults().with_forced_tier(DegradationLevel::Reactive),
+        );
+        let report = pes.run_trace(&platform, &page, &trace, &qos);
+        assert_eq!(
+            report.predictions, 0,
+            "a breaker-routed unit never speculates"
+        );
+        assert_eq!(report.solver_nodes, 0);
+        assert_eq!(report.outcomes.len(), trace.len());
+        assert!(report.degradation.reactive > 0);
+        assert_eq!(report.final_tier, DegradationLevel::Reactive);
+        assert_eq!(report.watchdog_trips, 0);
+    }
+
+    #[test]
+    fn forced_floor_tier_serves_every_event_at_the_floor() {
+        let catalog = AppCatalog::paper_suite();
+        let app = catalog.find("cnn").unwrap();
+        let page = app.build_page();
+        let trace = TraceGenerator::new().generate(app, &page, EVAL_SEED_BASE + 2);
+        let platform = Platform::exynos_5410();
+        let qos = QosPolicy::paper_defaults();
+
+        let pes = PesScheduler::new(
+            quick_learner(&catalog),
+            PesConfig::paper_defaults().with_forced_tier(DegradationLevel::OndemandFloor),
+        );
+        let report = pes.run_trace(&platform, &page, &trace, &qos);
+        assert_eq!(report.degradation.ondemand_floor, trace.len());
+        assert_eq!(report.unprofiled_fallbacks, trace.len());
+        assert_eq!(report.final_tier, DegradationLevel::OndemandFloor);
+    }
+
+    #[test]
+    fn watchdog_trips_demote_the_serving_tier() {
+        use crate::watchdog::WatchdogConfig;
+        let catalog = AppCatalog::paper_suite();
+        let app = catalog.find("cnn").unwrap();
+        let page = app.build_page();
+        let trace = TraceGenerator::new().generate(app, &page, EVAL_SEED_BASE + 2);
+        let platform = Platform::exynos_5410();
+        let qos = QosPolicy::paper_defaults();
+
+        // A five-event budget on a full-length trace must keep tripping and
+        // walk the replay down to the floor.
+        let pes = PesScheduler::new(
+            quick_learner(&catalog),
+            PesConfig::paper_defaults().with_watchdog(WatchdogConfig {
+                node_budget: 0,
+                event_budget: 5,
+            }),
+        );
+        let report = pes.run_trace(&platform, &page, &trace, &qos);
+        assert!(
+            report.watchdog_trips >= 4,
+            "trips: {}",
+            report.watchdog_trips
+        );
+        assert_eq!(report.final_tier, DegradationLevel::OndemandFloor);
+        assert!(report.degradation.ondemand_floor > 0);
+        assert_eq!(report.outcomes.len(), report.events, "no event is lost");
+        // Watchdogged replays stay deterministic.
+        let again = pes.run_trace(&platform, &page, &trace, &qos);
+        assert_eq!(report, again);
+    }
+
+    #[test]
+    fn a_node_budget_watchdog_caps_runaway_solves() {
+        use crate::watchdog::WatchdogConfig;
+        let catalog = AppCatalog::paper_suite();
+        let app = catalog.find("cnn").unwrap();
+        let page = app.build_page();
+        let trace = TraceGenerator::new().generate(app, &page, EVAL_SEED_BASE + 2);
+        let platform = Platform::exynos_5410();
+        let qos = QosPolicy::paper_defaults();
+
+        let unbounded = PesScheduler::new(quick_learner(&catalog), PesConfig::paper_defaults());
+        let baseline = unbounded.run_trace(&platform, &page, &trace, &qos);
+        assert!(baseline.solver_nodes > 200, "trace exercises the solver");
+
+        let budget = 100;
+        let watched = PesScheduler::new(
+            quick_learner(&catalog),
+            PesConfig::paper_defaults().with_watchdog(WatchdogConfig {
+                node_budget: budget,
+                event_budget: 0,
+            }),
+        );
+        let report = watched.run_trace(&platform, &page, &trace, &qos);
+        assert!(report.watchdog_trips > 0);
+        assert!(
+            report.solver_nodes < baseline.solver_nodes,
+            "demoted tiers must spend fewer nodes ({} vs {})",
+            report.solver_nodes,
+            baseline.solver_nodes
+        );
+        assert!(report.final_tier > DegradationLevel::Exact);
     }
 
     #[test]

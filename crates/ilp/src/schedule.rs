@@ -208,6 +208,9 @@ impl OptionOrder {
     /// identical tie-breaking. This is the reference implementation the
     /// bit-identity tests compare external row providers (the DVFS ladder
     /// cache) against.
+    // The comparator `expect` restates a problem invariant: option costs
+    // are finite energies, so the partial ordering is total here.
+    #[allow(clippy::expect_used)]
     pub fn from_options(options: &[ScheduleOption]) -> Self {
         let mut by_cost: Vec<u32> = (0..options.len() as u32).collect();
         by_cost.sort_by(|&a, &b| {
@@ -561,6 +564,9 @@ impl ScheduleProblem {
     /// [`ScheduleProblem::new`] builds; with `orders` supplied the per-item
     /// sorts are replaced by walks of the given (identically tie-broken)
     /// permutations.
+    // The comparator `expect` restates the same finite-cost invariant as
+    // [`OptionOrder::from_options`].
+    #[allow(clippy::expect_used)]
     fn rebuild_tables(&mut self, orders: Option<&[OptionOrder]>) {
         let n = self.items.len();
         let items = &self.items;
@@ -1171,6 +1177,9 @@ impl ScheduleProblem {
     /// pruning cap, the anytime incumbent seeding and
     /// [`ScheduleProblem::solve_greedy`] all build on this single routine so
     /// their tie-breaking can never drift apart.
+    // The `expect`s restate constructor invariants: costs are finite (the
+    // comparator is total) and every item has at least one option.
+    #[allow(clippy::expect_used)]
     fn greedy_walk(&self, mut pick: impl FnMut(usize, usize, ScheduleOption, u64)) -> f64 {
         let mut cursor = self.start_us;
         let mut cost = 0.0;
@@ -1369,6 +1378,10 @@ impl ScheduleProblem {
     /// # Errors
     ///
     /// Same as [`ScheduleProblem::solve`].
+    // The `expect`s restate solver invariants: finite costs make the
+    // comparator total, and branch_reference always explores at least one
+    // full assignment before returning.
+    #[allow(clippy::expect_used)]
     pub fn solve_reference(&self) -> Result<ScheduleSolution, IlpError> {
         if self.items.is_empty() || self.items.iter().any(|i| i.options.is_empty()) {
             return Err(IlpError::EmptyProblem);

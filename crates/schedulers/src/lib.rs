@@ -37,11 +37,13 @@ pub mod context;
 pub mod ebs;
 pub mod governors;
 pub mod profiler;
+pub mod routing;
 
 pub use context::{ScheduleContext, Scheduler};
 pub use ebs::Ebs;
 pub use governors::{InteractiveGovernor, OndemandGovernor};
 pub use profiler::DemandProfiler;
+pub use routing::{scheduler_for, FloorGovernor, RoutedTier};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,166 @@
+//! Breaker-forced tier routing: the reactive serving tiers a fleet circuit
+//! breaker can route a unit to while it is open.
+//!
+//! The fleet driver (`pes_sim::fleet`) watches per-shard unit outcomes; when
+//! a shard's breaker opens, its units bypass the proactive optimizer and are
+//! served reactively until the breaker half-opens again. This module is the
+//! schedulers-side half of that routing: [`RoutedTier`] names the two
+//! reactive destinations (this crate sits *below* `pes-core`, so it mirrors
+//! the bottom two rungs of the core degradation ladder rather than
+//! importing it), and [`scheduler_for`] mints the reactive scheduler that
+//! serves each one — [`Ebs`](crate::Ebs) for the QoS-aware reactive tier,
+//! [`FloorGovernor`] for the conservative profiling floor.
+
+use pes_acmp::units::TimeUs;
+use pes_acmp::{AcmpConfig, CoreKind, Platform};
+use pes_webrt::WebEvent;
+
+use crate::context::{ScheduleContext, Scheduler};
+use crate::ebs::Ebs;
+
+/// Where an open circuit breaker routes a unit: the bottom two rungs of the
+/// core degradation ladder, reachable without the optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RoutedTier {
+    /// Reactive QoS-aware serving (EBS-equivalent): per-event
+    /// minimum-energy configuration under the event's QoS target.
+    Reactive,
+    /// The conservative floor: every event runs at a profiling operating
+    /// point, ignoring demand estimates entirely. Never fast, never a
+    /// runaway.
+    OndemandFloor,
+}
+
+impl RoutedTier {
+    /// Human-readable tier name (matches the core ladder's naming).
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutedTier::Reactive => "Reactive",
+            RoutedTier::OndemandFloor => "OndemandFloor",
+        }
+    }
+}
+
+/// The reactive scheduler serving a routed tier.
+pub fn scheduler_for(platform: &Platform, tier: RoutedTier) -> Box<dyn Scheduler + Send> {
+    match tier {
+        RoutedTier::Reactive => Box::new(Ebs::new(platform)),
+        RoutedTier::OndemandFloor => Box::new(FloorGovernor::new(platform)),
+    }
+}
+
+/// The degradation floor as a standalone reactive scheduler: every event is
+/// served at one of the two big-core profiling operating points (the same
+/// pair [`crate::DemandProfiler`] uses for cold-start events), alternating
+/// deterministically. This is what a breaker-opened shard degrades to when
+/// even EBS's estimate-driven choices are suspect — the configuration
+/// depends on nothing the workload can poison.
+#[derive(Debug, Clone)]
+pub struct FloorGovernor {
+    points: [AcmpConfig; 2],
+    served: usize,
+}
+
+impl FloorGovernor {
+    /// Creates the floor governor for a platform, picking the same
+    /// mid-range/high big-core pair the demand profiler profiles with.
+    pub fn new(platform: &Platform) -> Self {
+        let big: Vec<AcmpConfig> = platform
+            .configs()
+            .iter()
+            .copied()
+            .filter(|c| c.core() == CoreKind::BigA15 || c.core().is_big())
+            .collect();
+        let hi = *big.last().unwrap_or(&platform.max_performance_config());
+        let mid = big
+            .get(big.len() / 2)
+            .copied()
+            .unwrap_or_else(|| platform.max_performance_config());
+        FloorGovernor {
+            points: [mid, hi],
+            served: 0,
+        }
+    }
+}
+
+impl Scheduler for FloorGovernor {
+    fn name(&self) -> &str {
+        "OndemandFloor"
+    }
+
+    fn schedule_event(&mut self, _ctx: &ScheduleContext<'_>, _event: &WebEvent) -> AcmpConfig {
+        let config = self.points[self.served % 2];
+        self.served += 1;
+        config
+    }
+
+    fn on_event_complete(
+        &mut self,
+        _ctx: &ScheduleContext<'_>,
+        _event: &WebEvent,
+        _config: &AcmpConfig,
+        _busy_time: TimeUs,
+        _finished_at: TimeUs,
+    ) {
+    }
+
+    fn reset(&mut self) {
+        self.served = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pes_acmp::DvfsModel;
+    use pes_webrt::{EventId, QosPolicy};
+
+    fn ctx<'a>(
+        platform: &'a Platform,
+        dvfs: &'a DvfsModel<'a>,
+        qos: &'a QosPolicy,
+    ) -> ScheduleContext<'a> {
+        ScheduleContext {
+            platform,
+            dvfs,
+            qos,
+            start_time: TimeUs::ZERO,
+            current_config: platform.min_power_config(),
+        }
+    }
+
+    #[test]
+    fn floor_governor_alternates_big_core_profiling_points() {
+        let platform = Platform::exynos_5410();
+        let dvfs = DvfsModel::new(&platform);
+        let qos = QosPolicy::paper_defaults();
+        let ctx = ctx(&platform, &dvfs, &qos);
+        let mut floor = FloorGovernor::new(&platform);
+        let event = WebEvent::new(
+            EventId::new(0),
+            pes_dom::EventType::Click,
+            None,
+            TimeUs::ZERO,
+            pes_acmp::CpuDemand::ZERO,
+        );
+        let a = floor.schedule_event(&ctx, &event);
+        let b = floor.schedule_event(&ctx, &event);
+        let c = floor.schedule_event(&ctx, &event);
+        assert_ne!(a.frequency(), b.frequency(), "points alternate");
+        assert_eq!(a, c, "alternation has period two");
+        assert!(a.core().is_big() && b.core().is_big());
+        floor.reset();
+        assert_eq!(floor.schedule_event(&ctx, &event), a);
+    }
+
+    #[test]
+    fn routed_tiers_mint_the_matching_scheduler() {
+        let platform = Platform::exynos_5410();
+        let reactive = scheduler_for(&platform, RoutedTier::Reactive);
+        let floor = scheduler_for(&platform, RoutedTier::OndemandFloor);
+        assert_eq!(reactive.name(), "EBS");
+        assert_eq!(floor.name(), "OndemandFloor");
+        assert_eq!(RoutedTier::Reactive.name(), "Reactive");
+        assert!(RoutedTier::Reactive < RoutedTier::OndemandFloor);
+    }
+}

@@ -29,9 +29,11 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod classify;
 pub mod experiments;
+pub mod fleet;
 pub mod parallel;
 pub mod reactive;
 pub mod scenario;
@@ -44,9 +46,14 @@ pub use experiments::{
     pareto_entry, AppComparison, CaseStudy, ChaosFleetReport, ExperimentContext,
     MissingPolicyError, SensitivityPoint, TimelineEntry,
 };
+pub use fleet::{
+    fleet_admission_dry_run, resume_fleet, run_fleet, run_fleet_journaled, unit_scenario,
+    BreakerConfig, BreakerState, CircuitBreaker, FleetConfig, FleetError, FleetRunReport,
+    FleetSpec, ShedPolicy,
+};
 pub use parallel::{
-    par_map, par_map_supervised, par_map_supervised_with, par_map_with, parallelism, FleetReport,
-    UnitFailure,
+    par_map, par_map_supervised, par_map_supervised_streaming, par_map_supervised_with,
+    par_map_with, parallelism, FleetReport, UnitFailure,
 };
 pub use reactive::{run_reactive, run_reactive_with_plane, ReactiveEventRecord, ReactiveReport};
 pub use scenario::ScenarioCache;

@@ -14,9 +14,18 @@
 //! times and then **quarantined** — their index is reported in the returned
 //! [`FleetReport`] instead of aborting the whole fan-out. One poisoned
 //! session replay must cost the fleet one result, not the suite.
+//!
+//! [`par_map_supervised_streaming`] is the backpressure tier on top: workers
+//! push outcomes through a *bounded* channel and a sink consumes them in
+//! index order, so a million-unit fleet holds `O(threads + capacity)`
+//! results in memory instead of all of them — the hook the streaming fleet
+//! driver (`crate::fleet`) batches through.
 
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+use pes_core::DegradationLevel;
 
 /// Worker count: the `PES_THREADS` environment variable when set to a
 /// positive integer, otherwise the host's available parallelism.
@@ -40,19 +49,28 @@ pub struct UnitFailure {
     pub index: usize,
     /// Attempts made (`1 + retries` unless the worker thread itself died).
     pub attempts: usize,
+    /// The unit's last known serving tier before it was quarantined, when
+    /// the driver tracks one (the fleet driver records the tier each unit
+    /// was routed at, so quarantine reports say *how degraded* the unit
+    /// already was when it still failed). `None` for plain fan-outs.
+    pub last_level: Option<DegradationLevel>,
     /// Stringified panic payload of the final attempt.
     pub message: String,
 }
 
 /// The outcome of a [`par_map_supervised`] fan-out: per-unit results in
 /// index order (`None` where the unit was quarantined) plus the structured
-/// failure list.
+/// failure list and the per-unit attempt counts.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport<T> {
     /// One slot per unit, in index order; quarantined units hold `None`.
     pub results: Vec<Option<T>>,
     /// Every quarantined unit, in index order.
     pub failures: Vec<UnitFailure>,
+    /// Attempts per unit, in index order: `1` for a first-try success,
+    /// `1 + k` after `k` retries, `0` when the worker thread died before
+    /// reporting the unit.
+    pub attempts: Vec<usize>,
 }
 
 impl<T> FleetReport<T> {
@@ -66,6 +84,21 @@ impl<T> FleetReport<T> {
         self.failures.len()
     }
 
+    /// Fraction of units that were quarantined (`0.0` for an empty fleet).
+    pub fn quarantine_rate(&self) -> f64 {
+        if self.results.is_empty() {
+            0.0
+        } else {
+            self.failures.len() as f64 / self.results.len() as f64
+        }
+    }
+
+    /// Total retry attempts beyond each unit's first try (worker-death
+    /// units, reported with zero attempts, contribute nothing).
+    pub fn total_retries(&self) -> usize {
+        self.attempts.iter().map(|&a| a.saturating_sub(1)).sum()
+    }
+
     /// Whether every unit completed.
     pub fn is_clean(&self) -> bool {
         self.failures.is_empty()
@@ -77,27 +110,27 @@ impl<T> FleetReport<T> {
     }
 }
 
-/// Runs one unit under `catch_unwind` with bounded retry; `Ok` carries the
-/// result, `Err` the last panic payload (already stringified).
-fn run_supervised<T, F>(f: &F, index: usize, retries: usize) -> Result<T, UnitFailure>
+/// One unit outcome as produced by a worker: `(index, attempts, result)`
+/// with the panic payload already stringified.
+type TaggedOutcome<T> = (usize, usize, Result<T, String>);
+
+/// Runs one unit under `catch_unwind` with bounded retry, returning the
+/// attempts made and either the result or the last panic payload.
+fn run_supervised<T, F>(f: &F, index: usize, retries: usize) -> (usize, Result<T, String>)
 where
     F: Fn(usize) -> T + Sync,
 {
     let attempts = retries + 1;
     let mut last = String::new();
-    for _ in 0..attempts {
+    for made in 1..=attempts {
         match catch_unwind(AssertUnwindSafe(|| f(index))) {
-            Ok(value) => return Ok(value),
+            Ok(value) => return (made, Ok(value)),
             Err(payload) => {
                 last = panic_message(payload.as_ref());
             }
         }
     }
-    Err(UnitFailure {
-        index,
-        attempts,
-        message: last,
-    })
+    (attempts, Err(last))
 }
 
 /// Best-effort stringification of a panic payload.
@@ -108,6 +141,57 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "non-string panic payload".to_string()
+    }
+}
+
+/// The failure synthesized for a unit whose worker thread died (a
+/// non-unwinding abort) before reporting it.
+fn worker_death(index: usize) -> UnitFailure {
+    UnitFailure {
+        index,
+        attempts: 0,
+        last_level: None,
+        message: "worker thread died before reporting".to_string(),
+    }
+}
+
+/// Reassembles tagged worker outcomes into a [`FleetReport`] in index
+/// order. Unreported indices — a worker thread died to a non-unwinding
+/// abort after claiming them — are synthesized as zero-attempt failures
+/// instead of poisoning the fleet. Split out of the fan-out so the
+/// worker-death path is unit-testable without actually aborting a thread.
+fn assemble<T>(n: usize, tagged: Vec<TaggedOutcome<T>>) -> FleetReport<T> {
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let mut attempts = vec![0usize; n];
+    let mut failures: Vec<UnitFailure> = Vec::new();
+    let mut seen = vec![false; n];
+    for (index, made, outcome) in tagged {
+        debug_assert!(!seen[index], "unit {index} produced twice");
+        seen[index] = true;
+        attempts[index] = made;
+        match outcome {
+            Ok(value) => slots[index] = Some(value),
+            Err(message) => failures.push(UnitFailure {
+                index,
+                attempts: made,
+                last_level: None,
+                message,
+            }),
+        }
+    }
+    for (index, seen) in seen.iter().enumerate() {
+        if !seen {
+            failures.push(worker_death(index));
+        }
+    }
+    // Reassembled in index order (failures too): this is what makes the
+    // parallel driver byte-identical to the serial one.
+    failures.sort_by_key(|failure| failure.index);
+    FleetReport {
+        results: slots,
+        failures,
+        attempts,
     }
 }
 
@@ -178,20 +262,14 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let threads = threads.max(1).min(n.max(1));
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    let mut failures: Vec<UnitFailure> = Vec::new();
     if threads <= 1 || n <= 1 {
-        for (index, slot) in slots.iter_mut().enumerate() {
-            match run_supervised(&f, index, retries) {
-                Ok(value) => *slot = Some(value),
-                Err(failure) => failures.push(failure),
-            }
-        }
-        return FleetReport {
-            results: slots,
-            failures,
-        };
+        let tagged = (0..n)
+            .map(|index| {
+                let (made, outcome) = run_supervised(&f, index, retries);
+                (index, made, outcome)
+            })
+            .collect();
+        return assemble(n, tagged);
     }
     // Workers pull the next unit index from a shared counter (work stealing
     // in its simplest form: unit costs are uneven, so static chunking would
@@ -199,7 +277,7 @@ where
     let next = AtomicUsize::new(0);
     let next = &next;
     let f = &f;
-    let mut tagged: Vec<(usize, Result<T, UnitFailure>)> = Vec::with_capacity(n);
+    let mut tagged: Vec<TaggedOutcome<T>> = Vec::with_capacity(n);
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {
@@ -210,7 +288,8 @@ where
                         if index >= n {
                             break;
                         }
-                        out.push((index, run_supervised(f, index, retries)));
+                        let (made, outcome) = run_supervised(f, index, retries);
+                        out.push((index, made, outcome));
                     }
                     out
                 })
@@ -219,37 +298,112 @@ where
         for worker in workers {
             // A worker thread can only die to a non-unwinding abort (unit
             // panics are caught above); its claimed-but-unreported units are
-            // synthesized as failures below instead of poisoning the fleet.
+            // synthesized as failures by `assemble` instead of poisoning the
+            // fleet.
             if let Ok(batch) = worker.join() {
                 tagged.extend(batch);
             }
         }
     });
-    let mut seen = vec![false; n];
-    for (index, outcome) in tagged {
-        debug_assert!(!seen[index], "unit {index} produced twice");
-        seen[index] = true;
-        match outcome {
-            Ok(value) => slots[index] = Some(value),
-            Err(failure) => failures.push(failure),
+    assemble(n, tagged)
+}
+
+/// Streaming supervised fan-out with **bounded in-flight results**: maps
+/// `f` over `0..n`, pushing every outcome through a bounded channel of
+/// `capacity` slots, and hands them to `sink` **in index order** —
+/// `Ok(value)` for completed units, `Err(failure)` for quarantined ones.
+/// Workers block once `capacity` outcomes are waiting (real backpressure:
+/// a slow sink throttles the fleet instead of buffering it), so peak
+/// memory stays a small multiple of `threads + capacity` results
+/// regardless of `n`. With
+/// `threads <= 1` the fan-out degenerates to the serial loop and the sink
+/// sees exactly what the serial driver produces — the same byte-identity
+/// contract as [`par_map_supervised`].
+pub fn par_map_supervised_streaming<T, F, S>(
+    threads: usize,
+    n: usize,
+    retries: usize,
+    capacity: usize,
+    f: F,
+    mut sink: S,
+) where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    S: FnMut(usize, Result<T, UnitFailure>),
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        for index in 0..n {
+            let (made, outcome) = run_supervised(&f, index, retries);
+            match outcome {
+                Ok(value) => sink(index, Ok(value)),
+                Err(message) => sink(
+                    index,
+                    Err(UnitFailure {
+                        index,
+                        attempts: made,
+                        last_level: None,
+                        message,
+                    }),
+                ),
+            }
         }
+        return;
     }
-    for (index, seen) in seen.iter().enumerate() {
-        if !seen {
-            failures.push(UnitFailure {
-                index,
-                attempts: 0,
-                message: "worker thread died before reporting".to_string(),
+    let (tx, rx) = std::sync::mpsc::sync_channel::<TaggedOutcome<T>>(capacity.max(1));
+    let next = AtomicUsize::new(0);
+    let next = &next;
+    let f = &f;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= n {
+                    break;
+                }
+                let (made, outcome) = run_supervised(f, index, retries);
+                if tx.send((index, made, outcome)).is_err() {
+                    break;
+                }
             });
         }
-    }
-    // Reassembled in index order (failures too): this is what makes the
-    // parallel driver byte-identical to the serial one.
-    failures.sort_by_key(|failure| failure.index);
-    FleetReport {
-        results: slots,
-        failures,
-    }
+        drop(tx);
+        // The consumer runs on the caller's thread: outcomes arrive in
+        // completion order and are re-sequenced through a small reorder
+        // buffer (bounded by the in-flight window, not by `n`).
+        let mut pending: BTreeMap<usize, (usize, Result<T, String>)> = BTreeMap::new();
+        let mut expect = 0usize;
+        let emit =
+            |index: usize, made: usize, outcome: Result<T, String>, sink: &mut S| match outcome {
+                Ok(value) => sink(index, Ok(value)),
+                Err(message) => sink(
+                    index,
+                    Err(UnitFailure {
+                        index,
+                        attempts: made,
+                        last_level: None,
+                        message,
+                    }),
+                ),
+            };
+        for (index, made, outcome) in rx {
+            pending.insert(index, (made, outcome));
+            while let Some((made, outcome)) = pending.remove(&expect) {
+                emit(expect, made, outcome, &mut sink);
+                expect += 1;
+            }
+        }
+        // Channel closed with holes: a worker died to a non-unwinding abort
+        // after claiming an index. Flush what arrived, synthesize the rest.
+        while expect < n {
+            match pending.remove(&expect) {
+                Some((made, outcome)) => emit(expect, made, outcome, &mut sink),
+                None => sink(expect, Err(worker_death(expect))),
+            }
+            expect += 1;
+        }
+    });
 }
 
 #[cfg(test)]
@@ -299,13 +453,18 @@ mod tests {
         assert_eq!(report.quarantined(), 3); // units 3, 10, 17
         assert_eq!(report.completed(), 17);
         assert!(!report.is_clean());
+        assert!((report.quarantine_rate() - 3.0 / 20.0).abs() < 1e-12);
         assert_eq!(
             report.failures.iter().map(|f| f.index).collect::<Vec<_>>(),
             vec![3, 10, 17]
         );
         assert_eq!(report.failures[0].message, "unit 3 is poisoned");
+        assert_eq!(report.failures[0].last_level, None);
         assert_eq!(report.results[3], None);
         assert_eq!(report.results[4], Some(8));
+        // Every unit was attempted exactly once (no retries requested).
+        assert_eq!(report.attempts, vec![1; 20]);
+        assert_eq!(report.total_retries(), 0);
         // Holes drop out of into_results, order preserved.
         assert_eq!(report.into_results().len(), 17);
     }
@@ -323,6 +482,9 @@ mod tests {
         assert!(report.is_clean(), "two retries rescue a twice-flaky unit");
         assert_eq!(report.results, vec![Some(1), Some(2), Some(3), Some(4)]);
         assert_eq!(attempts.load(Ordering::SeqCst), 3);
+        // The rescued unit reports its three attempts; the rest one each.
+        assert_eq!(report.attempts, vec![1, 1, 3, 1]);
+        assert_eq!(report.total_retries(), 2);
     }
 
     #[test]
@@ -336,6 +498,7 @@ mod tests {
         assert_eq!(report.quarantined(), 1);
         assert_eq!(report.failures[0].attempts, 3);
         assert_eq!(report.failures[0].message, "always fails");
+        assert_eq!(report.attempts[1], 3);
     }
 
     #[test]
@@ -354,5 +517,98 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn assemble_synthesizes_failures_for_worker_death_holes() {
+        // Units 0 and 2 reported; unit 1 was claimed by a worker that died
+        // to a non-unwinding abort and never reported. `assemble` must
+        // synthesize a zero-attempt failure for it instead of panicking or
+        // silently dropping the slot.
+        let tagged: Vec<TaggedOutcome<u32>> = vec![(2, 1, Ok(20)), (0, 2, Err("boom".to_string()))];
+        let report = assemble(3, tagged);
+        assert_eq!(report.results, vec![None, None, Some(20)]);
+        assert_eq!(report.attempts, vec![2, 0, 1]);
+        assert_eq!(report.failures.len(), 2);
+        assert_eq!(report.failures[0].index, 0);
+        assert_eq!(report.failures[0].message, "boom");
+        assert_eq!(report.failures[1].index, 1);
+        assert_eq!(report.failures[1].attempts, 0);
+        assert_eq!(
+            report.failures[1].message,
+            "worker thread died before reporting"
+        );
+        assert!((report.quarantine_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fleet_has_zero_quarantine_rate() {
+        let report = par_map_supervised_with(4, 0, 0, |i| i);
+        assert_eq!(report.quarantine_rate(), 0.0);
+        assert!(report.is_clean());
+        assert!(report.attempts.is_empty());
+    }
+
+    #[test]
+    fn streaming_sink_sees_index_order_and_matches_batch() {
+        let work = |i: usize| {
+            if i % 11 == 7 {
+                panic!("unit {i} fails");
+            }
+            i * i
+        };
+        let batch = par_map_supervised_with(6, 100, 1, work);
+        for threads in [1, 6] {
+            let mut seen = Vec::new();
+            par_map_supervised_streaming(threads, 100, 1, 4, work, |index, outcome| {
+                seen.push((index, outcome.map_err(|f| (f.attempts, f.message))));
+            });
+            assert_eq!(seen.len(), 100);
+            for (k, (index, outcome)) in seen.iter().enumerate() {
+                assert_eq!(*index, k, "sink consumes in index order");
+                match outcome {
+                    Ok(value) => assert_eq!(Some(*value), batch.results[k]),
+                    Err((attempts, message)) => {
+                        let failure = batch
+                            .failures
+                            .iter()
+                            .find(|f| f.index == k)
+                            .expect("batch quarantined the same unit");
+                        assert_eq!(*attempts, failure.attempts);
+                        assert_eq!(*message, failure.message);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_bounds_in_flight_results() {
+        use std::sync::atomic::AtomicUsize;
+        // A deliberately slow sink: with a capacity-4 channel the workers
+        // must block rather than buffering all 64 outcomes.
+        let produced = AtomicUsize::new(0);
+        let mut consumed = 0usize;
+        let mut max_gap = 0usize;
+        par_map_supervised_streaming(
+            4,
+            512,
+            0,
+            4,
+            |i| {
+                produced.fetch_add(1, Ordering::SeqCst);
+                i
+            },
+            |_, _| {
+                consumed += 1;
+                let gap = produced.load(Ordering::SeqCst).saturating_sub(consumed);
+                max_gap = max_gap.max(gap);
+            },
+        );
+        assert_eq!(consumed, 512);
+        // In-flight window: channel capacity + one per worker (in hand) +
+        // the reorder buffer's transient, measured racily. A small multiple
+        // of (threads + capacity), far below n — which is the point.
+        assert!(max_gap <= 64, "max in-flight gap {max_gap} of 512");
     }
 }

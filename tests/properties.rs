@@ -1080,3 +1080,164 @@ mod chaos {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fleet resilience tier: breaker determinism and admission liveness.
+// ---------------------------------------------------------------------------
+
+mod fleet_resilience {
+    use super::*;
+
+    use pes::schedulers::RoutedTier;
+    use pes::sim::{
+        fleet_admission_dry_run, BreakerConfig, BreakerState, CircuitBreaker, FleetConfig,
+        FleetSpec, ShedPolicy,
+    };
+
+    fn breaker_config(
+        window: usize,
+        trip_threshold: usize,
+        cooldown_batches: usize,
+        close_after: usize,
+    ) -> BreakerConfig {
+        BreakerConfig {
+            window,
+            trip_threshold,
+            cooldown_batches,
+            probes: 2,
+            close_after,
+            open_tier: RoutedTier::Reactive,
+        }
+    }
+
+    proptest! {
+        /// A circuit breaker fed an arbitrary seeded chaos schedule of
+        /// outcomes, probes and batch ticks is deterministic (same schedule,
+        /// same state trajectory, bit for bit) and only ever takes legal
+        /// transitions: Closed→Open, Open→HalfOpen, HalfOpen→Open and
+        /// HalfOpen→Closed.
+        #[test]
+        fn breaker_is_deterministic_and_transitions_stay_legal(
+            window in 1usize..=64,
+            trip_threshold in 1usize..=16,
+            cooldown_batches in 1usize..=4,
+            close_after in 1usize..=4,
+            ops in proptest::collection::vec((0u8..3, 0u8..2), 1..200),
+        ) {
+            let config = breaker_config(window, trip_threshold, cooldown_batches, close_after);
+            let run = |ops: &[(u8, u8)]| {
+                let mut breaker = CircuitBreaker::new(&config);
+                let mut states = vec![breaker.state()];
+                for &(kind, bad) in ops {
+                    let bad = bad == 1;
+                    match kind {
+                        0 => breaker.record(bad),
+                        1 => breaker.record_probe(bad),
+                        _ => breaker.end_batch(),
+                    }
+                    states.push(breaker.state());
+                }
+                (breaker, states)
+            };
+            let (a, states_a) = run(&ops);
+            let (b, states_b) = run(&ops);
+            prop_assert_eq!(&a, &b, "breaker must replay deterministically");
+            prop_assert_eq!(&states_a, &states_b);
+            prop_assert_eq!(a.history_letters(), b.history_letters());
+            for pair in states_a.windows(2) {
+                let legal = matches!(
+                    (pair[0], pair[1]),
+                    (x, y) if x == y
+                ) || matches!(
+                    (pair[0], pair[1]),
+                    (BreakerState::Closed, BreakerState::Open)
+                        | (BreakerState::Open, BreakerState::HalfOpen)
+                        | (BreakerState::HalfOpen, BreakerState::Open)
+                        | (BreakerState::HalfOpen, BreakerState::Closed)
+                );
+                prop_assert!(legal, "illegal transition {:?} -> {:?}", pair[0], pair[1]);
+            }
+        }
+
+        /// Recovery liveness: however a breaker got tripped, a cooldown
+        /// followed by clean probes always walks it Open → HalfOpen →
+        /// Closed with a cleared window.
+        #[test]
+        fn clean_probes_always_close_a_tripped_breaker(
+            window in 1usize..=64,
+            trip_threshold in 1usize..=16,
+            cooldown_batches in 1usize..=4,
+            close_after in 1usize..=4,
+        ) {
+            let trip_threshold = trip_threshold.min(window);
+            let config = breaker_config(window, trip_threshold, cooldown_batches, close_after);
+            let mut breaker = CircuitBreaker::new(&config);
+            for _ in 0..trip_threshold {
+                breaker.record(true);
+            }
+            prop_assert_eq!(breaker.state(), BreakerState::Open);
+            for _ in 0..cooldown_batches {
+                prop_assert_eq!(breaker.state(), BreakerState::Open);
+                breaker.end_batch();
+            }
+            prop_assert_eq!(breaker.state(), BreakerState::HalfOpen);
+            for _ in 0..close_after {
+                prop_assert_eq!(breaker.state(), BreakerState::HalfOpen);
+                breaker.record_probe(false);
+            }
+            prop_assert_eq!(breaker.state(), BreakerState::Closed);
+            prop_assert_eq!(breaker.bad_in_window(), 0, "window cleared on close");
+            prop_assert_eq!(breaker.history_letters(), "OHC");
+        }
+
+        /// Admission liveness: the full driver loop (arrivals, storms,
+        /// bounded queue, shedding, batched admission) terminates for any
+        /// spec/config, never deadlocks, conserves every session (served or
+        /// deliberately shed, nothing lost), keeps the post-shed queue
+        /// within its capacity, and is deterministic.
+        #[test]
+        fn fleet_admission_never_deadlocks_and_conserves_sessions(
+            sessions in 0usize..4_000,
+            seed in 0u64..u64::MAX,
+            arrivals_per_step in 0usize..32,
+            storm_every in 0usize..12,
+            storm_arrivals in 0usize..256,
+            batch_size in 0usize..64,
+            queue_capacity in 0usize..128,
+            oldest_first in 0u8..2,
+        ) {
+            let spec = FleetSpec {
+                sessions,
+                seed,
+                arrivals_per_step,
+                storm_every,
+                storm_arrivals,
+                max_events_per_session: 0,
+            };
+            let config = FleetConfig {
+                batch_size,
+                queue_capacity,
+                shed: if oldest_first == 0 {
+                    ShedPolicy::OldestFirst
+                } else {
+                    ShedPolicy::LowestPriorityFirst
+                },
+                ..FleetConfig::default()
+            };
+            let report = fleet_admission_dry_run(&spec, &config);
+            prop_assert_eq!(
+                report.completed + report.shed,
+                sessions,
+                "every session is either served or deliberately shed"
+            );
+            prop_assert!(report.peak_queue <= queue_capacity.max(1));
+            prop_assert_eq!(
+                report.shed_by_priority.iter().sum::<usize>(),
+                report.shed
+            );
+            prop_assert!(report.is_clean(), "clean executor never quarantines");
+            let again = fleet_admission_dry_run(&spec, &config);
+            prop_assert_eq!(report, again, "admission arithmetic is deterministic");
+        }
+    }
+}
