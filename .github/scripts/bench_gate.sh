@@ -34,6 +34,10 @@ median_of() {
   grep -F "\"name\": \"$2\"" "$1" | tail -n 1 | sed -E 's/.*"median_ns": ([0-9.eE+-]+).*/\1/'
 }
 
+# Entries are either a bare kernel name (compared against rows recorded
+# under <baseline-phase>) or `<phase>:<kernel>` to pin the baseline to the
+# PR phase that first recorded the unit — later PRs add kernels without
+# re-recording the whole pr5 baseline.
 kernels=(
   dvfs_decision/ladder_eval_17
   dvfs_decision/cached_decision
@@ -41,16 +45,24 @@ kernels=(
   solver_window/hostile_12x17_anytime
   solver_window/rebuild_13x17
   solver_window/rebuild_13x17_sorted
+  pr8:predict_kernel/single_masked_f64
+  pr8:predict_kernel/single_masked_packed
+  pr8:predict_kernel/batch_64_f64_reference
+  pr8:predict_kernel/predict_many_64
 )
 
 fail=0
 names=()
 ratios=()
 for kernel in "${kernels[@]}"; do
-  base=$(median_of "$baseline_file" "session_replay/$baseline_phase/$kernel" || true)
+  bphase="$baseline_phase"
+  case "$kernel" in
+    *:*) bphase="${kernel%%:*}" kernel="${kernel#*:}" ;;
+  esac
+  base=$(median_of "$baseline_file" "session_replay/$bphase/$kernel" || true)
   smoke=$(median_of "$smoke_file" "session_replay/$smoke_phase/$kernel" || true)
   if [ -z "$base" ]; then
-    echo "::error::no '$baseline_phase' baseline row for $kernel in $baseline_file"
+    echo "::error::no '$bphase' baseline row for $kernel in $baseline_file"
     fail=1
     continue
   fi

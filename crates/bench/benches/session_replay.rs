@@ -188,6 +188,68 @@ fn session_replay(c: &mut Criterion) {
         })
     });
 
+    // The same round through the packed f32 plane: identical chaining and
+    // masking, but each inference is one class-major matrix row sweep
+    // instead of seven f64 dot products.
+    let mut packed_learner = learner.clone();
+    packed_learner.set_config(LearnerConfig::paper_defaults().with_packed(true));
+    let mut packed_scratch = PredictScratch::new();
+    group.bench_function("prediction_round/packed", |b| {
+        b.iter(|| {
+            black_box(
+                packed_learner
+                    .predict_sequence_with(black_box(&state), &mut packed_scratch)
+                    .len(),
+            )
+        })
+    });
+
+    // ------------------------------------------------------------------
+    // Prediction-plane kernels (PR 8): one masked inference through the
+    // retained f64 reference, the same inference through the packed f32
+    // plane, and a 64-session shard through one `predict_many` matrix
+    // pass. The acceptance bar is the batch path beating 64 scalar
+    // inferences by ≥ 2×.
+    // ------------------------------------------------------------------
+    let classifier = learner.classifier();
+    let packed = learner.packed();
+    let mut probe = SessionState::new(page.tree.clone());
+    for ev in trace.events().iter().take(6) {
+        probe.observe(ev);
+    }
+    let features = probe.features();
+    let mask = probe.allowed_types();
+    let mut padded: Vec<f32> = Vec::new();
+    packed.pad_features(&features, &mut padded);
+
+    group.bench_function("predict_kernel/single_masked_f64", |b| {
+        b.iter(|| black_box(classifier.predict_masked(black_box(&features), black_box(mask))))
+    });
+    group.bench_function("predict_kernel/single_masked_packed", |b| {
+        b.iter(|| black_box(packed.predict_masked(black_box(&padded), black_box(mask))))
+    });
+
+    const SHARD: usize = 64;
+    let mut rows: Vec<f32> = Vec::new();
+    for _ in 0..SHARD {
+        packed.pad_features_append(&features, &mut rows);
+    }
+    let masks = vec![mask; SHARD];
+    let mut decisions = Vec::with_capacity(SHARD);
+    group.bench_function("predict_kernel/batch_64_f64_reference", |b| {
+        b.iter(|| {
+            for _ in 0..SHARD {
+                black_box(classifier.predict_masked(black_box(&features), black_box(mask)));
+            }
+        })
+    });
+    group.bench_function("predict_kernel/predict_many_64", |b| {
+        b.iter(|| {
+            packed.predict_many(black_box(&rows), black_box(&masks), &mut decisions);
+            black_box(decisions.len())
+        })
+    });
+
     // The scenario artifacts alone: what regenerating them per unit used to
     // cost (and what the cache now pays once per (app, trace index)).
     let app = &catalog.apps()[app_idx];

@@ -128,6 +128,16 @@ impl PesConfig {
         self
     }
 
+    /// Returns a copy with prediction rounds routed through the packed
+    /// class-major f32 plane (`pes_predictor::PackedModel`) instead of the
+    /// per-class f64 reference path. Off by default: the reference path
+    /// keeps the pinned goldens bit-stable, the packed plane serves the
+    /// fleet's batch tiers.
+    pub fn with_packed_prediction(mut self, use_packed: bool) -> Self {
+        self.learner = self.learner.with_packed(use_packed);
+        self
+    }
+
     /// Returns a copy with the misprediction fallback enabled or disabled.
     pub fn with_fallback(mut self, enable: bool) -> Self {
         self.enable_fallback = enable;

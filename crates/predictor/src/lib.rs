@@ -35,16 +35,23 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![cfg_attr(feature = "portable-simd", feature(portable_simd))]
 
 pub mod features;
 pub mod learner;
 pub mod logistic;
+pub mod packed;
 pub mod trainer;
 
 pub use features::{FeatureVector, HistoryWindow, SessionState, FEATURE_DIM, HISTORY_WINDOW};
 pub use learner::{EventSequenceLearner, LearnerConfig, PredictScratch, PredictedEvent};
 pub use logistic::{LogisticModel, OneVsRestClassifier};
-pub use trainer::{build_dataset, evaluate_accuracy, Trainer, TrainingConfig};
+pub use packed::{sigmoid_f32, PackedModel, QuantizedModel, CLASSES, LANES};
+pub use trainer::{
+    build_dataset, evaluate_accuracy, evaluate_accuracy_batched, TrainError, Trainer,
+    TrainingConfig,
+};
 
 #[cfg(test)]
 mod tests {

@@ -119,6 +119,18 @@ impl OneVsRestClassifier {
         }
     }
 
+    /// Creates a classifier from explicit per-class models (indexed by
+    /// [`EventType::class_index`]). Missing classes are zero-filled and
+    /// extras truncated, so any model list yields a full class set.
+    pub fn from_models(models: Vec<LogisticModel>, dim: usize) -> Self {
+        let mut models = models;
+        models.truncate(EventType::ALL.len());
+        while models.len() < EventType::ALL.len() {
+            models.push(LogisticModel::zeros(dim));
+        }
+        OneVsRestClassifier { models, dim }
+    }
+
     /// The feature dimension the classifier expects.
     pub fn dim(&self) -> usize {
         self.dim
@@ -167,13 +179,17 @@ impl OneVsRestClassifier {
                 continue;
             }
             let p = self.models[e.class_index()].predict_proba(features);
-            assert!(p.is_finite(), "probabilities are finite");
+            debug_assert!(p.is_finite(), "probabilities are finite");
             match winner {
                 Some((_, best)) if p < best => {}
                 _ => winner = Some((e, p)),
             }
         }
-        winner.expect("at least one class exists")
+        match winner {
+            Some(w) => w,
+            // Unreachable: the fallback mask always contains every class.
+            None => (EventType::ALL[0], 0.0),
+        }
     }
 
     /// Trains the classifier with stochastic gradient descent.

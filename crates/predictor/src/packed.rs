@@ -1,0 +1,614 @@
+//! The batched + SIMD prediction plane: class-major packed weights.
+//!
+//! [`crate::OneVsRestClassifier`] stores one `Vec<f64>` per class — fine for
+//! training, but every prediction round then chases seven separate
+//! allocations and pays f64 arithmetic for what is a 14-dimensional masked
+//! argmax. [`PackedModel`] re-lays the trained weights as **one contiguous
+//! class-major `f32` matrix** whose rows are zero-padded to a multiple of
+//! the lane width, so a whole model is seven cache lines that stay resident
+//! across a batch.
+//!
+//! The dot-product kernel is written once as four explicit lane
+//! accumulators combined in a fixed order. The default build uses the
+//! hand-unrolled scalar form; the `portable-simd` cargo feature (nightly
+//! only) swaps in a `core::simd` variant that performs the *same* IEEE
+//! operations in the *same* order — the two are bit-identical by
+//! construction, which is what the differential proptests pin.
+//!
+//! [`PackedModel::predict_many`] runs one matrix pass over a whole batch of
+//! feature rows (a fleet shard's pending sessions, or every trace of an
+//! app in a figure sweep), turning per-event scalar cost into amortised
+//! batch cost. [`QuantizedModel`] is the stretch tier: i8 weight rows with
+//! a per-class scale, differentially tested against the f32 decisions.
+
+use pes_dom::{EventType, EventTypeSet};
+
+use crate::logistic::OneVsRestClassifier;
+
+/// Lane width of the packed kernel. Rows are zero-padded to a multiple of
+/// this, which folds the tail mask into the lane load: padding lanes
+/// multiply by zero instead of branching.
+pub const LANES: usize = 4;
+
+/// Number of one-vs-rest classes (one per [`EventType`]).
+pub const CLASSES: usize = EventType::ALL.len();
+
+/// Numerically stable f32 sigmoid, the single-precision twin of the f64
+/// reference in `logistic.rs`.
+#[inline]
+pub fn sigmoid_f32(z: f32) -> f32 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Four-lane fused accumulate over equal-length, lane-padded slices.
+///
+/// Scalar fallback: four independent accumulators, combined in a fixed
+/// tree. The `portable-simd` variant below performs the identical
+/// operations, so both builds produce bit-identical sums.
+#[cfg(not(feature = "portable-simd"))]
+#[inline(always)]
+fn dot_lanes(row: &[f32], x: &[f32]) -> f32 {
+    debug_assert_eq!(row.len(), x.len());
+    debug_assert!(row.len().is_multiple_of(LANES));
+    // Fast path for the serving shape (FEATURE_DIM = 14 padded to 16):
+    // sixteen independent products folded by a balanced lane tree — no
+    // serial accumulation chain at all, so the four adds per lane can
+    // retire in parallel. The `portable-simd` build performs the identical
+    // elementwise operations, so both remain bit-identical.
+    if let (Ok(r), Ok(c)) = (<&[f32; 16]>::try_from(row), <&[f32; 16]>::try_from(x)) {
+        return dot_lanes16(r, c);
+    }
+    let mut acc = [0.0f32; LANES];
+    for (r, c) in row.chunks_exact(LANES).zip(x.chunks_exact(LANES)) {
+        acc[0] += r[0] * c[0];
+        acc[1] += r[1] * c[1];
+        acc[2] += r[2] * c[2];
+        acc[3] += r[3] * c[3];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// The 16-length serving kernel: per lane `l`, the reduction is the fixed
+/// balanced tree `(p[l] + p[4+l]) + (p[8+l] + p[12+l])`, then the lane sums
+/// fold as `(s[0] + s[1]) + (s[2] + s[3])`. The SIMD variant performs the
+/// same elementwise tree, so the two builds never differ by a bit.
+#[cfg(not(feature = "portable-simd"))]
+#[inline(always)]
+fn dot_lanes16(row: &[f32; 16], x: &[f32; 16]) -> f32 {
+    let mut p = [0.0f32; 16];
+    for i in 0..16 {
+        p[i] = row[i] * x[i];
+    }
+    let mut s = [0.0f32; LANES];
+    for l in 0..LANES {
+        s[l] = (p[l] + p[LANES + l]) + (p[2 * LANES + l] + p[3 * LANES + l]);
+    }
+    (s[0] + s[1]) + (s[2] + s[3])
+}
+
+/// `core::simd` variant: same lane shape, same reduction order, therefore
+/// bit-identical to the scalar fallback. Selected at build time by the
+/// `portable-simd` feature (requires a nightly toolchain).
+#[cfg(feature = "portable-simd")]
+#[inline(always)]
+fn dot_lanes(row: &[f32], x: &[f32]) -> f32 {
+    use core::simd::Simd;
+    debug_assert_eq!(row.len(), x.len());
+    debug_assert!(row.len().is_multiple_of(LANES));
+    // 16-length serving shape: four independent product vectors folded by
+    // the same balanced elementwise tree as the scalar `dot_lanes16`.
+    if row.len() == 16 {
+        let p0 = Simd::<f32, LANES>::from_slice(&row[0..4]) * Simd::from_slice(&x[0..4]);
+        let p1 = Simd::<f32, LANES>::from_slice(&row[4..8]) * Simd::from_slice(&x[4..8]);
+        let p2 = Simd::<f32, LANES>::from_slice(&row[8..12]) * Simd::from_slice(&x[8..12]);
+        let p3 = Simd::<f32, LANES>::from_slice(&row[12..16]) * Simd::from_slice(&x[12..16]);
+        let s = ((p0 + p1) + (p2 + p3)).to_array();
+        return (s[0] + s[1]) + (s[2] + s[3]);
+    }
+    let mut acc = Simd::<f32, LANES>::splat(0.0);
+    for (r, c) in row.chunks_exact(LANES).zip(x.chunks_exact(LANES)) {
+        acc = acc + Simd::<f32, LANES>::from_slice(r) * Simd::<f32, LANES>::from_slice(c);
+    }
+    let a = acc.to_array();
+    (a[0] + a[1]) + (a[2] + a[3])
+}
+
+/// Masked argmax over the class scores, replicating the f64 reference's
+/// tie-breaking exactly: classes are visited in [`EventType::ALL`] order
+/// and the winner is replaced unless the candidate is strictly worse, so
+/// ties resolve to the *later* class. An empty mask falls back to the full
+/// class set, as in [`OneVsRestClassifier::predict_masked`].
+#[inline]
+fn argmax_masked(scores: &[f32; CLASSES], allowed: EventTypeSet) -> (EventType, f32) {
+    let mask = if allowed.is_empty() {
+        EventTypeSet::ALL
+    } else {
+        allowed
+    };
+    let mut best_c = usize::MAX;
+    let mut best = 0.0f32;
+    for (c, &e) in EventType::ALL.iter().enumerate() {
+        if !mask.contains(e) {
+            continue;
+        }
+        let s = scores[c];
+        // Replace unless strictly worse — ties resolve to the later class,
+        // and a NaN candidate replaces (NaN comparisons are false), exactly
+        // as the f64 reference's `match` arm behaves. `s >= best` is NOT
+        // equivalent: it is false for NaN, so the lint's suggestion would
+        // change NaN handling.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if best_c == usize::MAX || !(s < best) {
+            best_c = c;
+            best = s;
+        }
+    }
+    if best_c == usize::MAX {
+        // Unreachable: the fallback mask always contains every class.
+        return (EventType::ALL[0], scores[0]);
+    }
+    (EventType::ALL[best_c], best)
+}
+
+/// The trained one-vs-rest weights re-laid as one contiguous class-major
+/// `f32` matrix: row `c` holds class `c`'s weights, zero-padded to a
+/// multiple of [`LANES`]. The f64 per-class layout stays the reference
+/// path; this is the serving layout the batch and SIMD kernels run on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedModel {
+    /// `CLASSES * padded_dim` weights, class-major.
+    weights: Vec<f32>,
+    biases: [f32; CLASSES],
+    dim: usize,
+    padded_dim: usize,
+}
+
+impl PackedModel {
+    /// Packs a trained classifier. Total for any classifier shape: classes
+    /// with shorter weight vectors are zero-padded, longer ones truncated
+    /// to the classifier's declared dimension — mirroring the zip-based
+    /// robustness of the f64 `predict_proba`.
+    pub fn from_classifier(classifier: &OneVsRestClassifier) -> Self {
+        let dim = classifier.dim();
+        let padded_dim = dim.next_multiple_of(LANES);
+        let mut weights = vec![0.0f32; CLASSES * padded_dim];
+        let mut biases = [0.0f32; CLASSES];
+        for (c, model) in classifier.models().iter().enumerate().take(CLASSES) {
+            biases[c] = model.bias() as f32;
+            let row = &mut weights[c * padded_dim..(c + 1) * padded_dim];
+            for (slot, w) in row.iter_mut().zip(model.weights().iter().take(dim)) {
+                *slot = *w as f32;
+            }
+        }
+        PackedModel {
+            weights,
+            biases,
+            dim,
+            padded_dim,
+        }
+    }
+
+    /// The unpadded feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The lane-padded row stride (a multiple of [`LANES`]).
+    pub fn padded_dim(&self) -> usize {
+        self.padded_dim
+    }
+
+    /// Class `c`'s padded weight row.
+    fn row(&self, c: usize) -> &[f32] {
+        &self.weights[c * self.padded_dim..(c + 1) * self.padded_dim]
+    }
+
+    /// Appends one lane-padded f32 row converted from f64 features to
+    /// `out` — the building block for batch matrices. Extra features are
+    /// truncated and missing ones zero-filled, like the f64 reference.
+    pub fn pad_features_append(&self, features: &[f64], out: &mut Vec<f32>) {
+        let start = out.len();
+        out.extend(features.iter().take(self.dim).map(|&v| v as f32));
+        out.resize(start + self.padded_dim, 0.0);
+    }
+
+    /// Converts f64 features into a single lane-padded f32 row in `out`
+    /// (cleared first).
+    pub fn pad_features(&self, features: &[f64], out: &mut Vec<f32>) {
+        out.clear();
+        self.pad_features_append(features, out);
+    }
+
+    /// Writes all [`CLASSES`] raw logit scores `w_c · x + b_c` for one
+    /// lane-padded row. Every class is scored — masking happens at the
+    /// argmax, keeping the kernel branch-free and uniform across paths.
+    pub fn scores_into(&self, padded: &[f32], out: &mut [f32; CLASSES]) {
+        debug_assert_eq!(padded.len(), self.padded_dim);
+        for (c, slot) in out.iter_mut().enumerate() {
+            *slot = dot_lanes(self.row(c), padded) + self.biases[c];
+        }
+    }
+
+    /// Convenience form of [`PackedModel::scores_into`].
+    pub fn scores(&self, padded: &[f32]) -> [f32; CLASSES] {
+        let mut out = [0.0f32; CLASSES];
+        self.scores_into(padded, &mut out);
+        out
+    }
+
+    /// Predicts the most likely allowed event for one lane-padded feature
+    /// row, returning its raw winning logit. Tie-breaks and empty-mask
+    /// fallback replicate the f64 reference exactly. This is the score the
+    /// batch path compares against bit for bit; [`PackedModel::predict_masked`]
+    /// is the sigmoid-squashed form the sequence learner chains on.
+    pub fn predict_masked_raw(&self, padded: &[f32], allowed: EventTypeSet) -> (EventType, f32) {
+        let mut scores = [0.0f32; CLASSES];
+        self.scores_into(padded, &mut scores);
+        argmax_masked(&scores, allowed)
+    }
+
+    /// Predicts the most likely allowed event for one lane-padded feature
+    /// row, returning its f32 confidence (the winning sigmoid). Tie-breaks
+    /// and empty-mask fallback replicate the f64 reference exactly.
+    pub fn predict_masked(&self, padded: &[f32], allowed: EventTypeSet) -> (EventType, f32) {
+        let (event, z) = self.predict_masked_raw(padded, allowed);
+        (event, sigmoid_f32(z))
+    }
+
+    /// One matrix pass over a whole batch: `padded_rows` holds
+    /// `masks.len()` lane-padded rows back to back, `out` receives one
+    /// `(event, raw winning logit)` per row (cleared first) — the logit
+    /// rather than the sigmoid, because batch consumers (the fleet drain,
+    /// the figure sweeps) only use the class decision and the sigmoid is
+    /// strictly monotonic, so squashing cannot change it. Each row goes
+    /// through the same kernel and argmax as
+    /// [`PackedModel::predict_masked_raw`], so the batch path is
+    /// bit-identical to the single path by construction — including empty
+    /// and length-1 batches.
+    pub fn predict_many(
+        &self,
+        padded_rows: &[f32],
+        masks: &[EventTypeSet],
+        out: &mut Vec<(EventType, f32)>,
+    ) {
+        debug_assert_eq!(padded_rows.len(), masks.len() * self.padded_dim);
+        out.clear();
+        out.reserve(masks.len());
+        // Row-at-a-time over the shard: the whole model is seven cache
+        // lines, so the weights stay resident across the batch and each
+        // row's seven dots run out of registers. Every row goes through the
+        // identical `scores_into` + `argmax_masked` as the single path.
+        let mut scores = [0.0f32; CLASSES];
+        for (row, &mask) in padded_rows.chunks_exact(self.padded_dim).zip(masks.iter()) {
+            self.scores_into(row, &mut scores);
+            out.push(argmax_masked(&scores, mask));
+        }
+    }
+}
+
+/// The quantised serving tier: i8 weight rows with one symmetric scale per
+/// class (`w ≈ scale · q`, `q ∈ [-127, 127]`). Scores are reconstructed in
+/// f32 with the same lane shape as [`PackedModel`], so the only difference
+/// from the f32 tier is the quantisation error itself — which the catalog
+/// differential test bounds at zero decision flips.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedModel {
+    /// `CLASSES * padded_dim` quantised weights, class-major.
+    weights: Vec<i8>,
+    scales: [f32; CLASSES],
+    biases: [f32; CLASSES],
+    /// The f32 rows the quantised ones were derived from, retained for
+    /// near-tie arbitration: when the i8 top-two margin falls inside the
+    /// analytic rounding bound, the decision is re-scored exactly with the
+    /// same lane kernel as [`PackedModel`], which is what makes the
+    /// zero-decision-flip contract provable rather than empirical.
+    exact: Vec<f32>,
+    dim: usize,
+    padded_dim: usize,
+}
+
+/// The lane kernel over an i8 row: dequantises per lane (`q as f32`) and
+/// accumulates in f32 with the exact shape of [`dot_lanes`]; the caller
+/// applies the per-class scale once to the reduced sum.
+#[inline]
+fn dot_lanes_i8(row: &[i8], x: &[f32]) -> f32 {
+    debug_assert_eq!(row.len(), x.len());
+    debug_assert!(row.len().is_multiple_of(LANES));
+    let mut acc = [0.0f32; LANES];
+    for (r, c) in row.chunks_exact(LANES).zip(x.chunks_exact(LANES)) {
+        acc[0] += f32::from(r[0]) * c[0];
+        acc[1] += f32::from(r[1]) * c[1];
+        acc[2] += f32::from(r[2]) * c[2];
+        acc[3] += f32::from(r[3]) * c[3];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+impl QuantizedModel {
+    /// Quantises a packed f32 model: per class, `scale = max|w| / 127` and
+    /// `q = round(w / scale)`. An all-zero row keeps scale 1 (and all-zero
+    /// quantised weights).
+    pub fn from_packed(packed: &PackedModel) -> Self {
+        let padded_dim = packed.padded_dim;
+        let mut weights = vec![0i8; CLASSES * padded_dim];
+        let mut scales = [1.0f32; CLASSES];
+        for c in 0..CLASSES {
+            let row = packed.row(c);
+            let max_abs = row.iter().fold(0.0f32, |m, w| m.max(w.abs()));
+            if max_abs > 0.0 {
+                let scale = max_abs / 127.0;
+                scales[c] = scale;
+                for (slot, w) in weights[c * padded_dim..(c + 1) * padded_dim]
+                    .iter_mut()
+                    .zip(row.iter())
+                {
+                    *slot = (w / scale).round().clamp(-127.0, 127.0) as i8;
+                }
+            }
+        }
+        QuantizedModel {
+            weights,
+            scales,
+            biases: packed.biases,
+            exact: packed.weights.clone(),
+            dim: packed.dim,
+            padded_dim,
+        }
+    }
+
+    /// Quantises straight from a trained classifier.
+    pub fn from_classifier(classifier: &OneVsRestClassifier) -> Self {
+        QuantizedModel::from_packed(&PackedModel::from_classifier(classifier))
+    }
+
+    /// The unpadded feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The lane-padded row stride.
+    pub fn padded_dim(&self) -> usize {
+        self.padded_dim
+    }
+
+    /// The per-class dequantisation scales.
+    pub fn scales(&self) -> &[f32; CLASSES] {
+        &self.scales
+    }
+
+    /// Writes all [`CLASSES`] reconstructed logit scores
+    /// `scale_c · (q_c · x) + b_c` for one lane-padded row.
+    pub fn scores_into(&self, padded: &[f32], out: &mut [f32; CLASSES]) {
+        debug_assert_eq!(padded.len(), self.padded_dim);
+        for (c, slot) in out.iter_mut().enumerate() {
+            let row = &self.weights[c * self.padded_dim..(c + 1) * self.padded_dim];
+            *slot = self.scales[c] * dot_lanes_i8(row, padded) + self.biases[c];
+        }
+    }
+
+    /// Convenience form of [`QuantizedModel::scores_into`].
+    pub fn scores(&self, padded: &[f32]) -> [f32; CLASSES] {
+        let mut out = [0.0f32; CLASSES];
+        self.scores_into(padded, &mut out);
+        out
+    }
+
+    /// Masked prediction over the quantised tier, with the same argmax,
+    /// tie-breaking and empty-mask fallback as the f32 paths.
+    ///
+    /// Fast path: argmax over the reconstructed i8 scores. Whenever the
+    /// winning margin over any other allowed class falls inside the
+    /// analytic rounding bound `0.5 · (scale_w + scale_c) · Σ|x|` (plus a
+    /// small f32 accumulation slack), the decision is re-scored with the
+    /// retained f32 rows through the identical lane kernel — so the class
+    /// decision always equals [`PackedModel::predict_masked`]: clear
+    /// margins cannot flip under a bounded perturbation, and near-ties are
+    /// arbitrated by the exact scores themselves.
+    pub fn predict_masked(&self, padded: &[f32], allowed: EventTypeSet) -> (EventType, f32) {
+        let mut scores = [0.0f32; CLASSES];
+        self.scores_into(padded, &mut scores);
+        let effective = if allowed.is_empty() {
+            EventTypeSet::ALL
+        } else {
+            allowed
+        };
+        let (winner, z) = argmax_masked(&scores, allowed);
+        let abs_sum: f32 = padded.iter().map(|x| x.abs()).sum();
+        let w = winner.class_index();
+        let near_tie = EventType::ALL.iter().enumerate().any(|(c, event)| {
+            if c == w || !effective.contains(*event) {
+                return false;
+            }
+            let bound = 0.5 * abs_sum * (self.scales[w] + self.scales[c]) * 1.001 + 1e-4;
+            z - scores[c] <= bound
+        });
+        if near_tie {
+            let mut exact = [0.0f32; CLASSES];
+            for (c, slot) in exact.iter_mut().enumerate() {
+                let row = &self.exact[c * self.padded_dim..(c + 1) * self.padded_dim];
+                *slot = dot_lanes(row, padded) + self.biases[c];
+            }
+            let (event, ze) = argmax_masked(&exact, allowed);
+            return (event, sigmoid_f32(ze));
+        }
+        (winner, sigmoid_f32(z))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FEATURE_DIM;
+    use crate::logistic::LogisticModel;
+
+    fn toy_classifier() -> OneVsRestClassifier {
+        let models = EventType::ALL
+            .iter()
+            .enumerate()
+            .map(|(c, _)| {
+                let weights = (0..FEATURE_DIM)
+                    .map(|i| ((c * FEATURE_DIM + i) as f64 * 0.37).sin())
+                    .collect();
+                LogisticModel::from_coefficients(weights, c as f64 * 0.1 - 0.3)
+            })
+            .collect();
+        OneVsRestClassifier::from_models(models, FEATURE_DIM)
+    }
+
+    fn toy_features() -> Vec<f64> {
+        (0..FEATURE_DIM).map(|i| (i as f64 * 0.61).cos()).collect()
+    }
+
+    #[test]
+    fn packing_pads_rows_to_the_lane_width() {
+        let packed = PackedModel::from_classifier(&toy_classifier());
+        assert_eq!(packed.dim(), FEATURE_DIM);
+        assert_eq!(packed.padded_dim(), FEATURE_DIM.next_multiple_of(LANES));
+        assert!(packed.padded_dim().is_multiple_of(LANES));
+        // The padding lanes are zero, so they contribute nothing.
+        for c in 0..CLASSES {
+            for &w in &packed.row(c)[FEATURE_DIM..] {
+                assert_eq!(w.to_bits(), 0.0f32.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn packed_scores_track_the_f64_reference() {
+        let clf = toy_classifier();
+        let packed = PackedModel::from_classifier(&clf);
+        let features = toy_features();
+        let mut padded = Vec::new();
+        packed.pad_features(&features, &mut padded);
+        let scores = packed.scores(&padded);
+        for e in EventType::ALL {
+            let p64 = clf.models()[e.class_index()].predict_proba(&features);
+            let p32 = f64::from(sigmoid_f32(scores[e.class_index()]));
+            assert!((p64 - p32).abs() < 1e-5, "{e:?}: f64 {p64} vs packed {p32}");
+        }
+    }
+
+    #[test]
+    fn packed_decision_matches_the_f64_reference_on_clear_margins() {
+        let clf = toy_classifier();
+        let packed = PackedModel::from_classifier(&clf);
+        let features = toy_features();
+        let mut padded = Vec::new();
+        packed.pad_features(&features, &mut padded);
+        let (ref64, _) = clf.predict_masked(&features, EventTypeSet::ALL);
+        let (ref32, conf) = packed.predict_masked(&padded, EventTypeSet::ALL);
+        assert_eq!(ref64, ref32);
+        assert!(conf > 0.0 && conf <= 1.0);
+    }
+
+    #[test]
+    fn predict_many_is_bit_identical_to_single_predictions() {
+        let packed = PackedModel::from_classifier(&toy_classifier());
+        let mut rows = Vec::new();
+        let mut masks = Vec::new();
+        for k in 0..5usize {
+            let features: Vec<f64> = (0..FEATURE_DIM)
+                .map(|i| ((i + k) as f64 * 0.43).sin())
+                .collect();
+            packed.pad_features_append(&features, &mut rows);
+            let mut mask = EventTypeSet::EMPTY;
+            for (j, e) in EventType::ALL.into_iter().enumerate() {
+                if (k + j) % 2 == 0 {
+                    mask.insert(e);
+                }
+            }
+            masks.push(mask);
+        }
+        let mut out = Vec::new();
+        packed.predict_many(&rows, &masks, &mut out);
+        assert_eq!(out.len(), masks.len());
+        for (k, &(event, logit)) in out.iter().enumerate() {
+            let row = &rows[k * packed.padded_dim()..(k + 1) * packed.padded_dim()];
+            let (se, sz) = packed.predict_masked_raw(row, masks[k]);
+            assert_eq!(event, se);
+            assert_eq!(logit.to_bits(), sz.to_bits(), "row {k} not bit-identical");
+            let (ce, conf) = packed.predict_masked(row, masks[k]);
+            assert_eq!(event, ce, "sigmoid squashing must not move the argmax");
+            assert_eq!(conf.to_bits(), sigmoid_f32(logit).to_bits());
+        }
+    }
+
+    #[test]
+    fn predict_many_handles_empty_and_length_one_batches() {
+        let packed = PackedModel::from_classifier(&toy_classifier());
+        let mut out = vec![(EventType::ALL[0], 0.0f32)];
+        packed.predict_many(&[], &[], &mut out);
+        assert!(out.is_empty());
+        let mut row = Vec::new();
+        packed.pad_features(&toy_features(), &mut row);
+        packed.predict_many(&row, &[EventTypeSet::ALL], &mut out);
+        assert_eq!(out.len(), 1);
+        let (se, sz) = packed.predict_masked_raw(&row, EventTypeSet::ALL);
+        assert_eq!(out[0].0, se);
+        assert_eq!(out[0].1.to_bits(), sz.to_bits());
+    }
+
+    #[test]
+    fn ties_resolve_to_the_later_class_like_the_reference() {
+        // All-zero weights: every class scores exactly the bias 0, so the
+        // argmax is a 7-way tie — the reference resolves to the last class.
+        let clf = OneVsRestClassifier::zeros(FEATURE_DIM);
+        let packed = PackedModel::from_classifier(&clf);
+        let features = toy_features();
+        let mut padded = Vec::new();
+        packed.pad_features(&features, &mut padded);
+        let (ref64, _) = clf.predict_masked(&features, EventTypeSet::ALL);
+        let (ref32, _) = packed.predict_masked(&padded, EventTypeSet::ALL);
+        assert_eq!(ref64, *EventType::ALL.last().expect("non-empty"));
+        assert_eq!(ref32, ref64);
+    }
+
+    #[test]
+    fn empty_mask_falls_back_to_all_classes() {
+        let packed = PackedModel::from_classifier(&toy_classifier());
+        let mut padded = Vec::new();
+        packed.pad_features(&toy_features(), &mut padded);
+        let (with_all, a) = packed.predict_masked(&padded, EventTypeSet::ALL);
+        let (with_empty, b) = packed.predict_masked(&padded, EventTypeSet::EMPTY);
+        assert_eq!(with_all, with_empty);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn quantised_scores_stay_within_the_per_class_error_bound() {
+        let packed = PackedModel::from_classifier(&toy_classifier());
+        let quantised = QuantizedModel::from_packed(&packed);
+        let mut padded = Vec::new();
+        packed.pad_features(&toy_features(), &mut padded);
+        let f32_scores = packed.scores(&padded);
+        let q_scores = quantised.scores(&padded);
+        let abs_sum: f32 = padded.iter().map(|x| x.abs()).sum();
+        for c in 0..CLASSES {
+            // Quantisation error is at most scale/2 per weight.
+            let bound = quantised.scales()[c] * 0.5 * abs_sum + 1e-4;
+            assert!(
+                (f32_scores[c] - q_scores[c]).abs() <= bound,
+                "class {c}: {} vs {} (bound {bound})",
+                f32_scores[c],
+                q_scores[c]
+            );
+        }
+    }
+
+    #[test]
+    fn quantising_a_zero_model_is_exact() {
+        let clf = OneVsRestClassifier::zeros(FEATURE_DIM);
+        let quantised = QuantizedModel::from_classifier(&clf);
+        let mut padded = Vec::new();
+        PackedModel::from_classifier(&clf).pad_features(&toy_features(), &mut padded);
+        for s in quantised.scores(&padded) {
+            assert_eq!(s.to_bits(), 0.0f32.to_bits());
+        }
+        assert_eq!(quantised.scales(), &[1.0f32; CLASSES]);
+    }
+}

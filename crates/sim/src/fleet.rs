@@ -44,11 +44,17 @@ use pes_core::{
     splitmix, DegradationLevel, DegradationTrace, FaultCounts, PesConfig, PesScheduler, RunReport,
     WatchdogConfig,
 };
+use pes_dom::{EventType, EventTypeSet};
+use pes_predictor::SessionState;
 use pes_schedulers::RoutedTier;
 use pes_workload::TraceGenerator;
 
 use crate::experiments::ExperimentContext;
 use crate::parallel::{par_map_supervised_with, parallelism, FleetReport, UnitFailure};
+
+/// Number of event classes in the predicted-opening histogram (one slot
+/// per [`EventType`]).
+pub const EVENT_CLASSES: usize = EventType::ALL.len();
 
 // ---------------------------------------------------------------------------
 // Specs and configuration
@@ -155,6 +161,13 @@ pub struct FleetConfig {
     /// A completed unit with at least this many QoS violations counts as a
     /// bad breaker outcome (`0` disables the spike signal).
     pub violation_spike: usize,
+    /// Serve the fleet on the batched + packed prediction plane: every
+    /// tier's replays run their prediction rounds on the class-major f32
+    /// matrix (`PesConfig::with_packed_prediction`), and each batch drain
+    /// runs **one** `predict_many` matrix pass over the admitted sessions'
+    /// opening states, aggregated into
+    /// [`FleetRunReport::predicted_openings`].
+    pub packed_prediction: bool,
 }
 
 impl Default for FleetConfig {
@@ -169,6 +182,7 @@ impl Default for FleetConfig {
             breaker: BreakerConfig::default(),
             watchdog: WatchdogConfig::disabled(),
             violation_spike: 0,
+            packed_prediction: false,
         }
     }
 }
@@ -393,6 +407,11 @@ pub struct FleetRunReport {
     pub breaker_histories: Vec<String>,
     /// Per-shard final breaker states.
     pub breaker_finals: Vec<BreakerState>,
+    /// Histogram (by [`EventType::class_index`]) of the opening events the
+    /// packed plane predicted for completed units — one batched
+    /// `predict_many` pass per drain when
+    /// [`FleetConfig::packed_prediction`] is on; all zeros otherwise.
+    pub predicted_openings: [usize; EVENT_CLASSES],
 }
 
 impl FleetRunReport {
@@ -490,6 +509,9 @@ struct UnitOutcome {
     injections: FaultCounts,
     watchdog_trips: usize,
     final_tier: DegradationLevel,
+    /// The opening event the batch drain's `predict_many` pass predicted
+    /// for this unit (`None` when the packed plane is off).
+    predicted_opening: Option<EventType>,
 }
 
 impl UnitOutcome {
@@ -502,6 +524,7 @@ impl UnitOutcome {
             injections: report.fault_injections,
             watchdog_trips: report.watchdog_trips,
             final_tier: report.final_tier,
+            predicted_opening: None,
         }
     }
 
@@ -514,6 +537,7 @@ impl UnitOutcome {
             injections: FaultCounts::default(),
             watchdog_trips: 0,
             final_tier: DegradationLevel::Exact,
+            predicted_opening: None,
         }
     }
 }
@@ -591,6 +615,7 @@ struct Checkpoint {
     watchdog_trips: usize,
     degradation: DegradationTrace,
     injections: FaultCounts,
+    predicted_openings: [usize; EVENT_CLASSES],
     failures: Vec<UnitFailure>,
     breakers: Vec<CircuitBreaker>,
 }
@@ -641,6 +666,7 @@ where
         watchdog_trips: 0,
         breaker_histories: Vec::new(),
         breaker_finals: Vec::new(),
+        predicted_openings: [0; EVENT_CLASSES],
     };
 
     // Fast-forward: replay the outcome-independent admission arithmetic for
@@ -700,6 +726,7 @@ where
         report.watchdog_trips = cp.watchdog_trips;
         report.degradation = cp.degradation;
         report.injections = cp.injections;
+        report.predicted_openings = cp.predicted_openings;
         report.failures = cp.failures;
         breakers = cp.breakers;
     }
@@ -786,6 +813,9 @@ where
             report.watchdog_trips += outcome.watchdog_trips;
             report.degradation.merge(&outcome.degradation);
             report.injections.merge(&outcome.injections);
+            if let Some(opening) = outcome.predicted_opening {
+                report.predicted_openings[opening.class_index()] += 1;
+            }
         }
         report.retries += batch.total_retries();
         for failure in &batch.failures {
@@ -814,6 +844,7 @@ where
                 watchdog_trips: report.watchdog_trips,
                 degradation: report.degradation,
                 injections: report.injections,
+                predicted_openings: report.predicted_openings,
                 failures: report.failures.clone(),
                 breakers: breakers.clone(),
             };
@@ -842,6 +873,9 @@ struct BatchRunner<'a> {
     spec: &'a FleetSpec,
     threads: usize,
     retries: usize,
+    /// Run the batched opening-prediction pass per drain and serve every
+    /// tier's prediction rounds on the packed f32 plane.
+    packed: bool,
     full: PesScheduler,
     reactive: PesScheduler,
     floor: PesScheduler,
@@ -849,7 +883,11 @@ struct BatchRunner<'a> {
 
 impl<'a> BatchRunner<'a> {
     fn new(ctx: &'a ExperimentContext, spec: &'a FleetSpec, config: &FleetConfig) -> Self {
-        let base = || PesConfig::paper_defaults().with_watchdog(config.watchdog);
+        let base = || {
+            PesConfig::paper_defaults()
+                .with_watchdog(config.watchdog)
+                .with_packed_prediction(config.packed_prediction)
+        };
         BatchRunner {
             ctx,
             spec,
@@ -859,6 +897,7 @@ impl<'a> BatchRunner<'a> {
                 config.threads
             },
             retries: config.retries,
+            packed: config.packed_prediction,
             full: PesScheduler::new(ctx.learner.clone(), base()),
             reactive: PesScheduler::new(
                 ctx.learner.clone(),
@@ -871,9 +910,39 @@ impl<'a> BatchRunner<'a> {
         }
     }
 
+    /// One `predict_many` matrix pass over the whole batch's opening
+    /// session states: each admitted unit contributes one lane-padded
+    /// feature row and its LNES mask, and the packed plane scores them
+    /// all against the resident class-major weight matrix. Deterministic
+    /// and outcome-independent (it depends only on the tickets), which is
+    /// what lets the journal restore the aggregate on resume.
+    fn predict_openings(&self, tickets: &[Ticket]) -> Vec<Option<EventType>> {
+        let packed = self.ctx.learner.packed();
+        let apps = self.ctx.catalog.apps().len();
+        let mut features = Vec::new();
+        let mut rows: Vec<f32> = Vec::with_capacity(tickets.len() * packed.padded_dim());
+        let mut masks: Vec<EventTypeSet> = Vec::with_capacity(tickets.len());
+        for ticket in tickets {
+            let (_, app_idx, _, _) = unit_scenario(self.spec.seed, apps, ticket.unit);
+            let page = self.ctx.scenarios.page_ref(app_idx);
+            let mut state = SessionState::new(page.tree.clone());
+            state.features_into(&mut features);
+            packed.pad_features_append(&features, &mut rows);
+            masks.push(state.allowed_types());
+        }
+        let mut decisions = Vec::with_capacity(tickets.len());
+        packed.predict_many(&rows, &masks, &mut decisions);
+        decisions.into_iter().map(|(e, _)| Some(e)).collect()
+    }
+
     fn run(&self, tickets: &[Ticket]) -> FleetReport<UnitOutcome> {
         let apps = self.ctx.catalog.apps().len();
-        par_map_supervised_with(self.threads, tickets.len(), self.retries, |i| {
+        let openings = if self.packed {
+            self.predict_openings(tickets)
+        } else {
+            vec![None; tickets.len()]
+        };
+        let mut batch = par_map_supervised_with(self.threads, tickets.len(), self.retries, |i| {
             let ticket = tickets[i];
             let (h, app_idx, trace_seed, _) = unit_scenario(self.spec.seed, apps, ticket.unit);
             let app = &self.ctx.catalog.apps()[app_idx];
@@ -902,7 +971,13 @@ impl<'a> BatchRunner<'a> {
                 &faults,
             );
             UnitOutcome::from_report(&run)
-        })
+        });
+        for (slot, opening) in batch.results.iter_mut().zip(openings) {
+            if let Some(outcome) = slot {
+                outcome.predicted_opening = opening;
+            }
+        }
+        batch
     }
 }
 
@@ -983,7 +1058,8 @@ pub fn fleet_admission_dry_run(spec: &FleetSpec, config: &FleetConfig) -> FleetR
 // Journal encoding
 // ---------------------------------------------------------------------------
 
-const JOURNAL_MAGIC: &str = "PESFLEETJ1";
+/// `J2` added the `pred=` histogram of batched opening predictions.
+const JOURNAL_MAGIC: &str = "PESFLEETJ2";
 
 #[derive(Debug, Clone, PartialEq)]
 struct JournalRecord {
@@ -999,6 +1075,7 @@ struct JournalRecord {
     watchdog_trips: usize,
     degradation: DegradationTrace,
     injections: FaultCounts,
+    predicted_openings: [usize; EVENT_CLASSES],
     failures: Vec<UnitFailure>,
     breakers: Vec<CircuitBreaker>,
 }
@@ -1076,10 +1153,16 @@ fn encode_record(record: &JournalRecord) -> String {
         })
         .collect::<Vec<_>>()
         .join("|");
+    let pred = record
+        .predicted_openings
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
     let payload = format!(
         "{JOURNAL_MAGIC} batch={} step={} next_unit={} shed={} completed={} retries={} \
          violations={} events={} energy={:016x} wd={} deg={},{},{},{},{} \
-         inj={},{},{},{},{},{},{},{} fail={fail} brk={brk}",
+         inj={},{},{},{},{},{},{},{} pred={pred} fail={fail} brk={brk}",
         record.batches,
         record.step,
         record.next_unit,
@@ -1189,6 +1272,7 @@ fn parse_record(line: &str, breaker_config: &BreakerConfig) -> Result<JournalRec
         duplicated_events: dups,
         dropped_events: drops,
     };
+    let predicted_openings = parse_counts::<EVENT_CLASSES>(kv(tokens.next(), "pred")?, "pred")?;
     let fail_field = kv(tokens.next(), "fail")?;
     let mut failures = Vec::new();
     if fail_field != "-" {
@@ -1284,6 +1368,7 @@ fn parse_record(line: &str, breaker_config: &BreakerConfig) -> Result<JournalRec
         watchdog_trips,
         degradation,
         injections,
+        predicted_openings,
         failures,
         breakers,
     })
@@ -1391,6 +1476,7 @@ fn read_checkpoint(
         watchdog_trips: r.watchdog_trips,
         degradation: r.degradation,
         injections: r.injections,
+        predicted_openings: r.predicted_openings,
         failures: r.failures,
         breakers: r.breakers,
     }))
@@ -1537,6 +1623,7 @@ mod tests {
                 duplicated_events: 7,
                 dropped_events: 8,
             },
+            predicted_openings: [9, 8, 7, 6, 5, 4, 3],
             failures: vec![UnitFailure {
                 index: 17,
                 attempts: 2,
@@ -1565,6 +1652,7 @@ mod tests {
             watchdog_trips: 0,
             degradation: DegradationTrace::default(),
             injections: FaultCounts::default(),
+            predicted_openings: [0; EVENT_CLASSES],
             failures: Vec::new(),
             breakers: vec![CircuitBreaker::new(&breaker_config())],
         };
@@ -1653,6 +1741,7 @@ mod tests {
             watchdog_trips: 0,
             degradation: DegradationTrace::default(),
             injections: FaultCounts::default(),
+            predicted_openings: [0; EVENT_CLASSES],
             failures: Vec::new(),
             breakers: vec![CircuitBreaker::new(&breaker_config())],
         };

@@ -620,6 +620,7 @@ mod fleet_resilience {
                 event_budget: 4,
             },
             violation_spike: 3,
+            packed_prediction: false,
         }
     }
 
@@ -644,6 +645,7 @@ mod fleet_resilience {
         assert_eq!(a.peak_queue, b.peak_queue);
         assert_eq!(a.degradation, b.degradation);
         assert_eq!(a.injections, b.injections);
+        assert_eq!(a.predicted_openings, b.predicted_openings);
         assert_eq!(a.watchdog_trips, b.watchdog_trips);
         assert_eq!(
             a.breaker_histories, b.breaker_histories,
@@ -765,6 +767,67 @@ mod fleet_resilience {
         );
     }
 
+    /// PR 8 golden for the single-batch packed-prediction fleet replay:
+    /// `(violations, energy µJ, predict_many opening histogram)`.
+    const GOLDEN_BATCHED_FLEET: (usize, f64, [usize; 7]) =
+        (12, 32_082_523.87536225, [0, 0, 0, 6, 0, 0, 0]);
+
+    /// PR 8 golden: a single-batch fleet replay with the packed prediction
+    /// plane on stays pinned — exact violation count, energy within 0.5 µJ,
+    /// and the batched `predict_many` opening histogram exact. Identical in
+    /// debug and release builds. Re-pin via `--nocapture` and the
+    /// `BATCHED-FLEET-GOLDEN-CAPTURE` line only for an intentional
+    /// behaviour change.
+    #[test]
+    fn golden_batched_prediction_fleet_replay_stays_pinned() {
+        let spec = FleetSpec {
+            sessions: 6,
+            seed: 0xFEED_5EED,
+            arrivals_per_step: 6,
+            storm_every: 7,
+            storm_arrivals: 0,
+            max_events_per_session: 8,
+        };
+        let config = FleetConfig {
+            batch_size: 8,
+            queue_capacity: 16,
+            shed: ShedPolicy::OldestFirst,
+            retries: 1,
+            threads: 0,
+            shards: 2,
+            breaker: BreakerConfig::default(),
+            watchdog: WatchdogConfig {
+                node_budget: 0,
+                event_budget: 0,
+            },
+            violation_spike: usize::MAX,
+            packed_prediction: true,
+        };
+        let report = run_fleet(ctx(), &spec, &config);
+        println!(
+            "BATCHED-FLEET-GOLDEN-CAPTURE ({}, {:?}, {:?})",
+            report.violations, report.energy_uj, report.predicted_openings
+        );
+        assert_eq!(report.batches, 1, "the spec must drain in one batch");
+        assert_eq!(report.completed, spec.sessions);
+        assert_eq!(
+            report.predicted_openings.iter().sum::<usize>(),
+            spec.sessions,
+            "every admitted unit gets exactly one batched opening prediction"
+        );
+        assert_eq!(report.violations, GOLDEN_BATCHED_FLEET.0);
+        assert!(
+            (report.energy_uj - GOLDEN_BATCHED_FLEET.1).abs() < 0.5,
+            "energy {} drifted from golden {}",
+            report.energy_uj,
+            GOLDEN_BATCHED_FLEET.1
+        );
+        assert_eq!(report.predicted_openings, GOLDEN_BATCHED_FLEET.2);
+
+        let again = run_fleet(ctx(), &spec, &config);
+        assert_same_aggregates(&report, &again);
+    }
+
     /// Release-tier scale test (CI runs it with `--ignored`): a 100k-session
     /// chaos fleet under the aggressive fault plane completes with zero
     /// aborts — every session is served, shed or quarantined — while the
@@ -801,6 +864,7 @@ mod fleet_resilience {
                 event_budget: 3,
             },
             violation_spike: 2,
+            packed_prediction: false,
         };
         let report = run_fleet(ctx(), &spec, &config);
         assert_eq!(
@@ -826,5 +890,135 @@ mod fleet_resilience {
             report.breaker_opens(),
             report.energy_uj
         );
+    }
+}
+
+/// PR 8 — differential lockdown of the batched + SIMD prediction plane at
+/// the integration tier: the quantised i8 tier must agree with the f32
+/// decisions on every real catalog trace, and the batched figure sweep must
+/// be bit-identical to the packed single-session path it claims to batch.
+mod prediction_plane {
+    use super::*;
+
+    use pes::dom::EventTypeSet;
+    use pes::predictor::{QuantizedModel, SessionState, FEATURE_DIM};
+    use pes::sim::{fig8_accuracy, fig8_accuracy_batched};
+
+    /// The i8 weight tier never flips a class decision against the f32
+    /// packed plane on any evaluation trace of the 18-app catalog. The
+    /// expected flip count is exactly zero; any offending event is printed
+    /// with both score vectors before the assert fires.
+    #[test]
+    fn quantised_tier_never_flips_a_catalog_decision() {
+        let catalog = AppCatalog::paper_suite();
+        let learner = quick_learner(&catalog);
+        let packed = learner.packed();
+        let quantised = QuantizedModel::from_packed(packed);
+        let use_lnes = learner.config().use_lnes;
+
+        let mut flips = 0usize;
+        let mut decisions = 0usize;
+        let mut features = Vec::with_capacity(FEATURE_DIM);
+        let mut padded = Vec::new();
+        for app in catalog.apps() {
+            let page = app.build_page();
+            let traces = TraceGenerator::new().generate_many(app, &page, EVAL_SEED_BASE, 2);
+            for (trace_idx, trace) in traces.iter().enumerate() {
+                let mut state = SessionState::new(page.tree.clone());
+                for (i, event) in trace.events().iter().enumerate() {
+                    if i > 0 {
+                        state.features_into(&mut features);
+                        packed.pad_features(&features, &mut padded);
+                        let mask = if use_lnes {
+                            state.allowed_types()
+                        } else {
+                            EventTypeSet::ALL
+                        };
+                        let (exact, _) = packed.predict_masked(&padded, mask);
+                        let (approx, _) = quantised.predict_masked(&padded, mask);
+                        decisions += 1;
+                        if exact != approx {
+                            flips += 1;
+                            println!(
+                                "QUANT-FLIP app={} trace={trace_idx} event={i} \
+                                 f32={exact:?} i8={approx:?}\n  f32 scores {:?}\n  i8 scores {:?}",
+                                app.name(),
+                                packed.scores(&padded),
+                                quantised.scores(&padded),
+                            );
+                        }
+                    }
+                    state.observe(event);
+                }
+            }
+        }
+        println!("QUANT-DIFF decisions={decisions} flips={flips}");
+        assert!(decisions > 1_000, "catalog sweep must exercise real volume");
+        assert_eq!(
+            flips, 0,
+            "i8 tier flipped {flips}/{decisions} catalog decisions against f32"
+        );
+    }
+
+    /// `fig8_accuracy_batched` is bit-identical to walking each session
+    /// through the packed single-prediction path, and stays within a loose
+    /// band of the scalar f64 figure it approximates.
+    #[test]
+    fn batched_figure_sweep_matches_packed_single_path_exactly() {
+        let catalog = AppCatalog::paper_suite();
+        let ctx = ExperimentContext {
+            platform: Platform::exynos_5410(),
+            power_plane: Arc::new(DvfsLadder::for_platform(&Platform::exynos_5410())),
+            qos: QosPolicy::paper_defaults(),
+            learner: quick_learner(&catalog),
+            catalog,
+            traces_per_app: 2,
+            scenarios: ScenarioCache::build(&AppCatalog::paper_suite(), 2),
+            faults: pes::core::FaultPlane::none(),
+        };
+
+        let batched = fig8_accuracy_batched(&ctx, true);
+        let scalar = fig8_accuracy(&ctx, true);
+        assert_eq!(batched.len(), ctx.catalog.apps().len());
+
+        let mut single = ctx.learner.clone();
+        single.set_config(
+            LearnerConfig::paper_defaults()
+                .with_lnes(true)
+                .with_packed(true),
+        );
+        for (app_idx, (name, _, accuracy)) in batched.iter().enumerate() {
+            // Reference: the packed single-session path, one event at a time.
+            let mut total = 0usize;
+            let mut correct = 0usize;
+            for trace in &ctx.scenarios.traces(app_idx)[..2] {
+                let mut state = SessionState::new(ctx.scenarios.page_ref(app_idx).tree.clone());
+                for (i, event) in trace.events().iter().enumerate() {
+                    if i > 0 {
+                        let (predicted, _) = single.predict_next_packed(&mut state);
+                        total += 1;
+                        if predicted == event.event_type() {
+                            correct += 1;
+                        }
+                    }
+                    state.observe(event);
+                }
+            }
+            let reference = if total == 0 {
+                0.0
+            } else {
+                correct as f64 / total as f64
+            };
+            assert_eq!(
+                accuracy.to_bits(),
+                reference.to_bits(),
+                "{name}: batched accuracy must equal the packed single path bit for bit"
+            );
+            let f64_figure = scalar[app_idx].2;
+            assert!(
+                (accuracy - f64_figure).abs() < 0.1,
+                "{name}: packed accuracy {accuracy} strayed from the f64 figure {f64_figure}"
+            );
+        }
     }
 }

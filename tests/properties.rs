@@ -1241,3 +1241,183 @@ mod fleet_resilience {
         }
     }
 }
+
+/// PR 8 — the batched + SIMD prediction plane. The packed f32 kernels (and
+/// their `core::simd` twins, when the `portable-simd` feature is on) are
+/// locked down differentially against the retained per-class scalar paths:
+/// one session at a time must equal the whole-batch matrix pass bit for bit,
+/// and the f32 re-layout must reproduce the f64 reference argmax whenever
+/// the decision margin is clear of rounding noise.
+mod prediction_plane {
+    use proptest::prelude::*;
+
+    use pes::dom::{EventType, EventTypeSet};
+    use pes::predictor::{
+        LogisticModel, OneVsRestClassifier, PackedModel, QuantizedModel, FEATURE_DIM,
+    };
+
+    const NUM_CLASSES: usize = EventType::ALL.len();
+
+    fn classifier(weights: &[f64], biases: &[f64]) -> OneVsRestClassifier {
+        let models = (0..NUM_CLASSES)
+            .map(|c| {
+                LogisticModel::from_coefficients(
+                    weights[c * FEATURE_DIM..(c + 1) * FEATURE_DIM].to_vec(),
+                    biases[c],
+                )
+            })
+            .collect();
+        OneVsRestClassifier::from_models(models, FEATURE_DIM)
+    }
+
+    fn mask_from_bits(bits: u8) -> EventTypeSet {
+        let mut set = EventTypeSet::EMPTY;
+        for (i, &event) in EventType::ALL.iter().enumerate() {
+            if bits & (1 << i) != 0 {
+                set.insert(event);
+            }
+        }
+        set
+    }
+
+    fn weights_strategy() -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(
+            -3.0f64..3.0,
+            NUM_CLASSES * FEATURE_DIM..NUM_CLASSES * FEATURE_DIM + 1,
+        )
+    }
+
+    fn biases_strategy() -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(-2.0f64..2.0, NUM_CLASSES..NUM_CLASSES + 1)
+    }
+
+    /// Batch rows: a feature vector plus a raw LNES bitmask (0 = empty set,
+    /// which the plane must treat as "all classes allowed"). Length 0..=8
+    /// covers the empty batch and the single-session batch.
+    fn batch_strategy() -> impl Strategy<Value = Vec<(Vec<f64>, u8)>> {
+        proptest::collection::vec(
+            (
+                proptest::collection::vec(-10.0f64..10.0, FEATURE_DIM..FEATURE_DIM + 1),
+                0u8..128,
+            ),
+            0..9,
+        )
+    }
+
+    proptest! {
+        /// `predict_many` is the single-session packed path, bit for bit:
+        /// identical class decisions AND identical f32 confidence bits for
+        /// every row of every batch (including empty and length-1 batches).
+        #[test]
+        fn predict_many_is_bitwise_equal_to_per_row_packed(
+            weights in weights_strategy(),
+            biases in biases_strategy(),
+            batch in batch_strategy(),
+        ) {
+            let packed = PackedModel::from_classifier(&classifier(&weights, &biases));
+
+            let mut rows = Vec::new();
+            let mut masks = Vec::new();
+            for (features, bits) in &batch {
+                packed.pad_features_append(features, &mut rows);
+                masks.push(mask_from_bits(*bits));
+            }
+
+            let mut many = Vec::new();
+            packed.predict_many(&rows, &masks, &mut many);
+            prop_assert_eq!(many.len(), batch.len());
+
+            let mut padded = Vec::new();
+            for (row, ((features, _), mask)) in batch.iter().zip(&masks).enumerate() {
+                packed.pad_features(features, &mut padded);
+                let (single_event, single_logit) = packed.predict_masked_raw(&padded, *mask);
+                let (batch_event, batch_logit) = many[row];
+                prop_assert_eq!(single_event, batch_event, "row {} class decision", row);
+                prop_assert_eq!(
+                    single_logit.to_bits(),
+                    batch_logit.to_bits(),
+                    "row {} score bits",
+                    row
+                );
+                // The sigmoid-squashed single path agrees on the decision —
+                // squashing is strictly monotonic.
+                let (conf_event, _) = packed.predict_masked(&padded, *mask);
+                prop_assert_eq!(single_event, conf_event);
+            }
+        }
+
+        /// The f32 re-layout agrees with the retained f64 reference whenever
+        /// the top-two raw-score margin is clear of f32 rounding noise.
+        #[test]
+        fn packed_decision_matches_f64_reference_on_clear_margins(
+            weights in weights_strategy(),
+            biases in biases_strategy(),
+            features in proptest::collection::vec(-10.0f64..10.0, FEATURE_DIM..FEATURE_DIM + 1),
+            bits in 0u8..128,
+        ) {
+            let reference = classifier(&weights, &biases);
+            let packed = PackedModel::from_classifier(&reference);
+            let mask = mask_from_bits(bits);
+
+            // f64 reference probabilities, restricted the same way the
+            // reference path restricts them (empty mask falls back to all
+            // classes). The margin must be measured in probability space:
+            // the reference argmaxes sigmoid(z), which saturates to exact
+            // 1.0 for large z and then resolves the tie positionally, while
+            // the packed plane argmaxes raw scores.
+            let effective = if mask.is_empty() { EventTypeSet::ALL } else { mask };
+            let mut probs: Vec<f64> = Vec::new();
+            for (c, model) in reference.models().iter().enumerate() {
+                if effective.contains(EventType::ALL[c]) {
+                    probs.push(model.predict_proba(&features));
+                }
+            }
+            let mut sorted = probs.clone();
+            sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+            let margin = if sorted.len() >= 2 { sorted[0] - sorted[1] } else { f64::MAX };
+            if margin <= 1e-2 {
+                // Saturated or near-tied probabilities — the winner is
+                // decided by tie-break position or rounding noise, so the
+                // two layouts may legitimately differ. Vacuous case.
+                continue;
+            }
+
+            let (ref_event, _) = reference.predict_masked(&features, mask);
+            let mut padded = Vec::new();
+            packed.pad_features(&features, &mut padded);
+            let (packed_event, _) = packed.predict_masked(&padded, mask);
+            prop_assert_eq!(ref_event, packed_event);
+        }
+
+        /// Quantised i8 raw scores stay within the analytic rounding bound
+        /// of the f32 scores: per-class error ≤ 0.5 · scale · Σ|x| plus a
+        /// small accumulation slack.
+        #[test]
+        fn quantised_scores_within_rounding_bound(
+            weights in weights_strategy(),
+            biases in biases_strategy(),
+            features in proptest::collection::vec(-10.0f64..10.0, FEATURE_DIM..FEATURE_DIM + 1),
+        ) {
+            let packed = PackedModel::from_classifier(&classifier(&weights, &biases));
+            let quantised = QuantizedModel::from_packed(&packed);
+
+            let mut padded = Vec::new();
+            packed.pad_features(&features, &mut padded);
+            let exact = packed.scores(&padded);
+            let approx = quantised.scores(&padded);
+
+            let abs_sum: f32 = padded.iter().map(|x| x.abs()).sum();
+            for c in 0..NUM_CLASSES {
+                let bound = 0.5 * quantised.scales()[c] * abs_sum * 1.001 + 1e-4;
+                prop_assert!(
+                    (exact[c] - approx[c]).abs() <= bound,
+                    "class {}: |{} - {}| > {}",
+                    c,
+                    exact[c],
+                    approx[c],
+                    bound
+                );
+            }
+        }
+    }
+}
