@@ -49,6 +49,8 @@ kernels=(
   pr8:predict_kernel/single_masked_packed
   pr8:predict_kernel/batch_64_f64_reference
   pr8:predict_kernel/predict_many_64
+  pr9:shared_memo/generation_hit_cycle16
+  pr9:shared_memo/publish_4x4
 )
 
 fail=0

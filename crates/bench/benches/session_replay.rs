@@ -26,7 +26,9 @@ use std::sync::Arc;
 
 use pes_acmp::units::{CpuCycles, TimeUs};
 use pes_acmp::{CpuDemand, DvfsLadder, DvfsModel, LadderCache, Platform};
-use pes_core::{OracleScheduler, PesConfig, PesScheduler};
+use pes_core::{
+    window_shape, OracleScheduler, PesConfig, PesScheduler, SolveGeneration, SolveMemo, SolveShard,
+};
 use pes_ilp::{
     OptionOrder, ScheduleItem, ScheduleOption, ScheduleProblem, ScheduleSolution, SolveScratch,
 };
@@ -395,6 +397,105 @@ fn session_replay(c: &mut Criterion) {
         b.iter(|| {
             recycled.rebuild_sorted(0, black_box(&posed_items), black_box(&posed_orders));
             black_box(recycled.items().len())
+        })
+    });
+
+    // ------------------------------------------------------------------
+    // Shared-memo kernels (PR 9): what the fleet's cross-replay cache
+    // costs per operation. `generation_hit_cycle16` cycles 16 distinct
+    // windows through one 8-slot ring, so every probe misses the ring and
+    // is answered by the published generation — the steady-state cost a
+    // repeated-config sweep pays instead of a cold solve.
+    // `publish_4x4` folds one 16-entry generation plus four 4-entry
+    // worker shards into the next generation — the between-batches merge.
+    // ------------------------------------------------------------------
+    let shared_windows: Vec<(Vec<ScheduleItem>, u64)> = (0..16u64)
+        .map(|w| {
+            let items: Vec<ScheduleItem> = (0..5)
+                .map(|i| ScheduleItem {
+                    release_us: i * 200_000,
+                    deadline_us: (i + 1) * 220_000 + w * 1_000,
+                    options: (0..5)
+                        .map(|j| ScheduleOption {
+                            choice: j,
+                            duration_us: 180_000 - j as u64 * 9_000 - w * 500,
+                            cost: 1.0 + 0.4 * (j as f64) + 0.01 * w as f64,
+                        })
+                        .collect(),
+                })
+                .collect();
+            let shape = window_shape(
+                items.iter().map(|it| (it.deadline_us, it.release_us)),
+                items.iter(),
+            );
+            (items, shape)
+        })
+        .collect();
+    let solve_all = |memo: &mut SolveMemo,
+                     scratch: &mut SolveScratch,
+                     generation: &SolveGeneration,
+                     shard: &mut SolveShard| {
+        let mut nodes = 0usize;
+        for (items, shape) in &shared_windows {
+            nodes += memo
+                .solve_shared(
+                    items, None, *shape, 200_000, 0.0, scratch, generation, shard,
+                )
+                .unwrap();
+        }
+        nodes
+    };
+    let mut warm_memo = SolveMemo::new();
+    let mut warm_shard = SolveShard::new();
+    solve_all(
+        &mut warm_memo,
+        &mut scratch,
+        &SolveGeneration::empty(),
+        &mut warm_shard,
+    );
+    let generation = SolveGeneration::publish(&SolveGeneration::empty(), &[warm_shard], 512);
+    assert_eq!(generation.len(), 16, "every cold solve must publish");
+
+    let mut probe_memo = SolveMemo::new();
+    let mut sink_shard = SolveShard::new();
+    group.bench_function("shared_memo/generation_hit_cycle16", |b| {
+        b.iter(|| {
+            black_box(solve_all(
+                &mut probe_memo,
+                &mut scratch,
+                black_box(&generation),
+                &mut sink_shard,
+            ))
+        })
+    });
+
+    let worker_shards: Vec<SolveShard> = shared_windows
+        .chunks(4)
+        .map(|chunk| {
+            let mut memo = SolveMemo::new();
+            let mut shard = SolveShard::new();
+            for (items, shape) in chunk {
+                memo.solve_shared(
+                    items,
+                    None,
+                    *shape,
+                    200_000,
+                    0.0,
+                    &mut scratch,
+                    &SolveGeneration::empty(),
+                    &mut shard,
+                )
+                .unwrap();
+            }
+            shard
+        })
+        .collect();
+    group.bench_function("shared_memo/publish_4x4", |b| {
+        b.iter(|| {
+            black_box(
+                SolveGeneration::publish(black_box(&generation), black_box(&worker_shards), 512)
+                    .len(),
+            )
         })
     });
     group.finish();

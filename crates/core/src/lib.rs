@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod fault;
 pub mod memo;
@@ -45,11 +46,15 @@ pub mod pfb;
 pub mod runtime;
 pub mod watchdog;
 
+pub use pes_ilp::SolveEntry;
+
 pub use fault::{
     splitmix, DegradationLevel, DegradationTrace, FaultConfig, FaultCounts, FaultPlane,
     FaultSession,
 };
-pub use memo::{window_shape, MemoStats, SolveMemo, SOLVE_CACHE_SIZE};
+pub use memo::{
+    window_shape, MemoStats, SolveGeneration, SolveMemo, SolveShard, SHARD_CAP, SOLVE_CACHE_SIZE,
+};
 pub use pfb::{PendingFrame, PendingFrameBuffer};
 pub use runtime::{
     OracleScheduler, PesConfig, PesScheduler, ProactiveRuntime, RunReport, ANYTIME_TIER_NODE_CAP,

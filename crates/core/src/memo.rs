@@ -27,6 +27,31 @@
 //! re-sorting them — and the evicted solution's buffers become the solve
 //! target. A steady replay's misses are therefore allocation-free *and*
 //! sort-free.
+//!
+//! # The shared cross-replay cache
+//!
+//! Fleet sweeps replay near-identical sessions under dozens of
+//! configurations, so windows recur *across* replays, not just within one.
+//! The shared layer extends the ring without touching its contract:
+//!
+//! * [`SolveShard`] — a private write shard one fleet worker owns for one
+//!   batch. Cold solves are recorded into it; nothing reads it during the
+//!   batch, so workers never contend.
+//! * [`SolveGeneration`] — the read-only published cache. Between batches a
+//!   deterministic merge ([`SolveGeneration::publish`]) folds the previous
+//!   generation and the batch's shards — **in unit order**, so the result
+//!   is independent of thread scheduling — into a new shape-sorted
+//!   generation.
+//! * [`SolveMemo::solve_shared`] — the ring probe, then the generation
+//!   probe, then a cold solve. A generation hit **mirrors the cold-solve
+//!   path exactly**: it installs the entry into the ring's recycled slot,
+//!   counts a ring *miss*, and returns the cached solve's
+//!   `nodes_explored` — solves are deterministic, so that count equals
+//!   what the dodged solve would have explored. Every downstream consumer
+//!   (watchdog node charging, `RunReport` counters, the degradation
+//!   ladder) therefore observes a bit-identical replay whether the shared
+//!   cache is plugged in or not; only wall-clock time and the shard's own
+//!   [`SolveShard::shared_hits`] counter differ.
 
 use pes_ilp::{
     IlpError, OptionOrder, ScheduleItem, ScheduleProblem, ScheduleSolution, SolveScratch, SolveTier,
@@ -85,6 +110,196 @@ pub struct SolveMemo {
     /// Slot holding the window solved (or found) most recently.
     current: usize,
     stats: MemoStats,
+}
+
+/// Default number of cold solves one [`SolveShard`] retains per replay.
+pub const SHARD_CAP: usize = 32;
+
+/// One entry of the shared cross-replay cache: a solved window, whole. The
+/// posed problem carries the revalidation key (normalised items, node
+/// limit, incumbent gap) exactly as a ring slot does, so a generation hit
+/// revalidates under the identical predicate.
+#[derive(Debug, Clone)]
+struct SharedEntry {
+    shape: u64,
+    problem: ScheduleProblem,
+    solution: ScheduleSolution,
+    tier: SolveTier,
+}
+
+impl SharedEntry {
+    /// Whether `other` would revalidate to the same answer: identical
+    /// shape, solve parameters and normalised items. Duplicates by this key
+    /// hold bit-identical solutions (solves are deterministic), so the
+    /// merge may keep either copy.
+    fn same_key(&self, other: &SharedEntry) -> bool {
+        self.shape == other.shape
+            && self.problem.node_limit() == other.problem.node_limit()
+            && self.problem.incumbent_gap() == other.problem.incumbent_gap()
+            && self.problem.items() == other.problem.items()
+    }
+}
+
+/// A fleet worker's private write shard for one batch: cold solves are
+/// recorded here (bounded by a cap, deduplicated by revalidation key) and
+/// folded into the next [`SolveGeneration`] by the publish phase. The shard
+/// also carries the worker's shared-cache counters, keeping them out of
+/// `RunReport` — a replay's report stays byte-identical with or without
+/// the shared cache plugged in.
+#[derive(Debug, Clone)]
+pub struct SolveShard {
+    entries: Vec<SharedEntry>,
+    cap: usize,
+    shared_hits: usize,
+    shared_lookups: usize,
+}
+
+impl Default for SolveShard {
+    fn default() -> Self {
+        SolveShard::new()
+    }
+}
+
+impl SolveShard {
+    /// An empty shard retaining up to [`SHARD_CAP`] cold solves.
+    pub fn new() -> Self {
+        SolveShard::with_capacity(SHARD_CAP)
+    }
+
+    /// An empty shard retaining up to `cap` cold solves.
+    pub fn with_capacity(cap: usize) -> Self {
+        SolveShard {
+            entries: Vec::new(),
+            cap,
+            shared_hits: 0,
+            shared_lookups: 0,
+        }
+    }
+
+    /// Number of cold solves recorded so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no cold solve has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Ring misses answered by the shared generation through this shard.
+    pub fn shared_hits(&self) -> usize {
+        self.shared_hits
+    }
+
+    /// Ring misses that probed the shared generation through this shard
+    /// (`shared_lookups - shared_hits` fell through to a cold solve).
+    pub fn shared_lookups(&self) -> usize {
+        self.shared_lookups
+    }
+
+    /// Records a cold solve, cloning the slot. Full shards and re-solves of
+    /// an already-recorded window (the ring evicts, the shard remembers)
+    /// are dropped.
+    fn record(&mut self, slot: &MemoSlot) {
+        if self.entries.len() >= self.cap {
+            return;
+        }
+        let candidate = SharedEntry {
+            shape: slot.shape,
+            problem: slot.problem.clone(),
+            solution: slot.solution.clone(),
+            tier: slot.tier,
+        };
+        if self
+            .entries
+            .iter()
+            .any(|e| e.shape == candidate.shape && e.same_key(&candidate))
+        {
+            return;
+        }
+        self.entries.push(candidate);
+    }
+}
+
+/// The published read-only cross-replay cache: one immutable generation,
+/// shape-sorted for binary-search probes, shared by every worker of the
+/// following batch. See the module docs for the lifecycle.
+#[derive(Debug, Clone, Default)]
+pub struct SolveGeneration {
+    /// Sorted by `shape`; ties keep fold order (previous generation first,
+    /// then shards in unit order), so the first revalidated match is
+    /// deterministic.
+    entries: Vec<SharedEntry>,
+}
+
+impl SolveGeneration {
+    /// The empty generation (every probe misses).
+    pub const fn empty() -> Self {
+        SolveGeneration {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of published entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the generation holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Folds the previous generation and a batch's shards into the next
+    /// generation. Deterministic by construction: entries are taken in
+    /// fold order (previous generation, then `shards` in the order given —
+    /// callers pass unit order, never thread-completion order),
+    /// deduplicated by revalidation key (first occurrence wins; duplicates
+    /// hold identical solutions anyway), capped to the `cap` **newest**
+    /// entries so stale windows rotate out, and stably sorted by shape.
+    pub fn publish(prev: &SolveGeneration, shards: &[SolveShard], cap: usize) -> SolveGeneration {
+        let mut merged: Vec<SharedEntry> = Vec::new();
+        let candidates = prev
+            .entries
+            .iter()
+            .chain(shards.iter().flat_map(|s| s.entries.iter()));
+        for candidate in candidates {
+            if merged
+                .iter()
+                .any(|e| e.shape == candidate.shape && e.same_key(candidate))
+            {
+                continue;
+            }
+            merged.push(candidate.clone());
+        }
+        if merged.len() > cap {
+            merged.drain(..merged.len() - cap);
+        }
+        merged.sort_by_key(|e| e.shape);
+        SolveGeneration { entries: merged }
+    }
+
+    /// The entry answering the posed window, if any: binary search to the
+    /// shape's run, then full revalidation — the same predicate as the
+    /// ring's, so a generation hit is bit-identical to the cold solve it
+    /// replaces.
+    fn lookup(
+        &self,
+        items: &[ScheduleItem],
+        shape: u64,
+        node_limit: usize,
+        incumbent_gap: f64,
+    ) -> Option<&SharedEntry> {
+        let start = self.entries.partition_point(|e| e.shape < shape);
+        self.entries[start..]
+            .iter()
+            .take_while(|e| e.shape == shape)
+            .find(|e| {
+                e.problem.node_limit() == node_limit.max(1)
+                    && e.problem.incumbent_gap() == incumbent_gap.max(0.0)
+                    && e.problem.items() == items
+            })
+    }
 }
 
 /// FNV-1a over the solver-relevant window shape: event count, then per item
@@ -167,9 +382,64 @@ impl SolveMemo {
             self.current = slot;
             return Ok(0);
         }
-        self.stats.misses += 1;
-        // Empty slots never match a real window, so pre-sizing the ring once
-        // keeps the steady state allocation-free.
+        self.solve_cold(items, orders, shape, node_limit, incumbent_gap, scratch)
+    }
+
+    /// [`SolveMemo::solve`] with the shared cross-replay cache plugged in
+    /// between the ring probe and the cold solve. A `shared` generation hit
+    /// mirrors the cold path — the entry lands in the recycled ring slot, a
+    /// ring miss is counted, the cached `nodes_explored` is returned — so
+    /// the replay is bit-identical to one without the shared cache (see
+    /// the module docs). Cold solves are recorded into `shard` for the
+    /// next publish.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IlpError`] exactly as [`SolveMemo::solve`] does; failed
+    /// poses are recorded nowhere.
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_shared(
+        &mut self,
+        items: &[ScheduleItem],
+        orders: Option<&[OptionOrder]>,
+        shape: u64,
+        node_limit: usize,
+        incumbent_gap: f64,
+        scratch: &mut SolveScratch,
+        shared: &SolveGeneration,
+        shard: &mut SolveShard,
+    ) -> Result<usize, IlpError> {
+        if let Some(slot) = self.lookup(items, shape, node_limit, incumbent_gap) {
+            self.stats.hits += 1;
+            self.current = slot;
+            return Ok(0);
+        }
+        shard.shared_lookups += 1;
+        if let Some(entry) = shared.lookup(items, shape, node_limit, incumbent_gap) {
+            shard.shared_hits += 1;
+            // Mirror the cold-solve path: same miss count, same ring slot
+            // rotation, same returned node count. The ring evolves exactly
+            // as if the solve had run.
+            self.stats.misses += 1;
+            self.ensure_slots();
+            let slot = &mut self.slots[self.cursor];
+            slot.problem.clone_from(&entry.problem);
+            slot.solution.clone_from(&entry.solution);
+            slot.shape = entry.shape;
+            slot.tier = entry.tier;
+            let nodes = slot.solution.nodes_explored;
+            self.current = self.cursor;
+            self.cursor = (self.cursor + 1) % SOLVE_CACHE_SIZE;
+            return Ok(nodes);
+        }
+        let nodes = self.solve_cold(items, orders, shape, node_limit, incumbent_gap, scratch)?;
+        shard.record(&self.slots[self.current]);
+        Ok(nodes)
+    }
+
+    /// Lazily sizes the ring. Empty slots never match a real window, so
+    /// pre-sizing once keeps the steady state allocation-free.
+    fn ensure_slots(&mut self) {
         if self.slots.is_empty() {
             self.slots.resize_with(SOLVE_CACHE_SIZE, || MemoSlot {
                 shape: 0,
@@ -178,6 +448,21 @@ impl SolveMemo {
                 tier: SolveTier::Exact,
             });
         }
+    }
+
+    /// The shared miss path: recycles the oldest slot, re-poses and solves
+    /// the window into it. Counts the miss.
+    fn solve_cold(
+        &mut self,
+        items: &[ScheduleItem],
+        orders: Option<&[OptionOrder]>,
+        shape: u64,
+        node_limit: usize,
+        incumbent_gap: f64,
+        scratch: &mut SolveScratch,
+    ) -> Result<usize, IlpError> {
+        self.stats.misses += 1;
+        self.ensure_slots();
         let slot = &mut self.slots[self.cursor];
         match orders {
             Some(orders) => slot.problem.rebuild_sorted(0, items, orders),
@@ -379,6 +664,177 @@ mod tests {
             .solve(&items, Some(&orders), shape, 200_000, 0.01, &mut scratch)
             .unwrap();
         assert_eq!(hit_nodes, 0, "matching parameters hit");
+    }
+
+    #[test]
+    fn shared_generation_hits_mirror_the_cold_solve() {
+        let items = window(50_000);
+        let orders = orders_for(&items);
+        let shape = shape_of(&items);
+        let mut scratch = SolveScratch::new();
+        // Worker A solves cold into its shard.
+        let mut memo_a = SolveMemo::new();
+        let mut shard_a = SolveShard::new();
+        let cold_nodes = memo_a
+            .solve_shared(
+                &items,
+                Some(&orders),
+                shape,
+                200_000,
+                0.0,
+                &mut scratch,
+                &SolveGeneration::empty(),
+                &mut shard_a,
+            )
+            .unwrap();
+        assert!(cold_nodes > 0);
+        assert_eq!(shard_a.len(), 1);
+        assert_eq!(shard_a.shared_lookups(), 1);
+        assert_eq!(shard_a.shared_hits(), 0);
+        let cold_solution = memo_a.solution().clone();
+        // Publish, then worker B replays the same window next batch.
+        let generation = SolveGeneration::publish(&SolveGeneration::empty(), &[shard_a], 64);
+        assert_eq!(generation.len(), 1);
+        let mut memo_b = SolveMemo::new();
+        let mut shard_b = SolveShard::new();
+        let hit_nodes = memo_b
+            .solve_shared(
+                &items,
+                Some(&orders),
+                shape,
+                200_000,
+                0.0,
+                &mut scratch,
+                &generation,
+                &mut shard_b,
+            )
+            .unwrap();
+        // The mirror contract: same node count, same solution, a ring
+        // *miss* on the stats, nothing recorded into B's shard.
+        assert_eq!(hit_nodes, cold_nodes);
+        assert_eq!(*memo_b.solution(), cold_solution);
+        assert_eq!(memo_b.stats().hits, 0);
+        assert_eq!(memo_b.stats().misses, 1);
+        assert_eq!(shard_b.shared_hits(), 1);
+        assert!(shard_b.is_empty());
+        // The entry landed in B's ring: a plain re-pose is a local hit.
+        let local = memo_b
+            .solve(&items, Some(&orders), shape, 200_000, 0.0, &mut scratch)
+            .unwrap();
+        assert_eq!(local, 0);
+        assert_eq!(memo_b.stats().hits, 1);
+    }
+
+    #[test]
+    fn publish_deduplicates_and_stays_deterministic() {
+        let a = window(50_000);
+        let b = window(90_000);
+        let mut scratch = SolveScratch::new();
+        let empty = SolveGeneration::empty();
+        let mut shard_one = SolveShard::new();
+        let mut shard_two = SolveShard::new();
+        for (shard, seq) in [(&mut shard_one, [&a, &b]), (&mut shard_two, [&b, &a])] {
+            let mut memo = SolveMemo::new();
+            for items in seq {
+                let orders = orders_for(items);
+                memo.solve_shared(
+                    items,
+                    Some(&orders),
+                    shape_of(items),
+                    200_000,
+                    0.0,
+                    &mut scratch,
+                    &empty,
+                    shard,
+                )
+                .unwrap();
+            }
+        }
+        // Both shards hold both windows; the fold keeps one copy of each.
+        let gen1 = SolveGeneration::publish(&empty, &[shard_one.clone(), shard_two.clone()], 64);
+        assert_eq!(gen1.len(), 2);
+        // Republishing over the previous generation adds nothing new, and
+        // the same inputs fold to the same generation.
+        let gen2 = SolveGeneration::publish(&gen1, &[shard_one.clone(), shard_two.clone()], 64);
+        assert_eq!(gen2.len(), 2);
+        // The empty publish is the empty generation.
+        assert!(SolveGeneration::publish(&empty, &[], 64).is_empty());
+        assert!(SolveGeneration::publish(&empty, &[SolveShard::new()], 64).is_empty());
+    }
+
+    #[test]
+    fn generation_cap_rotates_the_oldest_entries_out() {
+        let mut scratch = SolveScratch::new();
+        let empty = SolveGeneration::empty();
+        let mut shard = SolveShard::new();
+        let mut memo = SolveMemo::new();
+        let windows: Vec<Vec<ScheduleItem>> = (0..3).map(|k| window(10_000 + k * 7_000)).collect();
+        for items in &windows {
+            let orders = orders_for(items);
+            memo.solve_shared(
+                items,
+                Some(&orders),
+                shape_of(items),
+                200_000,
+                0.0,
+                &mut scratch,
+                &empty,
+                &mut shard,
+            )
+            .unwrap();
+        }
+        assert_eq!(shard.len(), 3);
+        let capped = SolveGeneration::publish(&empty, &[shard], 2);
+        assert_eq!(capped.len(), 2, "cap bounds the generation");
+        // The newest two survive; the oldest window misses.
+        let oldest = &windows[0];
+        assert!(capped
+            .lookup(oldest, shape_of(oldest), 200_000, 0.0)
+            .is_none());
+        let newest = &windows[2];
+        assert!(capped
+            .lookup(newest, shape_of(newest), 200_000, 0.0)
+            .is_some());
+    }
+
+    #[test]
+    fn shared_lookups_revalidate_solve_parameters() {
+        let items = window(50_000);
+        let orders = orders_for(&items);
+        let shape = shape_of(&items);
+        let mut scratch = SolveScratch::new();
+        let mut shard = SolveShard::new();
+        let mut memo = SolveMemo::new();
+        memo.solve_shared(
+            &items,
+            Some(&orders),
+            shape,
+            5_000,
+            0.0,
+            &mut scratch,
+            &SolveGeneration::empty(),
+            &mut shard,
+        )
+        .unwrap();
+        let generation = SolveGeneration::publish(&SolveGeneration::empty(), &[shard], 64);
+        // Same window, bigger budget: the published entry must not answer.
+        let mut fresh = SolveMemo::new();
+        let mut probe = SolveShard::new();
+        fresh
+            .solve_shared(
+                &items,
+                Some(&orders),
+                shape,
+                200_000,
+                0.0,
+                &mut scratch,
+                &generation,
+                &mut probe,
+            )
+            .unwrap();
+        assert_eq!(probe.shared_lookups(), 1);
+        assert_eq!(probe.shared_hits(), 0, "parameter mismatch falls through");
+        assert_eq!(probe.len(), 1, "the cold solve is recorded");
     }
 
     #[test]

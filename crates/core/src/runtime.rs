@@ -15,14 +15,14 @@ use std::sync::Arc;
 use pes_acmp::units::{EnergyUj, TimeUs};
 use pes_acmp::{AcmpConfig, ActivityKind, CpuDemand, DvfsLadder, LadderCache, Platform};
 use pes_dom::{BuiltPage, EventType};
-use pes_ilp::{IlpError, OptionOrder, ScheduleItem, SolveScratch, SolveTier};
+use pes_ilp::{IlpError, OptionOrder, ScheduleItem, SolveEntry, SolveScratch, SolveTier};
 use pes_predictor::{EventSequenceLearner, LearnerConfig, PredictScratch, SessionState};
 use pes_schedulers::DemandProfiler;
 use pes_webrt::{EventId, ExecutionEngine, QosOutcome, QosPolicy, WebEvent};
 use pes_workload::Trace;
 
 use crate::fault::{DegradationLevel, DegradationTrace, FaultCounts, FaultPlane, FaultSession};
-use crate::memo::{window_shape, SolveMemo};
+use crate::memo::{window_shape, SolveGeneration, SolveMemo, SolveShard};
 use crate::pfb::{PendingFrame, PendingFrameBuffer};
 use crate::watchdog::{WatchdogConfig, WatchdogState};
 
@@ -503,6 +503,8 @@ impl PesScheduler {
             qos,
             "PES",
             &FaultPlane::none(),
+            None,
+            None,
         )
     }
 
@@ -533,7 +535,40 @@ impl PesScheduler {
         faults: &FaultPlane,
     ) -> RunReport {
         self.runtime
-            .run(platform, plane, page, trace, qos, "PES", faults)
+            .run(platform, plane, page, trace, qos, "PES", faults, None, None)
+    }
+
+    /// Replays one trace under PES with the shared cross-replay solve cache
+    /// plugged in: ring misses probe the read-only `shared` generation
+    /// before solving cold, and cold solves are recorded into the caller's
+    /// private write `shard` for the next publish. The report is
+    /// **bit-identical** to [`PesScheduler::run_trace_with_plane_and_faults`]
+    /// — a generation hit mirrors the cold-solve path, node charges
+    /// included (see [`SolveMemo::solve_shared`]); only the shard's own
+    /// counters observe the sharing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_trace_with_shared_memo(
+        &self,
+        platform: &Platform,
+        plane: &Arc<DvfsLadder>,
+        page: &BuiltPage,
+        trace: &Trace,
+        qos: &QosPolicy,
+        faults: &FaultPlane,
+        shared: &SolveGeneration,
+        shard: &mut SolveShard,
+    ) -> RunReport {
+        self.runtime.run(
+            platform,
+            plane,
+            page,
+            trace,
+            qos,
+            "PES",
+            faults,
+            Some(shared),
+            Some(shard),
+        )
     }
 }
 
@@ -571,6 +606,8 @@ impl OracleScheduler {
             qos,
             "Oracle",
             &FaultPlane::none(),
+            None,
+            None,
         )
     }
 
@@ -599,8 +636,9 @@ impl OracleScheduler {
         qos: &QosPolicy,
         faults: &FaultPlane,
     ) -> RunReport {
-        self.runtime
-            .run(platform, plane, page, trace, qos, "Oracle", faults)
+        self.runtime.run(
+            platform, plane, page, trace, qos, "Oracle", faults, None, None,
+        )
     }
 }
 
@@ -621,6 +659,8 @@ impl ProactiveRuntime {
         qos: &QosPolicy,
         policy: &str,
         faults: &FaultPlane,
+        shared: Option<&SolveGeneration>,
+        mut shard: Option<&mut SolveShard>,
     ) -> RunReport {
         let mut engine = ExecutionEngine::with_plane(platform, *qos, Arc::clone(plane));
         let mut profiler = DemandProfiler::new(platform);
@@ -706,6 +746,8 @@ impl ProactiveRuntime {
                         &mut fs,
                         &mut ladder,
                         tier,
+                        shared,
+                        shard.as_deref_mut(),
                     );
                     report.solver_nodes += nodes;
                     for _ in 0..wd.charge_nodes(nodes) {
@@ -717,7 +759,11 @@ impl ProactiveRuntime {
                     report.prediction_rounds += 1;
                     report.total_prediction_degree += degree;
                 }
-                let item = plan.pop_front().expect("plan is non-empty");
+                let Some(item) = plan.pop_front() else {
+                    // Unreachable — the block above breaks when the plan
+                    // stays empty — but the ladder fallback beats a panic.
+                    break;
+                };
                 // If the prediction is about to come true, the work executed
                 // speculatively is the *actual* next event's work; otherwise
                 // the runtime renders a frame for a wrong event using its own
@@ -839,6 +885,8 @@ impl ProactiveRuntime {
                         &mut fs,
                         &mut ladder,
                         tier,
+                        shared,
+                        shard.as_deref_mut(),
                     );
                     report.solver_nodes += nodes;
                     for _ in 0..wd.charge_nodes(nodes) {
@@ -1003,6 +1051,8 @@ impl ProactiveRuntime {
         start_us: u64,
         fs: &mut FaultSession,
         tier: DegradationLevel,
+        shared: Option<&SolveGeneration>,
+        shard: Option<&mut SolveShard>,
     ) -> Result<(usize, DegradationLevel), IlpError> {
         for item in &mut rs.items_buf {
             item.release_us = item.release_us.saturating_sub(start_us);
@@ -1022,12 +1072,14 @@ impl ProactiveRuntime {
         // The serving tier caps the budget before fault starvation: a
         // demoted replay refines a small incumbent (`Anytime`) or takes the
         // greedy seed (`Greedy`); tiers at `Reactive` or worse never reach
-        // a solve at all.
-        let node_limit = match tier {
-            DegradationLevel::Exact => node_limit,
-            DegradationLevel::Anytime => node_limit.min(ANYTIME_TIER_NODE_CAP),
-            _ => 1,
+        // a solve at all. The tier→budget mapping lives in
+        // [`SolveEntry::cap_node_limit`] so routing layers cap identically.
+        let entry = match tier {
+            DegradationLevel::Exact => SolveEntry::Exact,
+            DegradationLevel::Anytime => SolveEntry::Anytime,
+            _ => SolveEntry::Greedy,
         };
+        let node_limit = entry.cap_node_limit(node_limit, ANYTIME_TIER_NODE_CAP);
         // Budget starvation injects here, between the tier choice and the
         // solve: a starved budget re-keys the memo lookup (parameters are
         // revalidated), so a starved round never serves a full-budget slot.
@@ -1039,14 +1091,26 @@ impl ProactiveRuntime {
         // than the re-pose sort it saves.
         let orders = matches!(self.knowledge, Knowledge::Learned(_))
             .then(|| &rs.orders_buf[..rs.items_buf.len()]);
-        let nodes = rs.memo.solve(
-            &rs.items_buf,
-            orders,
-            shape,
-            node_limit,
-            self.config.incumbent_gap_epsilon,
-            &mut rs.solve_scratch,
-        )?;
+        let nodes = match (shared, shard) {
+            (Some(generation), Some(shard)) => rs.memo.solve_shared(
+                &rs.items_buf,
+                orders,
+                shape,
+                node_limit,
+                self.config.incumbent_gap_epsilon,
+                &mut rs.solve_scratch,
+                generation,
+                shard,
+            )?,
+            _ => rs.memo.solve(
+                &rs.items_buf,
+                orders,
+                shape,
+                node_limit,
+                self.config.incumbent_gap_epsilon,
+                &mut rs.solve_scratch,
+            )?,
+        };
         let level = if node_limit <= 1 {
             DegradationLevel::Greedy
         } else {
@@ -1077,6 +1141,8 @@ impl ProactiveRuntime {
         fs: &mut FaultSession,
         ladder: &mut DegradationTrace,
         tier: DegradationLevel,
+        shared: Option<&SolveGeneration>,
+        shard: Option<&mut SolveShard>,
     ) -> (usize, usize) {
         plan.clear();
         let now = engine.cpu_free_at();
@@ -1172,7 +1238,9 @@ impl ProactiveRuntime {
         }
         rs.items_buf.truncate(used);
         let degree = rs.predicted_buf.len();
-        let Ok((nodes, level)) = self.solve_window(rs, window_start.as_micros(), fs, tier) else {
+        let Ok((nodes, level)) =
+            self.solve_window(rs, window_start.as_micros(), fs, tier, shared, shard)
+        else {
             return (0, 0);
         };
         ladder.observe(level);
@@ -1209,6 +1277,8 @@ impl ProactiveRuntime {
         fs: &mut FaultSession,
         ladder: &mut DegradationTrace,
         tier: DegradationLevel,
+        shared: Option<&SolveGeneration>,
+        shard: Option<&mut SolveShard>,
     ) -> (AcmpConfig, usize) {
         // Predict the events that follow `ev` from the state in which `ev`
         // has already been observed. The scratch session is taken out of the
@@ -1237,6 +1307,8 @@ impl ProactiveRuntime {
             fs,
             ladder,
             tier,
+            shared,
+            shard,
         );
         rs.session_scratch = Some(scratch_session);
         match plan.pop_front() {
@@ -1421,6 +1493,63 @@ mod tests {
         assert_eq!(report.predictions, 0);
         assert_eq!(report.mispredictions, 0);
         assert_eq!(report.outcomes.len(), trace.len());
+    }
+
+    #[test]
+    fn shared_memo_replays_are_bit_identical_and_hit_across_replays() {
+        use pes_workload::TraceGenerator;
+
+        let catalog = AppCatalog::paper_suite();
+        let app = catalog.find("cnn").unwrap();
+        let page = app.build_page();
+        let platform = Platform::exynos_5410();
+        let qos = QosPolicy::paper_defaults();
+        let trace = TraceGenerator::new().generate(app, &page, 7);
+        let pes = PesScheduler::new(quick_learner(&catalog), PesConfig::paper_defaults());
+        let plane = Arc::new(DvfsLadder::for_platform(&platform));
+        let baseline = pes.run_trace_with_plane(&platform, &plane, &page, &trace, &qos);
+
+        // Cold shared replay: the empty generation answers nothing, the
+        // report must not know the difference, the shard fills up.
+        let mut shard = SolveShard::new();
+        let cold = pes.run_trace_with_shared_memo(
+            &platform,
+            &plane,
+            &page,
+            &trace,
+            &qos,
+            &FaultPlane::none(),
+            &SolveGeneration::empty(),
+            &mut shard,
+        );
+        assert_eq!(cold, baseline, "empty generation must be a no-op");
+        assert!(!shard.is_empty(), "cold solves are recorded");
+        assert_eq!(shard.shared_hits(), 0);
+
+        // Publish and replay the identical session: still bit-identical,
+        // but now the generation answers ring misses.
+        let generation = SolveGeneration::publish(&SolveGeneration::empty(), &[shard], 256);
+        let mut warm_shard = SolveShard::new();
+        let warm = pes.run_trace_with_shared_memo(
+            &platform,
+            &plane,
+            &page,
+            &trace,
+            &qos,
+            &FaultPlane::none(),
+            &generation,
+            &mut warm_shard,
+        );
+        assert_eq!(warm, baseline, "generation hits must mirror cold solves");
+        assert!(warm_shard.shared_hits() > 0, "replayed windows hit");
+        // Cross-replay rate: the generation answers every repeated cold
+        // window, so combined reuse beats the ring alone.
+        let lookups = warm.solver_cache_hits + warm.solver_cache_misses;
+        let combined = warm.solver_cache_hits + warm_shard.shared_hits();
+        assert!(
+            combined as f64 / lookups as f64 > baseline.solver_cache_hits as f64 / lookups as f64,
+            "shared cache must lift the per-replay hit rate"
+        );
     }
 
     #[test]

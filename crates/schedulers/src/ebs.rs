@@ -23,6 +23,11 @@ pub struct Ebs {
     /// estimate of an event type only changes when a new observation lands,
     /// so most decisions re-evaluate a demand this cache already holds.
     ladder_cache: LadderCache,
+    /// Events served by the conservative profiling configuration because
+    /// their type had no demand estimate *after* the profiling guard —
+    /// possible when a fault plane starves the profiler (see
+    /// [`Scheduler::unprofiled_fallbacks`]).
+    unprofiled_fallbacks: usize,
 }
 
 impl Ebs {
@@ -31,6 +36,7 @@ impl Ebs {
         Ebs {
             profiler: DemandProfiler::new(platform),
             ladder_cache: LadderCache::new(),
+            unprofiled_fallbacks: 0,
         }
     }
 
@@ -51,10 +57,15 @@ impl Scheduler for Ebs {
         if self.profiler.needs_profiling(event.event_type()) {
             return self.profiler.profiling_config(event.event_type(), ctx.dvfs);
         }
-        let estimate = self
-            .profiler
-            .estimate(event.event_type())
-            .expect("profiled event types have estimates");
+        // A profiled type normally has an estimate, but fault-plane
+        // starvation (or a hostile trace) can deliver a type the profiler
+        // never completed: fall back to the conservative profiling
+        // configuration — the same ladder floor the proactive runtime's
+        // `reactive_config` takes — instead of panicking.
+        let Some(estimate) = self.profiler.estimate(event.event_type()) else {
+            self.unprofiled_fallbacks += 1;
+            return self.profiler.profiling_config(event.event_type(), ctx.dvfs);
+        };
         // The event's remaining latency budget: its deadline minus the time
         // at which it will actually start executing (queueing delay included,
         // which is exactly why interference hurts a reactive policy).
@@ -85,6 +96,11 @@ impl Scheduler for Ebs {
     fn reset(&mut self) {
         self.profiler.reset();
         self.ladder_cache.clear();
+        self.unprofiled_fallbacks = 0;
+    }
+
+    fn unprofiled_fallbacks(&self) -> usize {
+        self.unprofiled_fallbacks
     }
 }
 
@@ -155,6 +171,30 @@ mod tests {
             "profiling runs happen on the big cluster"
         );
         assert!(ebs.profiler().needs_profiling(EventType::Click));
+    }
+
+    #[test]
+    fn unprofiled_fallbacks_start_zero_and_reset_clears_them() {
+        let fixture = Fixture::new();
+        let dvfs = DvfsModel::new(&fixture.platform);
+        let mut ebs = Ebs::new(&fixture.platform);
+        assert_eq!(ebs.unprofiled_fallbacks(), 0);
+        warm_up(&mut ebs, &fixture, EventType::Click, 300);
+        let ctx = ScheduleContext {
+            platform: &fixture.platform,
+            dvfs: &dvfs,
+            qos: &fixture.qos,
+            start_time: TimeUs::from_millis(1_000),
+            current_config: fixture.platform.min_power_config(),
+        };
+        ebs.schedule_event(&ctx, &event(9, EventType::Click, 1_000, 300));
+        // The healthy path — profiling guard or served estimate — never
+        // counts a fallback; the counter only moves on the starvation
+        // branch, and a session reset clears it.
+        assert_eq!(ebs.unprofiled_fallbacks(), 0);
+        ebs.unprofiled_fallbacks = 3;
+        ebs.reset();
+        assert_eq!(ebs.unprofiled_fallbacks(), 0);
     }
 
     #[test]

@@ -45,11 +45,17 @@ impl InteractiveGovernor {
     fn idle_config(&self, ctx: &ScheduleContext<'_>, utilization: f64) -> AcmpConfig {
         // While not saturated the governor tracks load proportionally on the
         // big cluster (the browser main thread is HMP-placed on big cores).
-        let big = ctx
+        // Every shipped `Platform` constructor builds at least one cluster,
+        // but the invariant lives in pes-acmp, not here: a clusterless
+        // platform keeps whatever configuration the hardware is already in
+        // rather than panicking mid-replay.
+        let Some(big) = ctx
             .platform
             .cluster_for(CoreKind::BigA15)
             .or_else(|| ctx.platform.clusters().first())
-            .expect("platform has clusters");
+        else {
+            return ctx.current_config;
+        };
         let min = big.min_frequency().as_mhz() as f64;
         let max = big.max_frequency().as_mhz() as f64;
         let target = min + utilization * (max - min);

@@ -27,6 +27,15 @@
 //!    outcome-dependent aggregates, producing byte-identical aggregates to
 //!    the uninterrupted run — torn tail lines included.
 //!
+//! On top of the four resilience mechanisms the driver shares solver work
+//! across the fleet: every replay probes a read-only [`SolveGeneration`]
+//! of window solves published by previous batches (each worker records its
+//! own fresh solves into a private [`SolveShard`]; a deterministic merge
+//! folds the shards in unit order between batches), and an optional
+//! predicted-cost router ([`CostRouteConfig`]) keeps an integer EMA of
+//! per-shard solve cost and routes hot shards to cheaper [`SolveEntry`]
+//! tiers before their breakers ever trip.
+//!
 //! Everything is a deterministic function of ([`FleetSpec`],
 //! [`FleetConfig`], context): session parameters derive statelessly from
 //! the fleet seed via [`pes_core::splitmix`], traces are generated per unit
@@ -39,10 +48,11 @@ use std::fmt;
 use std::fs::OpenOptions;
 use std::io::{BufRead, BufReader, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use pes_core::{
     splitmix, DegradationLevel, DegradationTrace, FaultCounts, PesConfig, PesScheduler, RunReport,
-    WatchdogConfig,
+    SolveEntry, SolveGeneration, SolveShard, WatchdogConfig,
 };
 use pes_dom::{EventType, EventTypeSet};
 use pes_predictor::SessionState;
@@ -78,6 +88,13 @@ pub struct FleetSpec {
     /// full trace) — the knob that bounds per-unit replay cost at fleet
     /// scale.
     pub max_events_per_session: usize,
+    /// Repeated-config sweep: when non-zero, unit `u` replays the scenario
+    /// of unit `u % scenario_cycle`, so the stream cycles through
+    /// `scenario_cycle` distinct session configurations instead of fully
+    /// decorrelated ones (`0` keeps every unit unique). This is how config
+    /// sweeps express "replay the same sessions many times" — and what
+    /// gives the shared solve memo cross-replay reuse to answer.
+    pub scenario_cycle: usize,
 }
 
 impl Default for FleetSpec {
@@ -89,6 +106,20 @@ impl Default for FleetSpec {
             storm_every: 0,
             storm_arrivals: 0,
             max_events_per_session: 0,
+            scenario_cycle: 0,
+        }
+    }
+}
+
+impl FleetSpec {
+    /// The unit whose stateless scenario `unit` replays — `unit` itself
+    /// unless a [`FleetSpec::scenario_cycle`] folds the stream onto a
+    /// repeated sweep.
+    pub fn scenario_unit(&self, unit: usize) -> usize {
+        if self.scenario_cycle > 0 {
+            unit % self.scenario_cycle
+        } else {
+            unit
         }
     }
 }
@@ -134,6 +165,52 @@ impl Default for BreakerConfig {
     }
 }
 
+/// Predicted-cost routing thresholds: a per-shard integer EMA of observed
+/// solve cost classifies shards hot/normal/cold, and each admitted
+/// full-tier unit enters the optimizer at the matching [`SolveEntry`] tier
+/// (hot → `Greedy`, normal → `Anytime`, cold → `Exact`). All-integer so
+/// the state journals exactly and [`FleetConfig`] stays `Eq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostRouteConfig {
+    /// Route by predicted cost (`false` serves every full-tier unit at the
+    /// exact entry, exactly the pre-routing behaviour).
+    pub enabled: bool,
+    /// EMA smoothing as a right shift: `ema += (sample - ema) >> shift`
+    /// per observed outcome. Larger shifts react slower.
+    pub ema_shift: u32,
+    /// EMA at or above this many nodes classifies the shard hot (greedy
+    /// entry).
+    pub hot_nodes: u64,
+    /// EMA at or below this many nodes classifies the shard cold (exact
+    /// entry). Fresh shards start at 0, i.e. cold.
+    pub cold_nodes: u64,
+}
+
+impl Default for CostRouteConfig {
+    fn default() -> Self {
+        CostRouteConfig {
+            enabled: false,
+            ema_shift: 2,
+            hot_nodes: 20_000,
+            cold_nodes: 2_000,
+        }
+    }
+}
+
+impl CostRouteConfig {
+    /// The [`SolveEntry`] tier a shard with the given cost EMA is served
+    /// at. Disabled routing — and a fresh (zero) EMA — both yield `Exact`.
+    pub fn classify(&self, ema: u64) -> SolveEntry {
+        if !self.enabled || ema <= self.cold_nodes {
+            SolveEntry::Exact
+        } else if ema >= self.hot_nodes {
+            SolveEntry::Greedy
+        } else {
+            SolveEntry::Anytime
+        }
+    }
+}
+
 /// How the driver runs the stream: batching, queueing, shedding, retry and
 /// resilience thresholds.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -168,6 +245,20 @@ pub struct FleetConfig {
     /// opening states, aggregated into
     /// [`FleetRunReport::predicted_openings`].
     pub packed_prediction: bool,
+    /// Share window solves across the fleet: each replay probes the
+    /// read-only solve generation published by previous batches and
+    /// records its fresh solves into a private [`SolveShard`] that the
+    /// deterministic inter-batch merge folds in unit order. Aggregates are
+    /// bit-identical with this on or off (a generation hit mirrors the
+    /// cold solve it dodges); only wall-clock and the shared-hit counters
+    /// change.
+    pub shared_memo: bool,
+    /// Entry cap of the published solve generation; the merge keeps the
+    /// newest entries when the fold exceeds it.
+    pub generation_cap: usize,
+    /// Predicted-cost routing of full-tier units across [`SolveEntry`]
+    /// tiers (off by default; see [`CostRouteConfig`]).
+    pub cost_routing: CostRouteConfig,
 }
 
 impl Default for FleetConfig {
@@ -183,6 +274,9 @@ impl Default for FleetConfig {
             watchdog: WatchdogConfig::disabled(),
             violation_spike: 0,
             packed_prediction: false,
+            shared_memo: true,
+            generation_cap: 512,
+            cost_routing: CostRouteConfig::default(),
         }
     }
 }
@@ -412,6 +506,26 @@ pub struct FleetRunReport {
     /// `predict_many` pass per drain when
     /// [`FleetConfig::packed_prediction`] is on; all zeros otherwise.
     pub predicted_openings: [usize; EVENT_CLASSES],
+    /// Units admitted to the full proactive tier, by the [`SolveEntry`]
+    /// they entered the optimizer at (`[exact, anytime, greedy]`). Probes
+    /// count as exact; with routing off every full-tier unit is exact.
+    pub routed_entries: [usize; 3],
+    /// Branch-and-bound nodes expanded over completed replays.
+    pub solver_nodes: usize,
+    /// Per-replay memo-ring hits summed over completed replays.
+    pub memo_hits: usize,
+    /// Per-replay memo-ring misses summed over completed replays —
+    /// identical with the shared memo on or off (a generation hit still
+    /// counts as a ring miss, mirroring the cold solve it dodged).
+    pub memo_misses: usize,
+    /// Ring misses answered by the shared cross-replay solve generation.
+    /// All zeros when [`FleetConfig::shared_memo`] is off. **Not**
+    /// resume-stable (a resumed run rebuilds the generation cold), so this
+    /// is report-only and never journaled.
+    pub shared_hits: usize,
+    /// Ring misses that probed the shared generation (hit or not).
+    /// Report-only, like [`FleetRunReport::shared_hits`].
+    pub shared_lookups: usize,
 }
 
 impl FleetRunReport {
@@ -442,6 +556,38 @@ impl FleetRunReport {
     pub fn is_clean(&self) -> bool {
         self.failures.is_empty()
     }
+
+    /// Per-replay memo-ring hit rate over all optimizer invocations.
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
+    }
+
+    /// Cross-replay hit rate: the fraction of optimizer invocations
+    /// answered by *any* cache — the per-replay ring or the shared
+    /// generation. With the shared memo off this equals
+    /// [`FleetRunReport::memo_hit_rate`].
+    pub fn combined_hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            (self.memo_hits + self.shared_hits) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of shared-generation probes that hit.
+    pub fn shared_hit_rate(&self) -> f64 {
+        if self.shared_lookups == 0 {
+            0.0
+        } else {
+            self.shared_hits as f64 / self.shared_lookups as f64
+        }
+    }
 }
 
 /// Errors of the journaled fleet paths: journal IO, corrupt records, or a
@@ -455,6 +601,17 @@ pub enum FleetError {
     /// The journal's admission cursor disagrees with the spec/config it is
     /// being resumed under.
     SpecMismatch(String),
+    /// A record carries a journal-format magic this build does not read
+    /// (e.g. a journal written by a newer build). Distinct from
+    /// [`FleetError::Corrupt`] so the reader never mistakes a healthy
+    /// future-format journal for a torn tail and silently restarts over
+    /// it.
+    JournalVersion {
+        /// The magic found on the record.
+        found: String,
+        /// The magics this build reads, newest first.
+        supported: String,
+    },
 }
 
 impl fmt::Display for FleetError {
@@ -463,6 +620,10 @@ impl fmt::Display for FleetError {
             FleetError::Io(msg) => write!(f, "fleet journal IO error: {msg}"),
             FleetError::Corrupt(msg) => write!(f, "fleet journal corrupt: {msg}"),
             FleetError::SpecMismatch(msg) => write!(f, "fleet journal mismatch: {msg}"),
+            FleetError::JournalVersion { found, supported } => write!(
+                f,
+                "fleet journal version {found:?} unsupported (this build reads {supported})"
+            ),
         }
     }
 }
@@ -482,9 +643,12 @@ impl From<std::io::Error> for FleetError {
 /// How an admitted unit was routed for its batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum UnitRoute {
-    /// Full proactive tier; outcome feeds the shard window.
-    Full,
-    /// Full tier as a half-open probe; outcome feeds the probe counter.
+    /// Full proactive tier at the given optimizer entry (exact unless the
+    /// cost router classified the shard hotter); outcome feeds the shard
+    /// window.
+    Full(SolveEntry),
+    /// Full tier (exact entry) as a half-open probe; outcome feeds the
+    /// probe counter.
     Probe,
     /// Forced to a reactive tier by an open breaker; outcome is ignored by
     /// the breaker.
@@ -509,6 +673,14 @@ struct UnitOutcome {
     injections: FaultCounts,
     watchdog_trips: usize,
     final_tier: DegradationLevel,
+    solver_nodes: usize,
+    memo_hits: usize,
+    memo_misses: usize,
+    /// Ring misses answered by the shared generation (report-only; see
+    /// [`FleetRunReport::shared_hits`]).
+    shared_hits: usize,
+    /// Ring misses that probed the shared generation.
+    shared_lookups: usize,
     /// The opening event the batch drain's `predict_many` pass predicted
     /// for this unit (`None` when the packed plane is off).
     predicted_opening: Option<EventType>,
@@ -524,6 +696,11 @@ impl UnitOutcome {
             injections: report.fault_injections,
             watchdog_trips: report.watchdog_trips,
             final_tier: report.final_tier,
+            solver_nodes: report.solver_nodes,
+            memo_hits: report.solver_cache_hits,
+            memo_misses: report.solver_cache_misses,
+            shared_hits: 0,
+            shared_lookups: 0,
             predicted_opening: None,
         }
     }
@@ -537,9 +714,42 @@ impl UnitOutcome {
             injections: FaultCounts::default(),
             watchdog_trips: 0,
             final_tier: DegradationLevel::Exact,
+            solver_nodes: 0,
+            memo_hits: 0,
+            memo_misses: 0,
+            shared_hits: 0,
+            shared_lookups: 0,
             predicted_opening: None,
         }
     }
+}
+
+/// The flat node cost a watchdog trip adds to a unit's routing sample: a
+/// trip means the replay blew its deadline budget, so the router treats it
+/// like an extra anytime-cap's worth of expansion even when the demoted
+/// tiers kept the raw node count low.
+const WATCHDOG_TRIP_COST_NODES: u64 = 4_096;
+
+/// The cost sample one completed full-tier outcome feeds the shard's EMA:
+/// nodes expanded plus a flat penalty per watchdog trip, discounted by the
+/// replay's memo hit rate in x256 fixed point (a well-cached shard is
+/// cheaper to serve exactly than its raw node count suggests).
+fn cost_sample(outcome: &UnitOutcome) -> u64 {
+    let base =
+        outcome.solver_nodes as u64 + WATCHDOG_TRIP_COST_NODES * outcome.watchdog_trips as u64;
+    let probes = (outcome.memo_hits + outcome.memo_misses) as u64;
+    if probes == 0 {
+        return base;
+    }
+    let hit_fp = 256 * outcome.memo_hits as u64 / probes;
+    base * (256 - hit_fp) / 256
+}
+
+/// One EMA step: `ema += (sample - ema) >> shift`, in the
+/// subtraction-free integer form that never underflows.
+fn ema_update(ema: u64, sample: u64, shift: u32) -> u64 {
+    let shift = shift.min(63);
+    ema - (ema >> shift) + (sample >> shift)
 }
 
 /// The [`DegradationLevel`] an open breaker's routed tier maps to.
@@ -554,8 +764,19 @@ fn forced_level(tier: RoutedTier) -> DegradationLevel {
 /// so failures say how degraded the unit already was when it still failed.
 fn route_level(route: UnitRoute) -> DegradationLevel {
     match route {
-        UnitRoute::Full | UnitRoute::Probe => DegradationLevel::Exact,
+        UnitRoute::Full(SolveEntry::Exact) | UnitRoute::Probe => DegradationLevel::Exact,
+        UnitRoute::Full(SolveEntry::Anytime) => DegradationLevel::Anytime,
+        UnitRoute::Full(SolveEntry::Greedy) => DegradationLevel::Greedy,
         UnitRoute::Routed(tier) => forced_level(tier),
+    }
+}
+
+/// Slot of a [`SolveEntry`] in the `[exact, anytime, greedy]` histograms.
+fn entry_index(entry: SolveEntry) -> usize {
+    match entry {
+        SolveEntry::Exact => 0,
+        SolveEntry::Anytime => 1,
+        SolveEntry::Greedy => 2,
     }
 }
 
@@ -616,6 +837,13 @@ struct Checkpoint {
     degradation: DegradationTrace,
     injections: FaultCounts,
     predicted_openings: [usize; EVENT_CLASSES],
+    routed_entries: [usize; 3],
+    solver_nodes: usize,
+    memo_hits: usize,
+    memo_misses: usize,
+    /// Per-shard cost-routing EMAs at the checkpoint (empty when the
+    /// journal predates routing; the driver then starts them at zero).
+    ema: Vec<u64>,
     failures: Vec<UnitFailure>,
     breakers: Vec<CircuitBreaker>,
 }
@@ -644,6 +872,7 @@ where
     let mut breakers: Vec<CircuitBreaker> = (0..shards)
         .map(|_| CircuitBreaker::new(&config.breaker))
         .collect();
+    let mut cost_ema: Vec<u64> = vec![0; shards];
     let mut queue: VecDeque<(usize, u8)> = VecDeque::new();
     let mut next_unit = 0usize;
     let mut step = 0u64;
@@ -667,6 +896,12 @@ where
         breaker_histories: Vec::new(),
         breaker_finals: Vec::new(),
         predicted_openings: [0; EVENT_CLASSES],
+        routed_entries: [0; 3],
+        solver_nodes: 0,
+        memo_hits: 0,
+        memo_misses: 0,
+        shared_hits: 0,
+        shared_lookups: 0,
     };
 
     // Fast-forward: replay the outcome-independent admission arithmetic for
@@ -685,7 +920,8 @@ where
                 if next_unit >= spec.sessions {
                     break;
                 }
-                let (_, _, _, priority) = unit_scenario(spec.seed, 1, next_unit);
+                let (_, _, _, priority) =
+                    unit_scenario(spec.seed, 1, spec.scenario_unit(next_unit));
                 queue.push_back((next_unit, priority));
                 next_unit += 1;
             }
@@ -727,8 +963,21 @@ where
         report.degradation = cp.degradation;
         report.injections = cp.injections;
         report.predicted_openings = cp.predicted_openings;
+        report.routed_entries = cp.routed_entries;
+        report.solver_nodes = cp.solver_nodes;
+        report.memo_hits = cp.memo_hits;
+        report.memo_misses = cp.memo_misses;
         report.failures = cp.failures;
         breakers = cp.breakers;
+        if !cp.ema.is_empty() {
+            if cp.ema.len() != shards {
+                return Err(FleetError::SpecMismatch(format!(
+                    "journal has {} routing EMAs, config has {shards} shards",
+                    cp.ema.len()
+                )));
+            }
+            cost_ema = cp.ema;
+        }
     }
 
     while next_unit < spec.sessions || !queue.is_empty() {
@@ -743,7 +992,7 @@ where
             if next_unit >= spec.sessions {
                 break;
             }
-            let (_, _, _, priority) = unit_scenario(spec.seed, 1, next_unit);
+            let (_, _, _, priority) = unit_scenario(spec.seed, 1, spec.scenario_unit(next_unit));
             queue.push_back((next_unit, priority));
             next_unit += 1;
         }
@@ -759,7 +1008,9 @@ where
         report.peak_queue = report.peak_queue.max(queue.len());
 
         // 3. Admission + breaker routing (half-open shards admit `probes`
-        //    full-tier probe units per batch, the rest stay routed).
+        //    full-tier probe units per batch, the rest stay routed). A
+        //    closed shard's units enter the optimizer at the entry tier
+        //    the cost router classifies the shard at.
         let take = batch_size.min(queue.len());
         let mut probes_used = vec![0usize; shards];
         let tickets: Vec<Ticket> = queue
@@ -767,7 +1018,9 @@ where
             .map(|(unit, _priority)| {
                 let shard = unit % shards;
                 let route = match breakers[shard].state() {
-                    BreakerState::Closed => UnitRoute::Full,
+                    BreakerState::Closed => {
+                        UnitRoute::Full(config.cost_routing.classify(cost_ema[shard]))
+                    }
                     BreakerState::Open => UnitRoute::Routed(config.breaker.open_tier),
                     BreakerState::HalfOpen => {
                         if probes_used[shard] < config.breaker.probes.max(1) {
@@ -788,16 +1041,34 @@ where
         // 4. Supervised fan-out of the batch.
         let batch = exec(&tickets);
 
-        // 5. Outcome classification feeds the shard breakers in unit index
-        //    order (full-tier and probe outcomes only), then the batch
-        //    boundary ticks every cooldown.
+        // 5. Outcome classification feeds the shard breakers — and the
+        //    cost router's EMAs — in unit index order (full-tier and probe
+        //    outcomes only), then the batch boundary ticks every cooldown.
         for (i, ticket) in tickets.iter().enumerate() {
             let bad = is_bad(batch.results[i].as_ref(), config.violation_spike);
-            let breaker = &mut breakers[ticket.unit % shards];
+            let shard = ticket.unit % shards;
+            let breaker = &mut breakers[shard];
             match ticket.route {
-                UnitRoute::Full => breaker.record(bad),
-                UnitRoute::Probe => breaker.record_probe(bad),
+                UnitRoute::Full(entry) => {
+                    breaker.record(bad);
+                    report.routed_entries[entry_index(entry)] += 1;
+                }
+                UnitRoute::Probe => {
+                    breaker.record_probe(bad);
+                    report.routed_entries[entry_index(SolveEntry::Exact)] += 1;
+                }
                 UnitRoute::Routed(_) => {}
+            }
+            if config.cost_routing.enabled
+                && matches!(ticket.route, UnitRoute::Full(_) | UnitRoute::Probe)
+            {
+                if let Some(outcome) = batch.results[i].as_ref() {
+                    cost_ema[shard] = ema_update(
+                        cost_ema[shard],
+                        cost_sample(outcome),
+                        config.cost_routing.ema_shift,
+                    );
+                }
             }
         }
         for breaker in &mut breakers {
@@ -813,6 +1084,11 @@ where
             report.watchdog_trips += outcome.watchdog_trips;
             report.degradation.merge(&outcome.degradation);
             report.injections.merge(&outcome.injections);
+            report.solver_nodes += outcome.solver_nodes;
+            report.memo_hits += outcome.memo_hits;
+            report.memo_misses += outcome.memo_misses;
+            report.shared_hits += outcome.shared_hits;
+            report.shared_lookups += outcome.shared_lookups;
             if let Some(opening) = outcome.predicted_opening {
                 report.predicted_openings[opening.class_index()] += 1;
             }
@@ -845,6 +1121,11 @@ where
                 degradation: report.degradation,
                 injections: report.injections,
                 predicted_openings: report.predicted_openings,
+                routed_entries: report.routed_entries,
+                solver_nodes: report.solver_nodes,
+                memo_hits: report.memo_hits,
+                memo_misses: report.memo_misses,
+                ema: cost_ema.clone(),
                 failures: report.failures.clone(),
                 breakers: breakers.clone(),
             };
@@ -876,7 +1157,17 @@ struct BatchRunner<'a> {
     /// Run the batched opening-prediction pass per drain and serve every
     /// tier's prediction rounds on the packed f32 plane.
     packed: bool,
+    /// Probe the shared solve generation per replay and publish the
+    /// workers' shards between batches.
+    shared_memo: bool,
+    generation_cap: usize,
+    /// The read-only cross-replay solve cache every worker of the next
+    /// batch probes; republished (never mutated in place) after each
+    /// batch's deterministic shard merge.
+    generation: Arc<SolveGeneration>,
     full: PesScheduler,
+    full_anytime: PesScheduler,
+    full_greedy: PesScheduler,
     reactive: PesScheduler,
     floor: PesScheduler,
 }
@@ -898,7 +1189,18 @@ impl<'a> BatchRunner<'a> {
             },
             retries: config.retries,
             packed: config.packed_prediction,
+            shared_memo: config.shared_memo,
+            generation_cap: config.generation_cap.max(1),
+            generation: Arc::new(SolveGeneration::empty()),
             full: PesScheduler::new(ctx.learner.clone(), base()),
+            full_anytime: PesScheduler::new(
+                ctx.learner.clone(),
+                base().with_forced_tier(DegradationLevel::Anytime),
+            ),
+            full_greedy: PesScheduler::new(
+                ctx.learner.clone(),
+                base().with_forced_tier(DegradationLevel::Greedy),
+            ),
             reactive: PesScheduler::new(
                 ctx.learner.clone(),
                 base().with_forced_tier(DegradationLevel::Reactive),
@@ -923,7 +1225,8 @@ impl<'a> BatchRunner<'a> {
         let mut rows: Vec<f32> = Vec::with_capacity(tickets.len() * packed.padded_dim());
         let mut masks: Vec<EventTypeSet> = Vec::with_capacity(tickets.len());
         for ticket in tickets {
-            let (_, app_idx, _, _) = unit_scenario(self.spec.seed, apps, ticket.unit);
+            let (_, app_idx, _, _) =
+                unit_scenario(self.spec.seed, apps, self.spec.scenario_unit(ticket.unit));
             let page = self.ctx.scenarios.page_ref(app_idx);
             let mut state = SessionState::new(page.tree.clone());
             state.features_into(&mut features);
@@ -935,16 +1238,22 @@ impl<'a> BatchRunner<'a> {
         decisions.into_iter().map(|(e, _)| Some(e)).collect()
     }
 
-    fn run(&self, tickets: &[Ticket]) -> FleetReport<UnitOutcome> {
+    /// Runs one admitted batch. `&mut self` only for the generation
+    /// handoff: the fan-out itself borrows the runner immutably, and the
+    /// merged generation is republished after the workers have joined —
+    /// the batch in flight always reads the one frozen at its start.
+    fn run(&mut self, tickets: &[Ticket]) -> FleetReport<UnitOutcome> {
         let apps = self.ctx.catalog.apps().len();
         let openings = if self.packed {
             self.predict_openings(tickets)
         } else {
             vec![None; tickets.len()]
         };
-        let mut batch = par_map_supervised_with(self.threads, tickets.len(), self.retries, |i| {
+        let generation = Arc::clone(&self.generation);
+        let raw = par_map_supervised_with(self.threads, tickets.len(), self.retries, |i| {
             let ticket = tickets[i];
-            let (h, app_idx, trace_seed, _) = unit_scenario(self.spec.seed, apps, ticket.unit);
+            let (h, app_idx, trace_seed, _) =
+                unit_scenario(self.spec.seed, apps, self.spec.scenario_unit(ticket.unit));
             let app = &self.ctx.catalog.apps()[app_idx];
             let page = self.ctx.scenarios.page_ref(app_idx);
             let mut trace = TraceGenerator::new().generate(app, page, trace_seed);
@@ -957,21 +1266,68 @@ impl<'a> BatchRunner<'a> {
                 );
             }
             let scheduler = match ticket.route {
-                UnitRoute::Full | UnitRoute::Probe => &self.full,
+                UnitRoute::Full(SolveEntry::Exact) | UnitRoute::Probe => &self.full,
+                UnitRoute::Full(SolveEntry::Anytime) => &self.full_anytime,
+                UnitRoute::Full(SolveEntry::Greedy) => &self.full_greedy,
                 UnitRoute::Routed(RoutedTier::Reactive) => &self.reactive,
                 UnitRoute::Routed(RoutedTier::OndemandFloor) => &self.floor,
             };
             let faults = self.ctx.faults.reseeded(h);
-            let run = scheduler.run_trace_with_plane_and_faults(
-                &self.ctx.platform,
-                &self.ctx.power_plane,
-                page,
-                &trace,
-                &self.ctx.qos,
-                &faults,
-            );
-            UnitOutcome::from_report(&run)
+            if self.shared_memo {
+                let mut shard = SolveShard::new();
+                let run = scheduler.run_trace_with_shared_memo(
+                    &self.ctx.platform,
+                    &self.ctx.power_plane,
+                    page,
+                    &trace,
+                    &self.ctx.qos,
+                    &faults,
+                    &generation,
+                    &mut shard,
+                );
+                let mut outcome = UnitOutcome::from_report(&run);
+                outcome.shared_hits = shard.shared_hits();
+                outcome.shared_lookups = shard.shared_lookups();
+                (outcome, Some(shard))
+            } else {
+                let run = scheduler.run_trace_with_plane_and_faults(
+                    &self.ctx.platform,
+                    &self.ctx.power_plane,
+                    page,
+                    &trace,
+                    &self.ctx.qos,
+                    &faults,
+                );
+                (UnitOutcome::from_report(&run), None)
+            }
         });
+        // Strip the workers' write shards in unit index order and fold
+        // them into the next batch's generation (first occurrence of a
+        // key wins, so the merge is independent of worker count).
+        let mut shards: Vec<SolveShard> = Vec::new();
+        let mut batch = FleetReport {
+            results: Vec::with_capacity(raw.results.len()),
+            failures: raw.failures,
+            attempts: raw.attempts,
+        };
+        for slot in raw.results {
+            match slot {
+                Some((outcome, shard)) => {
+                    if let Some(shard) = shard {
+                        shards.push(shard);
+                    }
+                    batch.results.push(Some(outcome));
+                }
+                None => batch.results.push(None),
+            }
+        }
+        if shards.iter().any(|s| !s.is_empty()) {
+            self.generation = Arc::new(SolveGeneration::publish(
+                &self.generation,
+                &shards,
+                self.generation_cap,
+            ));
+        }
         for (slot, opening) in batch.results.iter_mut().zip(openings) {
             if let Some(outcome) = slot {
                 outcome.predicted_opening = opening;
@@ -992,7 +1348,7 @@ pub fn run_fleet(
     spec: &FleetSpec,
     config: &FleetConfig,
 ) -> FleetRunReport {
-    let runner = BatchRunner::new(ctx, spec, config);
+    let mut runner = BatchRunner::new(ctx, spec, config);
     match drive(spec, config, None, None, |tickets| runner.run(tickets)) {
         Ok(report) => report,
         // Unreachable: the journal-free drive has no IO to fail.
@@ -1009,7 +1365,7 @@ pub fn run_fleet_journaled(
     path: &Path,
 ) -> Result<FleetRunReport, FleetError> {
     let mut writer = JournalWriter::create(path)?;
-    let runner = BatchRunner::new(ctx, spec, config);
+    let mut runner = BatchRunner::new(ctx, spec, config);
     drive(spec, config, Some(&mut writer), None, |tickets| {
         runner.run(tickets)
     })
@@ -1030,7 +1386,7 @@ pub fn resume_fleet(
     let checkpoint = read_checkpoint(path, &config.breaker)?;
     let mut writer =
         JournalWriter::open_append(path, checkpoint.as_ref().map_or(0, |c| c.batches))?;
-    let runner = BatchRunner::new(ctx, spec, config);
+    let mut runner = BatchRunner::new(ctx, spec, config);
     drive(spec, config, Some(&mut writer), checkpoint, |tickets| {
         runner.run(tickets)
     })
@@ -1058,8 +1414,27 @@ pub fn fleet_admission_dry_run(spec: &FleetSpec, config: &FleetConfig) -> FleetR
 // Journal encoding
 // ---------------------------------------------------------------------------
 
-/// `J2` added the `pred=` histogram of batched opening predictions.
-const JOURNAL_MAGIC: &str = "PESFLEETJ2";
+/// The current journal format. `J3` added the solver aggregates
+/// (`nodes=`/`mh=`/`mm=`), the routed-entry histogram (`ent=`) and the
+/// per-shard cost-routing EMAs (`ema=`); `J2` added the `pred=` histogram
+/// of batched opening predictions. New records always encode as `J3`; the
+/// parser still reads `J2` and `J1` records (their missing fields restore
+/// as zeros). The shared-memo hit counters are deliberately **not**
+/// journaled: a resumed run rebuilds the generation cold, so they are the
+/// one aggregate that is not resume-stable.
+const JOURNAL_MAGIC: &str = "PESFLEETJ3";
+/// Previous format: `pred=` histogram, no solver/routing fields.
+const JOURNAL_MAGIC_V2: &str = "PESFLEETJ2";
+/// Original format: no `pred=` histogram either.
+const JOURNAL_MAGIC_V1: &str = "PESFLEETJ1";
+
+/// The journal-format version a record's magic announces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum JournalVersion {
+    V1,
+    V2,
+    V3,
+}
 
 #[derive(Debug, Clone, PartialEq)]
 struct JournalRecord {
@@ -1076,6 +1451,11 @@ struct JournalRecord {
     degradation: DegradationTrace,
     injections: FaultCounts,
     predicted_openings: [usize; EVENT_CLASSES],
+    routed_entries: [usize; 3],
+    solver_nodes: usize,
+    memo_hits: usize,
+    memo_misses: usize,
+    ema: Vec<u64>,
     failures: Vec<UnitFailure>,
     breakers: Vec<CircuitBreaker>,
 }
@@ -1159,10 +1539,27 @@ fn encode_record(record: &JournalRecord) -> String {
         .map(|c| c.to_string())
         .collect::<Vec<_>>()
         .join(",");
+    let ent = record
+        .routed_entries
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let ema = if record.ema.is_empty() {
+        "-".to_string()
+    } else {
+        record
+            .ema
+            .iter()
+            .map(|e| format!("{e:x}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
     let payload = format!(
         "{JOURNAL_MAGIC} batch={} step={} next_unit={} shed={} completed={} retries={} \
          violations={} events={} energy={:016x} wd={} deg={},{},{},{},{} \
-         inj={},{},{},{},{},{},{},{} pred={pred} fail={fail} brk={brk}",
+         inj={},{},{},{},{},{},{},{} pred={pred} nodes={} mh={} mm={} ent={ent} ema={ema} \
+         fail={fail} brk={brk}",
         record.batches,
         record.step,
         record.next_unit,
@@ -1186,6 +1583,9 @@ fn encode_record(record: &JournalRecord) -> String {
         inj.delayed_vsyncs,
         inj.duplicated_events,
         inj.dropped_events,
+        record.solver_nodes,
+        record.memo_hits,
+        record.memo_misses,
     );
     let checksum = fnv1a(&payload);
     format!("{payload} #{checksum:016x}")
@@ -1223,7 +1623,10 @@ fn parse_counts<const N: usize>(value: &str, key: &str) -> Result<[usize; N], Fl
 }
 
 /// Parses one journal line. Returns `Corrupt` for anything malformed —
-/// the reader treats a corrupt *final* line as a torn tail and ignores it.
+/// the reader treats a corrupt *final* line as a torn tail and ignores it
+/// — and `JournalVersion` (never swallowed as a torn tail) for an intact
+/// record whose magic this build does not read. `J2`/`J1` records parse
+/// with their missing fields restored as zeros.
 fn parse_record(line: &str, breaker_config: &BreakerConfig) -> Result<JournalRecord, FleetError> {
     let (payload, checksum) = line
         .rsplit_once(" #")
@@ -1234,10 +1637,18 @@ fn parse_record(line: &str, breaker_config: &BreakerConfig) -> Result<JournalRec
         return Err(FleetError::Corrupt("checksum mismatch".into()));
     }
     let mut tokens = payload.split_whitespace();
-    match tokens.next() {
-        Some(JOURNAL_MAGIC) => {}
+    let version = match tokens.next() {
+        Some(JOURNAL_MAGIC) => JournalVersion::V3,
+        Some(JOURNAL_MAGIC_V2) => JournalVersion::V2,
+        Some(JOURNAL_MAGIC_V1) => JournalVersion::V1,
+        Some(other) if other.starts_with("PESFLEETJ") => {
+            return Err(FleetError::JournalVersion {
+                found: other.to_string(),
+                supported: format!("{JOURNAL_MAGIC}/{JOURNAL_MAGIC_V2}/{JOURNAL_MAGIC_V1}"),
+            })
+        }
         other => return Err(FleetError::Corrupt(format!("bad magic {other:?}"))),
-    }
+    };
     let batches = parse_usize(kv(tokens.next(), "batch")?, "batch")?;
     let step = kv(tokens.next(), "step")?
         .parse::<u64>()
@@ -1272,7 +1683,31 @@ fn parse_record(line: &str, breaker_config: &BreakerConfig) -> Result<JournalRec
         duplicated_events: dups,
         dropped_events: drops,
     };
-    let predicted_openings = parse_counts::<EVENT_CLASSES>(kv(tokens.next(), "pred")?, "pred")?;
+    let predicted_openings = if version >= JournalVersion::V2 {
+        parse_counts::<EVENT_CLASSES>(kv(tokens.next(), "pred")?, "pred")?
+    } else {
+        [0; EVENT_CLASSES]
+    };
+    let (routed_entries, solver_nodes, memo_hits, memo_misses, ema) =
+        if version >= JournalVersion::V3 {
+            let solver_nodes = parse_usize(kv(tokens.next(), "nodes")?, "nodes")?;
+            let memo_hits = parse_usize(kv(tokens.next(), "mh")?, "mh")?;
+            let memo_misses = parse_usize(kv(tokens.next(), "mm")?, "mm")?;
+            let routed_entries = parse_counts::<3>(kv(tokens.next(), "ent")?, "ent")?;
+            let ema_field = kv(tokens.next(), "ema")?;
+            let mut ema = Vec::new();
+            if ema_field != "-" {
+                for part in ema_field.split(',') {
+                    ema.push(
+                        u64::from_str_radix(part, 16)
+                            .map_err(|_| FleetError::Corrupt(format!("bad ema value {part:?}")))?,
+                    );
+                }
+            }
+            (routed_entries, solver_nodes, memo_hits, memo_misses, ema)
+        } else {
+            ([0; 3], 0, 0, 0, Vec::new())
+        };
     let fail_field = kv(tokens.next(), "fail")?;
     let mut failures = Vec::new();
     if fail_field != "-" {
@@ -1369,6 +1804,11 @@ fn parse_record(line: &str, breaker_config: &BreakerConfig) -> Result<JournalRec
         degradation,
         injections,
         predicted_openings,
+        routed_entries,
+        solver_nodes,
+        memo_hits,
+        memo_misses,
+        ema,
         failures,
         breakers,
     })
@@ -1454,10 +1894,11 @@ fn read_checkpoint(
         }
         match parse_record(line, breaker_config) {
             Ok(record) => last = Some(record),
-            Err(e) if i + 1 == lines.len() => {
+            Err(FleetError::Corrupt(_)) if i + 1 == lines.len() => {
                 // Torn tail from the kill: ignore, resume from the
-                // previous intact record.
-                let _ = e;
+                // previous intact record. Version errors never qualify —
+                // an intact checksummed record from an unknown build must
+                // surface, not be silently restarted over.
                 break;
             }
             Err(e) => return Err(e),
@@ -1477,6 +1918,11 @@ fn read_checkpoint(
         degradation: r.degradation,
         injections: r.injections,
         predicted_openings: r.predicted_openings,
+        routed_entries: r.routed_entries,
+        solver_nodes: r.solver_nodes,
+        memo_hits: r.memo_hits,
+        memo_misses: r.memo_misses,
+        ema: r.ema,
         failures: r.failures,
         breakers: r.breakers,
     }))
@@ -1624,6 +2070,11 @@ mod tests {
                 dropped_events: 8,
             },
             predicted_openings: [9, 8, 7, 6, 5, 4, 3],
+            routed_entries: [70, 20, 9],
+            solver_nodes: 123_456,
+            memo_hits: 321,
+            memo_misses: 654,
+            ema: vec![0x1234, 0, 0xdead_beef],
             failures: vec![UnitFailure {
                 index: 17,
                 attempts: 2,
@@ -1653,6 +2104,11 @@ mod tests {
             degradation: DegradationTrace::default(),
             injections: FaultCounts::default(),
             predicted_openings: [0; EVENT_CLASSES],
+            routed_entries: [8, 0, 0],
+            solver_nodes: 999,
+            memo_hits: 10,
+            memo_misses: 20,
+            ema: vec![0; 4],
             failures: Vec::new(),
             breakers: vec![CircuitBreaker::new(&breaker_config())],
         };
@@ -1676,6 +2132,7 @@ mod tests {
             storm_every: 5,
             storm_arrivals: 40,
             max_events_per_session: 0,
+            scenario_cycle: 0,
         };
         let config = FleetConfig {
             batch_size: 8,
@@ -1707,6 +2164,7 @@ mod tests {
             storm_every: 0,
             storm_arrivals: 0,
             max_events_per_session: 0,
+            scenario_cycle: 0,
         };
         let config = FleetConfig {
             batch_size: 4,
@@ -1742,6 +2200,11 @@ mod tests {
             degradation: DegradationTrace::default(),
             injections: FaultCounts::default(),
             predicted_openings: [0; EVENT_CLASSES],
+            routed_entries: [batches * 8, 0, 0],
+            solver_nodes: batches * 1_000,
+            memo_hits: batches * 5,
+            memo_misses: batches * 7,
+            ema: vec![batches as u64; 4],
             failures: Vec::new(),
             breakers: vec![CircuitBreaker::new(&breaker_config())],
         };
@@ -1759,5 +2222,126 @@ mod tests {
             Err(FleetError::Corrupt(_))
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    fn checksummed(payload: &str) -> String {
+        format!("{payload} #{:016x}", fnv1a(payload))
+    }
+
+    #[test]
+    fn old_journal_versions_parse_with_zeroed_new_fields() {
+        let energy = 7.5f64.to_bits();
+        let j2 = checksummed(&format!(
+            "PESFLEETJ2 batch=3 step=4 next_unit=24 shed=1 completed=23 retries=2 \
+             violations=5 events=400 energy={energy:016x} wd=1 deg=20,1,1,1,0 \
+             inj=0,0,0,0,0,0,0,0 pred=9,8,7,6,5,4,3 fail=- brk=C:0:0:0:0:-"
+        ));
+        let parsed = parse_record(&j2, &breaker_config()).expect("J2 record still parses");
+        assert_eq!(parsed.batches, 3);
+        assert_eq!(parsed.predicted_openings, [9, 8, 7, 6, 5, 4, 3]);
+        assert_eq!(parsed.routed_entries, [0; 3]);
+        assert_eq!(
+            (parsed.solver_nodes, parsed.memo_hits, parsed.memo_misses),
+            (0, 0, 0)
+        );
+        assert!(parsed.ema.is_empty(), "J2 has no routing EMAs");
+
+        let j1 = checksummed(&format!(
+            "PESFLEETJ1 batch=2 step=2 next_unit=16 shed=0 completed=16 retries=0 \
+             violations=3 events=200 energy={energy:016x} wd=0 deg=16,0,0,0,0 \
+             inj=0,0,0,0,0,0,0,0 fail=- brk=C:0:0:0:0:-"
+        ));
+        let parsed = parse_record(&j1, &breaker_config()).expect("J1 record still parses");
+        assert_eq!(parsed.batches, 2);
+        assert_eq!(parsed.predicted_openings, [0; EVENT_CLASSES]);
+        assert_eq!(parsed.routed_entries, [0; 3]);
+        assert!(parsed.ema.is_empty());
+    }
+
+    #[test]
+    fn unknown_journal_magic_is_a_version_error_not_a_torn_tail() {
+        let record = JournalRecord {
+            batches: 1,
+            step: 1,
+            next_unit: 8,
+            shed: 0,
+            completed: 8,
+            retries: 0,
+            violations: 0,
+            events: 80,
+            energy_bits: 1.0f64.to_bits(),
+            watchdog_trips: 0,
+            degradation: DegradationTrace::default(),
+            injections: FaultCounts::default(),
+            predicted_openings: [0; EVENT_CLASSES],
+            routed_entries: [8, 0, 0],
+            solver_nodes: 100,
+            memo_hits: 1,
+            memo_misses: 2,
+            ema: vec![0; 4],
+            failures: Vec::new(),
+            breakers: vec![CircuitBreaker::new(&breaker_config())],
+        };
+        let line = encode_record(&record);
+        let (payload, _) = line.rsplit_once(" #").expect("checksummed");
+        let future = checksummed(&payload.replace("PESFLEETJ3", "PESFLEETJ9"));
+        match parse_record(&future, &breaker_config()) {
+            Err(FleetError::JournalVersion { found, supported }) => {
+                assert_eq!(found, "PESFLEETJ9");
+                assert!(supported.contains("PESFLEETJ3"));
+                assert!(supported.contains("PESFLEETJ1"));
+            }
+            other => panic!("expected JournalVersion error, got {other:?}"),
+        }
+        // Even as the *final* line a version error surfaces — the reader
+        // must never mistake a healthy future-format journal for a torn
+        // tail and silently restart over it.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("pes_fleet_future_{}.journal", std::process::id()));
+        std::fs::write(&path, format!("{future}\n")).expect("write journal");
+        assert!(matches!(
+            read_checkpoint(&path, &breaker_config()),
+            Err(FleetError::JournalVersion { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cost_router_classifies_by_thresholds_and_ema_converges() {
+        let routing = CostRouteConfig {
+            enabled: true,
+            ema_shift: 2,
+            hot_nodes: 20_000,
+            cold_nodes: 2_000,
+        };
+        assert_eq!(routing.classify(0), SolveEntry::Exact);
+        assert_eq!(routing.classify(2_000), SolveEntry::Exact);
+        assert_eq!(routing.classify(2_001), SolveEntry::Anytime);
+        assert_eq!(routing.classify(19_999), SolveEntry::Anytime);
+        assert_eq!(routing.classify(20_000), SolveEntry::Greedy);
+        let disabled = CostRouteConfig::default();
+        assert_eq!(disabled.classify(u64::MAX), SolveEntry::Exact);
+
+        // A constant sample stream converges the EMA onto the sample.
+        let mut ema = 0u64;
+        for _ in 0..64 {
+            ema = ema_update(ema, 40_000, 2);
+        }
+        assert!(
+            (39_000..=40_000).contains(&ema),
+            "EMA should converge near the sample: {ema}"
+        );
+
+        // The memo discount: a fully-cached replay costs nothing.
+        let mut outcome = UnitOutcome::clean();
+        outcome.solver_nodes = 10_000;
+        outcome.memo_hits = 50;
+        outcome.memo_misses = 0;
+        assert_eq!(cost_sample(&outcome), 0);
+        outcome.memo_hits = 0;
+        outcome.memo_misses = 50;
+        assert_eq!(cost_sample(&outcome), 10_000);
+        outcome.watchdog_trips = 2;
+        assert_eq!(cost_sample(&outcome), 10_000 + 2 * WATCHDOG_TRIP_COST_NODES);
     }
 }

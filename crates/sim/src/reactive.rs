@@ -35,6 +35,11 @@ pub struct ReactiveReport {
     pub records: Vec<ReactiveEventRecord>,
     /// Total processor energy over the session.
     pub total_energy: EnergyUj,
+    /// Events the scheduler served with a conservative fallback because
+    /// their type had no demand estimate (see
+    /// [`Scheduler::unprofiled_fallbacks`]); mirrors the proactive
+    /// `RunReport::unprofiled_fallbacks`.
+    pub unprofiled_fallbacks: usize,
 }
 
 impl ReactiveReport {
@@ -113,6 +118,7 @@ pub fn run_reactive_with_plane(
         app: trace.app().to_string(),
         records,
         total_energy: engine.total_energy(),
+        unprofiled_fallbacks: scheduler.unprofiled_fallbacks(),
     }
 }
 

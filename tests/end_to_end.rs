@@ -544,8 +544,8 @@ mod fleet_resilience {
     use pes::core::WatchdogConfig;
     use pes::schedulers::RoutedTier;
     use pes::sim::{
-        resume_fleet, run_fleet, run_fleet_journaled, BreakerConfig, FleetConfig, FleetRunReport,
-        FleetSpec, ShedPolicy,
+        resume_fleet, run_fleet, run_fleet_journaled, BreakerConfig, CostRouteConfig, FleetConfig,
+        FleetError, FleetRunReport, FleetSpec, ShedPolicy,
     };
 
     /// One shared context for the whole module: training dominates the
@@ -592,6 +592,7 @@ mod fleet_resilience {
             storm_every: 3,
             storm_arrivals: 14,
             max_events_per_session: 8,
+            scenario_cycle: 0,
         }
     }
 
@@ -621,6 +622,9 @@ mod fleet_resilience {
             },
             violation_spike: 3,
             packed_prediction: false,
+            shared_memo: true,
+            generation_cap: 512,
+            cost_routing: CostRouteConfig::default(),
         }
     }
 
@@ -787,6 +791,7 @@ mod fleet_resilience {
             storm_every: 7,
             storm_arrivals: 0,
             max_events_per_session: 8,
+            scenario_cycle: 0,
         };
         let config = FleetConfig {
             batch_size: 8,
@@ -802,6 +807,9 @@ mod fleet_resilience {
             },
             violation_spike: usize::MAX,
             packed_prediction: true,
+            shared_memo: true,
+            generation_cap: 512,
+            cost_routing: CostRouteConfig::default(),
         };
         let report = run_fleet(ctx(), &spec, &config);
         println!(
@@ -828,6 +836,141 @@ mod fleet_resilience {
         assert_same_aggregates(&report, &again);
     }
 
+    /// The shared cross-replay solve cache is a pure wall-clock
+    /// optimisation: a repeated-config sweep (no storms, no watchdog, many
+    /// sessions over the same 18 pages) produces byte-identical aggregates
+    /// with the shared memo on or off — same energy bits, same solver
+    /// nodes, same per-replay memo counters — while the generation answers
+    /// a real share of ring misses and lifts the cross-replay hit rate
+    /// above the per-replay baseline.
+    #[test]
+    fn shared_solve_memo_is_aggregate_identical_and_lifts_cross_replay_hit_rate() {
+        let spec = FleetSpec {
+            sessions: 48,
+            seed: 0x5EED_CAFE,
+            arrivals_per_step: 8,
+            storm_every: 0,
+            storm_arrivals: 0,
+            max_events_per_session: 10,
+            scenario_cycle: 12,
+        };
+        let shared_cfg = FleetConfig {
+            batch_size: 8,
+            queue_capacity: 64,
+            watchdog: WatchdogConfig::disabled(),
+            ..FleetConfig::default()
+        };
+        let solo_cfg = FleetConfig {
+            shared_memo: false,
+            ..shared_cfg.clone()
+        };
+        let shared = run_fleet(ctx(), &spec, &shared_cfg);
+        let solo = run_fleet(ctx(), &spec, &solo_cfg);
+
+        assert_same_aggregates(&shared, &solo);
+        assert_eq!(shared.solver_nodes, solo.solver_nodes);
+        assert_eq!(shared.memo_hits, solo.memo_hits);
+        assert_eq!(shared.memo_misses, solo.memo_misses);
+        assert_eq!(shared.routed_entries, solo.routed_entries);
+        assert_eq!(
+            (solo.shared_hits, solo.shared_lookups),
+            (0, 0),
+            "the per-replay baseline never probes a generation"
+        );
+        assert!(
+            shared.shared_hits > 0,
+            "the sweep must reuse solves across replays (lookups {})",
+            shared.shared_lookups
+        );
+        assert!(
+            shared.combined_hit_rate() > solo.memo_hit_rate(),
+            "combined {:.3} must beat the per-replay baseline {:.3}",
+            shared.combined_hit_rate(),
+            solo.memo_hit_rate()
+        );
+        println!(
+            "SHARED-MEMO baseline_hit_rate={:.4} combined_hit_rate={:.4} \
+             shared_hits={} shared_lookups={} solver_nodes={}",
+            solo.memo_hit_rate(),
+            shared.combined_hit_rate(),
+            shared.shared_hits,
+            shared.shared_lookups,
+            shared.solver_nodes,
+        );
+    }
+
+    /// Same FNV-1a the journal uses, so the tests can re-checksum rewritten
+    /// record payloads.
+    fn fnv1a(payload: &str) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in payload.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Journal-format compatibility: a run killed under the previous (`J2`)
+    /// build resumes under this one — the pre-routing records parse with
+    /// their missing fields restored as zeros and the resume-stable
+    /// aggregates still come out byte-identical — while a journal written
+    /// by an unknown future build is rejected with the typed version error
+    /// instead of being mistaken for a torn tail and silently restarted.
+    #[test]
+    fn resume_reads_older_journal_versions_and_rejects_unknown_magic() {
+        let spec = storm_spec();
+        let config = resilient_config();
+        let full_path = tmp_journal("ver_full");
+        let full =
+            run_fleet_journaled(ctx(), &spec, &config, &full_path).expect("journaled run succeeds");
+        let journal = std::fs::read_to_string(&full_path).expect("journal readable");
+        let lines: Vec<&str> = journal.lines().collect();
+
+        // Downgrade the first half of the records to the J2 format: drop
+        // the `nodes=`/`mh=`/`mm=`/`ent=`/`ema=` tokens, swap the magic,
+        // re-checksum.
+        let keep = lines.len() / 2;
+        assert!(keep >= 1);
+        let downgrade = |line: &str| -> String {
+            let (payload, _) = line.rsplit_once(" #").expect("checksummed record");
+            let start = payload.find(" nodes=").expect("J3 solver fields");
+            let end = payload.find(" fail=").expect("fail field");
+            let stripped = format!("{}{}", &payload[..start], &payload[end..]);
+            let old = stripped.replace("PESFLEETJ3", "PESFLEETJ2");
+            format!("{old} #{:016x}", fnv1a(&old))
+        };
+        let mut old_journal = lines[..keep]
+            .iter()
+            .map(|l| downgrade(l))
+            .collect::<Vec<_>>()
+            .join("\n");
+        old_journal.push('\n');
+        let old_path = tmp_journal("ver_old");
+        std::fs::write(&old_path, &old_journal).expect("write downgraded journal");
+        let resumed =
+            resume_fleet(ctx(), &spec, &config, &old_path).expect("J2 journal resumes cleanly");
+        assert_same_aggregates(&full, &resumed);
+
+        // A future-format journal must surface the version, even when its
+        // unreadable record is the final line.
+        let (payload, _) = lines[0].rsplit_once(" #").expect("checksummed record");
+        let future = payload.replace("PESFLEETJ3", "PESFLEETJ7");
+        let future_line = format!("{future} #{:016x}\n", fnv1a(&future));
+        let future_path = tmp_journal("ver_future");
+        std::fs::write(&future_path, &future_line).expect("write future journal");
+        match resume_fleet(ctx(), &spec, &config, &future_path) {
+            Err(FleetError::JournalVersion { found, supported }) => {
+                assert_eq!(found, "PESFLEETJ7");
+                assert!(supported.contains("PESFLEETJ3"));
+            }
+            other => panic!("expected a journal-version error, got {other:?}"),
+        }
+
+        std::fs::remove_file(&full_path).ok();
+        std::fs::remove_file(&old_path).ok();
+        std::fs::remove_file(&future_path).ok();
+    }
+
     /// Release-tier scale test (CI runs it with `--ignored`): a 100k-session
     /// chaos fleet under the aggressive fault plane completes with zero
     /// aborts — every session is served, shed or quarantined — while the
@@ -843,6 +986,7 @@ mod fleet_resilience {
             storm_every: 8,
             storm_arrivals: 1_024,
             max_events_per_session: 5,
+            scenario_cycle: 0,
         };
         let config = FleetConfig {
             batch_size: 256,
@@ -865,6 +1009,9 @@ mod fleet_resilience {
             },
             violation_spike: 2,
             packed_prediction: false,
+            shared_memo: true,
+            generation_cap: 1_024,
+            cost_routing: CostRouteConfig::default(),
         };
         let report = run_fleet(ctx(), &spec, &config);
         assert_eq!(

@@ -1213,6 +1213,7 @@ mod fleet_resilience {
                 storm_every,
                 storm_arrivals,
                 max_events_per_session: 0,
+                scenario_cycle: 0,
             };
             let config = FleetConfig {
                 batch_size,
@@ -1418,6 +1419,137 @@ mod prediction_plane {
                     bound
                 );
             }
+        }
+    }
+}
+
+/// PR 9 — the fleet-scale shared solve memo. The generation is a read-only
+/// mirror of the per-replay ring: a shared hit must reproduce the cached
+/// outcome *and* the ring's own bookkeeping, so every aggregate of a
+/// shared-memo fleet run is bitwise identical to the same run with the
+/// generation disabled — for any batch size, thread count, shard count,
+/// scenario cycle and session count, including the empty fleet (nothing to
+/// publish) and the single-session fleet (publish with no possible reuse).
+mod shared_memo {
+    use std::sync::{Arc, OnceLock};
+
+    use proptest::prelude::*;
+
+    use pes::acmp::{DvfsLadder, Platform};
+    use pes::core::{FaultPlane, WatchdogConfig};
+    use pes::predictor::{LearnerConfig, Trainer, TrainingConfig};
+    use pes::sim::{
+        run_fleet, CostRouteConfig, ExperimentContext, FleetConfig, FleetRunReport, FleetSpec,
+        ScenarioCache,
+    };
+    use pes::webrt::QosPolicy;
+    use pes::workload::AppCatalog;
+
+    /// One cheap context for the whole module; training dominates the cost
+    /// of every case otherwise. Clean fault plane: the differential is about
+    /// the memo mirror, not the degradation ladder.
+    fn ctx() -> &'static ExperimentContext {
+        static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+        CTX.get_or_init(|| {
+            let catalog = AppCatalog::paper_suite();
+            let platform = Platform::exynos_5410();
+            let power_plane = Arc::new(DvfsLadder::for_platform(&platform));
+            ExperimentContext {
+                platform,
+                power_plane,
+                qos: QosPolicy::paper_defaults(),
+                learner: Trainer::with_config(TrainingConfig {
+                    traces_per_app: 3,
+                    epochs: 25,
+                    ..Default::default()
+                })
+                .train_learner(&catalog, LearnerConfig::paper_defaults()),
+                catalog,
+                traces_per_app: 1,
+                scenarios: ScenarioCache::build(&AppCatalog::paper_suite(), 2),
+                faults: FaultPlane::none(),
+            }
+        })
+    }
+
+    fn assert_bitwise_equal(shared: &FleetRunReport, solo: &FleetRunReport) {
+        assert_eq!(
+            shared.energy_bits(),
+            solo.energy_bits(),
+            "energy must match to the bit"
+        );
+        assert_eq!(shared.violations, solo.violations);
+        assert_eq!(shared.events, solo.events);
+        assert_eq!(shared.completed, solo.completed);
+        assert_eq!(shared.shed, solo.shed);
+        assert_eq!(shared.shed_by_priority, solo.shed_by_priority);
+        assert_eq!(shared.retries, solo.retries);
+        assert_eq!(shared.steps, solo.steps);
+        assert_eq!(shared.batches, solo.batches);
+        assert_eq!(shared.peak_queue, solo.peak_queue);
+        assert_eq!(shared.degradation, solo.degradation);
+        assert_eq!(shared.injections, solo.injections);
+        assert_eq!(shared.predicted_openings, solo.predicted_openings);
+        assert_eq!(shared.watchdog_trips, solo.watchdog_trips);
+        assert_eq!(shared.breaker_histories, solo.breaker_histories);
+        assert_eq!(shared.breaker_finals, solo.breaker_finals);
+        assert_eq!(shared.failures.len(), solo.failures.len());
+        // The mirror contract proper: the per-replay solver counters the
+        // generation must never perturb.
+        assert_eq!(shared.solver_nodes, solo.solver_nodes);
+        assert_eq!(shared.memo_hits, solo.memo_hits);
+        assert_eq!(shared.memo_misses, solo.memo_misses);
+        assert_eq!(shared.routed_entries, solo.routed_entries);
+    }
+
+    proptest! {
+        #[test]
+        fn shared_memo_fleet_is_bitwise_identical_to_per_replay(
+            sessions in 0usize..=5,
+            seed in 0u64..u64::MAX,
+            batch_size in 1usize..=4,
+            threads in 1usize..=3,
+            shards in 1usize..=3,
+            scenario_cycle in 0usize..=3,
+            route_flag in 0u8..2,
+        ) {
+            let spec = FleetSpec {
+                sessions,
+                seed,
+                arrivals_per_step: 3,
+                storm_every: 0,
+                storm_arrivals: 0,
+                max_events_per_session: 6,
+                scenario_cycle,
+            };
+            let shared_cfg = FleetConfig {
+                batch_size,
+                queue_capacity: 16,
+                threads,
+                shards,
+                watchdog: WatchdogConfig::disabled(),
+                cost_routing: CostRouteConfig {
+                    enabled: route_flag == 1,
+                    ..CostRouteConfig::default()
+                },
+                ..FleetConfig::default()
+            };
+            let solo_cfg = FleetConfig {
+                shared_memo: false,
+                ..shared_cfg.clone()
+            };
+            let shared = run_fleet(ctx(), &spec, &shared_cfg);
+            let solo = run_fleet(ctx(), &spec, &solo_cfg);
+            assert_bitwise_equal(&shared, &solo);
+            assert_eq!(
+                (solo.shared_hits, solo.shared_lookups),
+                (0, 0),
+                "a per-replay run must never consult the generation"
+            );
+            prop_assert!(
+                shared.shared_hits <= shared.shared_lookups,
+                "hits cannot exceed lookups"
+            );
         }
     }
 }
