@@ -51,6 +51,8 @@ kernels=(
   pr8:predict_kernel/predict_many_64
   pr9:shared_memo/generation_hit_cycle16
   pr9:shared_memo/publish_4x4
+  pr10:engine_floor/execute_commit_31_ledger
+  pr10:engine_floor/execute_commit_31_reference
 )
 
 fail=0

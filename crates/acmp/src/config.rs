@@ -41,6 +41,17 @@ impl CoreKind {
         CoreKind::Denver2,
     ];
 
+    /// A dense index into [`CoreKind::ALL`], for array-backed per-cluster
+    /// accounting (the energy meter keeps one accumulator slot per kind).
+    pub const fn index(self) -> usize {
+        match self {
+            CoreKind::BigA15 => 0,
+            CoreKind::LittleA7 => 1,
+            CoreKind::A57 => 2,
+            CoreKind::Denver2 => 3,
+        }
+    }
+
     /// Whether this core kind belongs to a high-performance ("big") cluster.
     pub fn is_big(self) -> bool {
         matches!(self, CoreKind::BigA15 | CoreKind::A57 | CoreKind::Denver2)

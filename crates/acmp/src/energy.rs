@@ -6,7 +6,6 @@
 //! activity kind so that the evaluation figures can report both totals and
 //! breakdowns (e.g. the misprediction energy overhead of Sec. 6.3).
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::config::{AcmpConfig, CoreKind};
@@ -35,6 +34,17 @@ impl ActivityKind {
         ActivityKind::Idle,
         ActivityKind::Transition,
     ];
+
+    /// A dense index into [`ActivityKind::ALL`], for array-backed
+    /// per-activity accounting.
+    pub const fn index(self) -> usize {
+        match self {
+            ActivityKind::UsefulWork => 0,
+            ActivityKind::SpeculativeWaste => 1,
+            ActivityKind::Idle => 2,
+            ActivityKind::Transition => 3,
+        }
+    }
 }
 
 /// An integrating energy meter, equivalent to the paper's 1 kHz DAQ sampling
@@ -65,8 +75,24 @@ pub struct EnergyMeter<'p> {
     /// derivation, which is bit-identical by construction.
     plane: Option<Arc<DvfsLadder>>,
     total: EnergyUj,
-    by_activity: BTreeMap<ActivityKind, EnergyUj>,
-    by_cluster: BTreeMap<CoreKind, EnergyUj>,
+    /// Per-activity accumulators, indexed by [`ActivityKind::index`].
+    /// Flat arrays instead of the original `BTreeMap`s: the replay engine
+    /// lands two to four samples per event here, and the map walks were
+    /// the single largest slice of the engine floor. The addition order is
+    /// unchanged, so every total stays bit-identical to the map-backed
+    /// meter.
+    by_activity: [EnergyUj; 4],
+    /// Per-cluster accumulators, indexed by [`CoreKind::index`].
+    by_cluster: [EnergyUj; 4],
+    /// The *other* platform cluster charged for background idle draw,
+    /// precomputed per core kind at construction (the map-backed meter
+    /// re-searched the cluster table on every sample).
+    background_cluster: [CoreKind; 4],
+    /// One-entry memo of the last `(config, ladder rung)` pair: the engine
+    /// meters long runs of samples at its current configuration, so the
+    /// rung scan is paid once per configuration switch instead of once per
+    /// sample.
+    cached_rung: Option<(AcmpConfig, usize)>,
     busy_time: TimeUs,
     idle_time: TimeUs,
 }
@@ -74,12 +100,23 @@ pub struct EnergyMeter<'p> {
 impl<'p> EnergyMeter<'p> {
     /// Creates a meter for a platform with all counters at zero.
     pub fn new(platform: &'p Platform) -> Self {
+        let mut background_cluster = [CoreKind::BigA15; 4];
+        for kind in CoreKind::ALL {
+            background_cluster[kind.index()] = platform
+                .clusters()
+                .iter()
+                .map(|c| c.core_kind())
+                .find(|k| *k != kind)
+                .unwrap_or(kind);
+        }
         EnergyMeter {
             platform,
             plane: None,
             total: EnergyUj::ZERO,
-            by_activity: BTreeMap::new(),
-            by_cluster: BTreeMap::new(),
+            by_activity: [EnergyUj::ZERO; 4],
+            by_cluster: [EnergyUj::ZERO; 4],
+            background_cluster,
+            cached_rung: None,
             busy_time: TimeUs::ZERO,
             idle_time: TimeUs::ZERO,
         }
@@ -99,9 +136,37 @@ impl<'p> EnergyMeter<'p> {
         }
     }
 
+    /// The plane rung holding `cfg`, through the one-entry memo. Caches
+    /// only plane hits: off-plane configurations (and plane-less meters)
+    /// take the reference fallback below, which never consults a rung.
+    fn rung_of(&mut self, cfg: &AcmpConfig) -> Option<usize> {
+        if let Some((cached, i)) = self.cached_rung {
+            if cached == *cfg {
+                return Some(i);
+            }
+        }
+        let i = self.plane.as_ref()?.rung_index(cfg)?;
+        self.cached_rung = Some((*cfg, i));
+        Some(i)
+    }
+
     /// `(active, background)` powers of `cfg`, from the frozen plane when
-    /// available.
-    fn busy_powers(&self, cfg: &AcmpConfig) -> (PowerMw, PowerMw) {
+    /// available (rung memoised across consecutive samples).
+    fn busy_powers(&mut self, cfg: &AcmpConfig) -> (PowerMw, PowerMw) {
+        if let Some(i) = self.rung_of(cfg) {
+            // `rung_of` only answers when a plane is present.
+            if let Some(plane) = &self.plane {
+                let rung = &plane.rungs()[i];
+                return (rung.active_power, rung.background_power);
+            }
+        }
+        self.busy_powers_uncached(cfg)
+    }
+
+    /// [`EnergyMeter::busy_powers`] without touching the rung memo; used by
+    /// the non-mutating sample previews. Same plane probe, same fallback —
+    /// the returned powers are the identical frozen values either way.
+    fn busy_powers_uncached(&self, cfg: &AcmpConfig) -> (PowerMw, PowerMw) {
         if let Some(plane) = &self.plane {
             if let Some(i) = plane.rung_index(cfg) {
                 let rung = &plane.rungs()[i];
@@ -115,8 +180,19 @@ impl<'p> EnergyMeter<'p> {
     }
 
     /// `(idle, background)` powers of `cfg`, from the frozen plane when
-    /// available.
-    fn idle_powers(&self, cfg: &AcmpConfig) -> (PowerMw, PowerMw) {
+    /// available (rung memoised across consecutive samples).
+    fn idle_powers(&mut self, cfg: &AcmpConfig) -> (PowerMw, PowerMw) {
+        if let Some(i) = self.rung_of(cfg) {
+            if let Some(plane) = &self.plane {
+                let rung = &plane.rungs()[i];
+                return (rung.idle_power, rung.background_power);
+            }
+        }
+        self.idle_powers_uncached(cfg)
+    }
+
+    /// [`EnergyMeter::idle_powers`] without touching the rung memo.
+    fn idle_powers_uncached(&self, cfg: &AcmpConfig) -> (PowerMw, PowerMw) {
         if let Some(plane) = &self.plane {
             if let Some(i) = plane.rung_index(cfg) {
                 let rung = &plane.rungs()[i];
@@ -127,6 +203,37 @@ impl<'p> EnergyMeter<'p> {
             self.platform.idle_power(cfg),
             self.platform.background_idle_power(cfg),
         )
+    }
+
+    /// The `(own, background)` energies one busy sample would record,
+    /// without recording it. The per-frame ledger uses these previews to
+    /// answer energy queries while samples are still deferred: the
+    /// expressions are the ones [`EnergyMeter::record_busy`] evaluates, so
+    /// folding previews over a meter snapshot is bit-identical to flushing
+    /// the samples and reading the meter.
+    pub fn peek_busy(&self, cfg: &AcmpConfig, duration: TimeUs) -> (EnergyUj, EnergyUj) {
+        let (active, background_power) = self.busy_powers_uncached(cfg);
+        (
+            active.energy_over(duration),
+            background_power.energy_over(duration),
+        )
+    }
+
+    /// The `(own, background)` energies one idle sample would record,
+    /// without recording it (see [`EnergyMeter::peek_busy`]).
+    pub fn peek_idle(&self, cfg: &AcmpConfig, duration: TimeUs) -> (EnergyUj, EnergyUj) {
+        let (idle, background_power) = self.idle_powers_uncached(cfg);
+        (
+            idle.energy_over(duration),
+            background_power.energy_over(duration),
+        )
+    }
+
+    /// The energy one transition sample would record, without recording it
+    /// (see [`EnergyMeter::peek_busy`]).
+    pub fn peek_transition(&self, to: &AcmpConfig, duration: TimeUs) -> EnergyUj {
+        let (active, _) = self.busy_powers_uncached(to);
+        active.energy_over(duration)
     }
 
     /// Records a busy interval at configuration `cfg` attributed to
@@ -235,15 +342,9 @@ impl<'p> EnergyMeter<'p> {
         if moved.as_microjoules() == 0.0 {
             return;
         }
-        let entry = self
-            .by_activity
-            .entry(ActivityKind::UsefulWork)
-            .or_insert(EnergyUj::ZERO);
-        *entry = *entry - moved;
-        *self
-            .by_activity
-            .entry(ActivityKind::SpeculativeWaste)
-            .or_insert(EnergyUj::ZERO) += moved;
+        let useful_slot = &mut self.by_activity[ActivityKind::UsefulWork.index()];
+        *useful_slot = *useful_slot - moved;
+        self.by_activity[ActivityKind::SpeculativeWaste.index()] += moved;
         // Cluster attribution is unchanged; note the cluster only for callers
         // that later want a per-cluster waste breakdown.
         let _ = cluster;
@@ -251,8 +352,8 @@ impl<'p> EnergyMeter<'p> {
 
     fn add(&mut self, cluster: CoreKind, energy: EnergyUj, activity: ActivityKind) {
         self.total += energy;
-        *self.by_activity.entry(activity).or_insert(EnergyUj::ZERO) += energy;
-        *self.by_cluster.entry(cluster).or_insert(EnergyUj::ZERO) += energy;
+        self.by_activity[activity.index()] += energy;
+        self.by_cluster[cluster.index()] += energy;
     }
 
     fn add_background(
@@ -263,16 +364,10 @@ impl<'p> EnergyMeter<'p> {
     ) {
         // Attribute the background cluster's idle draw to the *other* cluster
         // so per-cluster breakdowns mirror the two DAQ channels of Sec. 3.
-        let other = self
-            .platform
-            .clusters()
-            .iter()
-            .map(|c| c.core_kind())
-            .find(|k| *k != active_cluster)
-            .unwrap_or(active_cluster);
+        let other = self.background_cluster[active_cluster.index()];
         self.total += energy;
-        *self.by_activity.entry(activity).or_insert(EnergyUj::ZERO) += energy;
-        *self.by_cluster.entry(other).or_insert(EnergyUj::ZERO) += energy;
+        self.by_activity[activity.index()] += energy;
+        self.by_cluster[other.index()] += energy;
     }
 
     /// Total energy integrated so far.
@@ -282,18 +377,12 @@ impl<'p> EnergyMeter<'p> {
 
     /// Energy attributed to a specific activity kind.
     pub fn for_activity(&self, activity: ActivityKind) -> EnergyUj {
-        self.by_activity
-            .get(&activity)
-            .copied()
-            .unwrap_or(EnergyUj::ZERO)
+        self.by_activity[activity.index()]
     }
 
     /// Energy attributed to a specific cluster.
     pub fn for_cluster(&self, cluster: CoreKind) -> EnergyUj {
-        self.by_cluster
-            .get(&cluster)
-            .copied()
-            .unwrap_or(EnergyUj::ZERO)
+        self.by_cluster[cluster.index()]
     }
 
     /// Total busy (executing or transitioning) time observed.

@@ -908,7 +908,10 @@ impl ProactiveRuntime {
             session.observe(ev);
         }
 
-        report.violations = report.outcomes.iter().filter(|(_, o)| o.violated()).count();
+        // The engine's ledger counts violations at commit time; every commit
+        // on this path also lands in `report.outcomes`, so the counter and
+        // the scan agree (the differential suites pin this).
+        report.violations = engine.violations();
         report.total_energy = engine.total_energy();
         report.waste_energy = engine.energy_for(ActivityKind::SpeculativeWaste);
         report.pfb_trace = pfb.occupancy_trace().to_vec();

@@ -8,7 +8,7 @@
 //! reactive destinations (this crate sits *below* `pes-core`, so it mirrors
 //! the bottom two rungs of the core degradation ladder rather than
 //! importing it), and [`scheduler_for`] mints the reactive scheduler that
-//! serves each one — [`Ebs`](crate::Ebs) for the QoS-aware reactive tier,
+//! serves each one — [`Ebs`] for the QoS-aware reactive tier,
 //! [`FloorGovernor`] for the conservative profiling floor.
 
 use pes_acmp::units::TimeUs;

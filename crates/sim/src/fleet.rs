@@ -42,6 +42,49 @@
 //! and dropped after the replay, and per-batch aggregation folds in unit
 //! index order, so reruns — and resumed runs — are byte-identical
 //! regardless of worker count.
+//!
+//! # Journal record format (`PESFLEETJ1` → `PESFLEETJ3`)
+//!
+//! The journal is line-oriented ASCII: one cumulative record per batch,
+//! each a space-separated `key=value` token list ending in an FNV-1a-64
+//! checksum of everything before it. New records always encode as the
+//! current `PESFLEETJ3` format; the reader also accepts `J2` and `J1`
+//! records (fields those versions lack restore as zeros), treats a
+//! malformed *final* line as a torn tail, and returns a typed
+//! [`FleetError::JournalVersion`] for an intact record whose
+//! `PESFLEETJ*` magic this build does not read.
+//!
+//! ```text
+//! PESFLEETJ3 batch=.. step=.. next_unit=.. shed=.. completed=.. retries=..
+//!   violations=.. events=.. energy=<16-hex> wd=.. deg=E,A,G,R,F
+//!   inj=c1,..,c8 pred=p0,..,p6 nodes=.. mh=.. mm=.. ent=g,a,e ema=h0,h1,..
+//!   fail=idx:att:L;.. brk=S:bits:len:cd:ps:hist|.. #<16-hex checksum>
+//! ```
+//!
+//! Field by field (all counters are *cumulative* since the run started):
+//!
+//! | Token | Since | Meaning |
+//! |---|---|---|
+//! | `batch=` | J1 | Batches executed (== records written so far). |
+//! | `step=` | J1 | Admission steps consumed by the arrival process. |
+//! | `next_unit=` | J1 | Next unit index to admit (the resume cursor). |
+//! | `shed=` | J1 | Sessions shed by the [`ShedPolicy`]. |
+//! | `completed=` | J1 | Replays completed (including retried units). |
+//! | `retries=` | J1 | Supervised re-executions after a worker panic. |
+//! | `violations=` | J1 | QoS violations across all completed replays. |
+//! | `events=` | J1 | Events executed across all completed replays. |
+//! | `energy=` | J1 | Total energy as big-endian hex of `f64::to_bits` — bit-exact, no decimal round-trip. |
+//! | `wd=` | J1 | Watchdog deadline trips. |
+//! | `deg=` | J1 | Five comma-separated [`DegradationLevel`] counts: Exact, Anytime, Greedy, Reactive, OndemandFloor. |
+//! | `inj=` | J1 | Eight comma-separated [`FaultCounts`] fields: prediction flips, confidence corruptions, demand drifts, starved solves, masked configs, delayed vsyncs, duplicated events, dropped events. |
+//! | `pred=` | J2 | Per-event-class histogram of batched opening predictions (one count per [`EventType`] class). |
+//! | `nodes=` | J3 | Solver nodes explored fleet-wide. |
+//! | `mh=` / `mm=` | J3 | Per-replay solve-memo ring hits / misses. (Shared-generation hit counters are deliberately **not** journaled: a resumed run rebuilds the generation cold, so they are the one non-resume-stable aggregate.) |
+//! | `ent=` | J3 | Routed-entry histogram: units forced to Greedy, Anytime, Exact by predicted-cost routing. |
+//! | `ema=` | J3 | Per-shard cost-routing EMA accumulators as hex (`-` when routing is off). |
+//! | `fail=` | J1 | Quarantine roster, `index:attempts:level-letter` triples joined by `;` (`-` when empty). |
+//! | `brk=` | J1 | One breaker snapshot per shard joined by `\|`: `state-letter:window-bits-hex:window-len:cooldown-left:probe-successes:transition-history` (history `-` when empty). |
+//! | `#` | J1 | FNV-1a-64 checksum (hex) of the full payload before ` #`. |
 
 use std::collections::VecDeque;
 use std::fmt;

@@ -1,0 +1,347 @@
+//! The per-frame accounting ledger.
+//!
+//! The pre-PR-10 engine pushed every energy sample (busy, idle, transition)
+//! into the [`EnergyMeter`] the moment it happened — two to four meter
+//! updates per event, which profiling pinned as the largest slice of the
+//! per-replay engine floor. The [`FrameLedger`] defers those samples: the
+//! engine appends compact energy samples while it executes, and the
+//! whole batch is flushed into the meter once per *frame commit* instead of
+//! once per event.
+//!
+//! # Bit-identity discipline
+//!
+//! Energy totals are `f64` sums, so addition order is part of the observable
+//! result. The ledger therefore never pre-aggregates: flushing replays the
+//! samples **in arrival order** through the exact same
+//! [`EnergyMeter::record_busy`] / [`record_idle`](EnergyMeter::record_idle) /
+//! [`record_transition`](EnergyMeter::record_transition) calls the eager
+//! engine made, so every meter total is bit-identical to the reference
+//! path. Queries that land *between* flushes
+//! ([`FrameLedger::fold_total`] / [`FrameLedger::fold_activity`]) fold the
+//! pending samples over the meter snapshot with the meter's own `peek_*`
+//! previews — the same expressions `record_*` evaluates, applied in the
+//! same order — so a mid-replay reading is indistinguishable from having
+//! flushed first.
+
+use pes_acmp::units::{EnergyUj, TimeUs};
+use pes_acmp::{AcmpConfig, ActivityKind, EnergyMeter};
+
+/// What a deferred sample will be metered as when it is flushed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SampleKind {
+    /// A busy interval attributed to `ActivityKind` (useful work now,
+    /// possibly re-attributed to waste after a squash).
+    Busy(ActivityKind),
+    /// An idle interval at the parked configuration.
+    Idle,
+    /// A DVFS/migration transition charged at the destination config.
+    Transition,
+}
+
+/// One deferred energy sample: the exact arguments of the `record_*` call
+/// the engine would have made eagerly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct EnergySample {
+    config: AcmpConfig,
+    duration: TimeUs,
+    kind: SampleKind,
+}
+
+/// A per-replay ledger of deferred energy samples plus the frame-commit
+/// counters (frames committed, QoS violations) that the engine previously
+/// recomputed by scanning its outcome log.
+///
+/// # Examples
+///
+/// ```
+/// use pes_acmp::{ActivityKind, EnergyMeter, Platform};
+/// use pes_acmp::units::TimeUs;
+/// use pes_webrt::FrameLedger;
+///
+/// let platform = Platform::exynos_5410();
+/// let mut meter = EnergyMeter::new(&platform);
+/// let mut ledger = FrameLedger::new();
+/// let cfg = platform.max_performance_config();
+///
+/// ledger.push_busy(cfg, TimeUs::from_millis(4), ActivityKind::UsefulWork);
+/// // Queries before the flush fold the pending samples over the meter.
+/// let preview = ledger.fold_total(&meter);
+/// ledger.flush_into(&mut meter);
+/// assert_eq!(meter.total().as_microjoules().to_bits(),
+///            preview.as_microjoules().to_bits());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FrameLedger {
+    samples: Vec<EnergySample>,
+    frames_committed: u64,
+    violations: usize,
+}
+
+impl FrameLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        FrameLedger::default()
+    }
+
+    /// An empty ledger with room for `samples` deferred samples before the
+    /// first reallocation (the engine seeds a frame's worth up front).
+    pub fn with_capacity(samples: usize) -> Self {
+        FrameLedger {
+            samples: Vec::with_capacity(samples),
+            ..FrameLedger::default()
+        }
+    }
+
+    /// Whether any samples are pending a flush.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Number of samples pending a flush.
+    pub fn pending_samples(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Frames committed through this ledger so far.
+    pub fn frames_committed(&self) -> u64 {
+        self.frames_committed
+    }
+
+    /// QoS violations observed at commit time so far.
+    pub fn violations(&self) -> usize {
+        self.violations
+    }
+
+    /// Defers a busy interval at `config` attributed to `activity`.
+    /// Zero-duration samples are dropped, exactly as the meter drops them.
+    #[inline]
+    pub fn push_busy(&mut self, config: AcmpConfig, duration: TimeUs, activity: ActivityKind) {
+        if duration.is_zero() {
+            return;
+        }
+        self.samples.push(EnergySample {
+            config,
+            duration,
+            kind: SampleKind::Busy(activity),
+        });
+    }
+
+    /// Defers an idle interval at the parked `config`.
+    #[inline]
+    pub fn push_idle(&mut self, config: AcmpConfig, duration: TimeUs) {
+        if duration.is_zero() {
+            return;
+        }
+        self.samples.push(EnergySample {
+            config,
+            duration,
+            kind: SampleKind::Idle,
+        });
+    }
+
+    /// Defers a transition charged at the destination `config`.
+    #[inline]
+    pub fn push_transition(&mut self, config: AcmpConfig, duration: TimeUs) {
+        if duration.is_zero() {
+            return;
+        }
+        self.samples.push(EnergySample {
+            config,
+            duration,
+            kind: SampleKind::Transition,
+        });
+    }
+
+    /// Records one frame commit and whether it violated its QoS target.
+    pub fn note_commit(&mut self, violated: bool) {
+        self.frames_committed += 1;
+        if violated {
+            self.violations += 1;
+        }
+    }
+
+    /// Flushes every pending sample into `meter`, in arrival order, through
+    /// the same `record_*` calls an eager engine would have made. After
+    /// this, the meter is bit-identical to one that never deferred.
+    pub fn flush_into(&mut self, meter: &mut EnergyMeter<'_>) {
+        // Borrow-iterate-then-clear instead of `drain`: the samples are
+        // `Copy` and the loop is the replay's per-commit hot path.
+        for sample in &self.samples {
+            match sample.kind {
+                SampleKind::Busy(activity) => {
+                    meter.record_busy(&sample.config, sample.duration, activity);
+                }
+                SampleKind::Idle => meter.record_idle(&sample.config, sample.duration),
+                SampleKind::Transition => {
+                    meter.record_transition(&sample.config, sample.duration);
+                }
+            }
+        }
+        self.samples.clear();
+    }
+
+    /// The meter total *as if* the pending samples had been flushed: folds
+    /// each sample's `(own, background)` energies over the meter snapshot
+    /// in the same order `flush_into` would add them. Bit-identical to
+    /// flushing and reading [`EnergyMeter::total`].
+    pub fn fold_total(&self, meter: &EnergyMeter<'_>) -> EnergyUj {
+        let mut total = meter.total();
+        for sample in &self.samples {
+            match sample.kind {
+                SampleKind::Busy(_) => {
+                    let (own, background) = meter.peek_busy(&sample.config, sample.duration);
+                    total += own;
+                    total += background;
+                }
+                SampleKind::Idle => {
+                    let (own, background) = meter.peek_idle(&sample.config, sample.duration);
+                    total += own;
+                    total += background;
+                }
+                SampleKind::Transition => {
+                    total += meter.peek_transition(&sample.config, sample.duration);
+                }
+            }
+        }
+        total
+    }
+
+    /// The per-activity total *as if* the pending samples had been flushed
+    /// (see [`FrameLedger::fold_total`]). A busy sample charges both its own
+    /// and its background energy to its activity; idle and transition
+    /// samples charge [`ActivityKind::Idle`] and [`ActivityKind::Transition`]
+    /// respectively — mirroring the meter's attribution exactly.
+    pub fn fold_activity(&self, meter: &EnergyMeter<'_>, activity: ActivityKind) -> EnergyUj {
+        let mut total = meter.for_activity(activity);
+        for sample in &self.samples {
+            match sample.kind {
+                SampleKind::Busy(kind) if kind == activity => {
+                    let (own, background) = meter.peek_busy(&sample.config, sample.duration);
+                    total += own;
+                    total += background;
+                }
+                SampleKind::Idle if activity == ActivityKind::Idle => {
+                    let (own, background) = meter.peek_idle(&sample.config, sample.duration);
+                    total += own;
+                    total += background;
+                }
+                SampleKind::Transition if activity == ActivityKind::Transition => {
+                    total += meter.peek_transition(&sample.config, sample.duration);
+                }
+                _ => {}
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pes_acmp::Platform;
+
+    #[test]
+    fn deferred_flush_is_bit_identical_to_eager_recording() {
+        let p = Platform::exynos_5410();
+        let big = p.max_performance_config();
+        let little = p.min_power_config();
+
+        let mut eager = EnergyMeter::new(&p);
+        eager.record_idle(&little, TimeUs::from_millis(3));
+        eager.record_transition(&big, TimeUs::from_micros(700));
+        eager.record_busy(&big, TimeUs::from_millis(5), ActivityKind::UsefulWork);
+        eager.record_busy(&big, TimeUs::from_millis(1), ActivityKind::SpeculativeWaste);
+
+        let mut deferred = EnergyMeter::new(&p);
+        let mut ledger = FrameLedger::new();
+        ledger.push_idle(little, TimeUs::from_millis(3));
+        ledger.push_transition(big, TimeUs::from_micros(700));
+        ledger.push_busy(big, TimeUs::from_millis(5), ActivityKind::UsefulWork);
+        ledger.push_busy(big, TimeUs::from_millis(1), ActivityKind::SpeculativeWaste);
+        assert_eq!(ledger.pending_samples(), 4);
+        ledger.flush_into(&mut deferred);
+        assert!(ledger.is_empty());
+
+        assert_eq!(
+            eager.total().as_microjoules().to_bits(),
+            deferred.total().as_microjoules().to_bits()
+        );
+        for kind in ActivityKind::ALL {
+            assert_eq!(
+                eager.for_activity(kind).as_microjoules().to_bits(),
+                deferred.for_activity(kind).as_microjoules().to_bits(),
+                "activity {kind:?} drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn folds_preview_exactly_what_a_flush_would_produce() {
+        let p = Platform::exynos_5410();
+        let big = p.max_performance_config();
+        let mut meter = EnergyMeter::new(&p);
+        // Seed the meter so the fold starts from a non-zero snapshot.
+        meter.record_busy(&big, TimeUs::from_millis(2), ActivityKind::UsefulWork);
+
+        let mut ledger = FrameLedger::new();
+        ledger.push_idle(p.min_power_config(), TimeUs::from_millis(4));
+        ledger.push_busy(big, TimeUs::from_millis(7), ActivityKind::UsefulWork);
+        ledger.push_transition(big, TimeUs::from_micros(300));
+
+        let folded_total = ledger.fold_total(&meter);
+        let folded_useful = ledger.fold_activity(&meter, ActivityKind::UsefulWork);
+        let folded_idle = ledger.fold_activity(&meter, ActivityKind::Idle);
+        let folded_transition = ledger.fold_activity(&meter, ActivityKind::Transition);
+
+        ledger.flush_into(&mut meter);
+        assert_eq!(
+            meter.total().as_microjoules().to_bits(),
+            folded_total.as_microjoules().to_bits()
+        );
+        assert_eq!(
+            meter
+                .for_activity(ActivityKind::UsefulWork)
+                .as_microjoules()
+                .to_bits(),
+            folded_useful.as_microjoules().to_bits()
+        );
+        assert_eq!(
+            meter
+                .for_activity(ActivityKind::Idle)
+                .as_microjoules()
+                .to_bits(),
+            folded_idle.as_microjoules().to_bits()
+        );
+        assert_eq!(
+            meter
+                .for_activity(ActivityKind::Transition)
+                .as_microjoules()
+                .to_bits(),
+            folded_transition.as_microjoules().to_bits()
+        );
+    }
+
+    #[test]
+    fn zero_duration_samples_never_enter_the_ledger() {
+        let mut ledger = FrameLedger::new();
+        let p = Platform::exynos_5410();
+        ledger.push_busy(
+            p.max_performance_config(),
+            TimeUs::ZERO,
+            ActivityKind::UsefulWork,
+        );
+        ledger.push_idle(p.max_performance_config(), TimeUs::ZERO);
+        ledger.push_transition(p.max_performance_config(), TimeUs::ZERO);
+        assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn commit_counters_track_frames_and_violations() {
+        let mut ledger = FrameLedger::new();
+        ledger.note_commit(false);
+        ledger.note_commit(true);
+        ledger.note_commit(true);
+        assert_eq!(ledger.frames_committed(), 3);
+        assert_eq!(ledger.violations(), 2);
+    }
+}

@@ -1553,3 +1553,235 @@ mod shared_memo {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Frame-scheduler / frame-ledger tier: the PR-10 engine refactor must be
+// bit-identical to the retained reference accounting path.
+// ---------------------------------------------------------------------------
+
+mod frame_ledger {
+    use super::*;
+
+    use pes::core::{FaultConfig, FaultPlane};
+    use pes::webrt::{EventId, ExecutionEngine, ExecutionRecord, QosPolicy, WebEvent};
+
+    const EVENT_TYPES: [EventType; 5] = [
+        EventType::Load,
+        EventType::Click,
+        EventType::Scroll,
+        EventType::TouchMove,
+        EventType::Navigate,
+    ];
+
+    fn event(id: u64, ty_idx: usize, arrival_us: u64, mcycles: u64) -> WebEvent {
+        WebEvent::new(
+            EventId::new(id),
+            EVENT_TYPES[ty_idx % EVENT_TYPES.len()],
+            None,
+            TimeUs::from_micros(arrival_us),
+            CpuDemand::new(
+                TimeUs::from_millis(5),
+                CpuCycles::new((1 + mcycles) * 1_000_000),
+            ),
+        )
+    }
+
+    /// Drives `fast` (ledger + feedback scheduler, the default) and
+    /// `reference` (`with_reference_accounting`) through the same operation
+    /// sequence and asserts every observable agrees bit for bit — including
+    /// *mid-replay*, while samples are still deferred in the ledger.
+    fn assert_engines_agree(fast: &ExecutionEngine<'_>, reference: &ExecutionEngine<'_>) {
+        assert_eq!(
+            fast.total_energy().as_microjoules().to_bits(),
+            reference.total_energy().as_microjoules().to_bits(),
+            "total energy drifted"
+        );
+        for kind in ActivityKind::ALL {
+            assert_eq!(
+                fast.energy_for(kind).as_microjoules().to_bits(),
+                reference.energy_for(kind).as_microjoules().to_bits(),
+                "activity {kind:?} drifted"
+            );
+        }
+        assert_eq!(
+            fast.waste_fraction().to_bits(),
+            reference.waste_fraction().to_bits(),
+            "waste fraction drifted"
+        );
+        assert_eq!(fast.violations(), reference.violations());
+        assert_eq!(fast.outcomes(), reference.outcomes());
+        assert_eq!(fast.cpu_free_at(), reference.cpu_free_at());
+        assert_eq!(fast.current_config(), reference.current_config());
+    }
+
+    proptest! {
+        /// The tentpole lockdown: over arbitrary interleavings of idle /
+        /// switch / execute / commit / speculate / squash operations —
+        /// with late-vsync fault injections perturbing commit times through
+        /// the real `FaultPlane` — the ledger engine and the reference
+        /// engine report bit-identical energy (total, per-activity, waste
+        /// fraction), identical QoS outcomes and identical violation
+        /// counts, at every step, not just at the end.
+        #[test]
+        fn ledger_engine_is_bit_identical_to_reference_accounting(
+            ops in proptest::collection::vec(
+                (0u8..6, 0usize..17, 0u64..200, 0usize..5, 1u64..400),
+                1..50
+            ),
+            fault_seed in 0u64..1_000_000_000,
+            vsync_rate in 0.0f64..0.6,
+        ) {
+            let platform = Platform::exynos_5410();
+            let plane = std::sync::Arc::new(DvfsLadder::for_platform(&platform));
+            let qos = QosPolicy::paper_defaults();
+            let mut fast =
+                ExecutionEngine::with_plane(&platform, qos, std::sync::Arc::clone(&plane));
+            let mut reference =
+                ExecutionEngine::with_plane(&platform, qos, std::sync::Arc::clone(&plane))
+                    .with_reference_accounting();
+            let faults = FaultPlane::new(FaultConfig {
+                seed: fault_seed,
+                vsync_delay: vsync_rate,
+                ..FaultConfig::disabled()
+            });
+            // One session per engine, seeded identically: both draw the
+            // same delay stream, so commits are perturbed in lockstep.
+            let mut fast_fs = faults.session();
+            let mut ref_fs = faults.session();
+
+            let mut pending: Vec<(WebEvent, ExecutionRecord)> = Vec::new();
+            let mut next_id = 0u64;
+            for (op, cfg_idx, delta_ms, ty_idx, mcycles) in ops {
+                let cfg = platform.configs()[cfg_idx % platform.configs().len()];
+                match op {
+                    // Idle forward from the CPU-free horizon.
+                    0 => {
+                        let until = fast.cpu_free_at() + TimeUs::from_millis(delta_ms);
+                        fast.idle_until(until);
+                        reference.idle_until(until);
+                    }
+                    // DVFS / migration switch.
+                    1 => {
+                        fast.switch_config(&cfg);
+                        reference.switch_config(&cfg);
+                    }
+                    // Execute + commit immediately (the reactive shape),
+                    // with the commit time possibly pushed by a late-vsync
+                    // fault exactly as the proactive runtime does it.
+                    2 | 3 => {
+                        let arrival = fast.cpu_free_at().as_micros() + delta_ms * 1_000;
+                        let ev = event(next_id, ty_idx, arrival, mcycles);
+                        next_id += 1;
+                        let a = fast.execute_event(&ev, &cfg, false);
+                        let b = reference.execute_event(&ev, &cfg, false);
+                        prop_assert_eq!(a, b, "execution records diverged");
+                        let period = *fast.vsync();
+                        let ready_a = fast_fs.delay_vsync(a.frame_ready_at, period.period());
+                        let ready_b = ref_fs.delay_vsync(b.frame_ready_at, period.period());
+                        prop_assert_eq!(ready_a, ready_b, "fault streams diverged");
+                        let oa = fast.commit(&ev, ready_a);
+                        let ob = reference.commit(&ev, ready_b);
+                        prop_assert_eq!(oa, ob, "outcomes diverged");
+                    }
+                    // Speculative execution: the frame parks in the PFB.
+                    4 => {
+                        let arrival = fast.cpu_free_at().as_micros() + 50_000;
+                        let ev = event(next_id, ty_idx, arrival, mcycles);
+                        next_id += 1;
+                        let a = fast.execute_event(&ev, &cfg, true);
+                        let b = reference.execute_event(&ev, &cfg, true);
+                        prop_assert_eq!(a, b);
+                        pending.push((ev, a));
+                    }
+                    // Resolve one parked frame: commit it or squash it.
+                    _ => {
+                        if let Some((ev, record)) = pending.pop() {
+                            if delta_ms % 2 == 0 {
+                                let oa = fast.commit(&ev, record.frame_ready_at);
+                                let ob = reference.commit(&ev, record.frame_ready_at);
+                                prop_assert_eq!(oa, ob);
+                            } else {
+                                fast.account_squashed_frame(&record);
+                                reference.account_squashed_frame(&record);
+                            }
+                        }
+                    }
+                }
+                assert_engines_agree(&fast, &reference);
+            }
+            // Telemetry sanity: every prediction the scheduler served was
+            // either a feedback walk or a cold fallback.
+            let frames = fast.frame_scheduler();
+            prop_assert_eq!(
+                frames.feedback_hits() + frames.cold_predictions(),
+                fast.outcomes().len() as u64
+            );
+        }
+    }
+
+    /// Engine-level cold-path coverage: warmup, deep speculative backlog,
+    /// and a refresh-interval change mid-replay all stay in lockstep with
+    /// the reference engine.
+    #[test]
+    fn engine_cold_paths_stay_in_lockstep_with_the_reference() {
+        let platform = Platform::exynos_5410();
+        let plane = std::sync::Arc::new(DvfsLadder::for_platform(&platform));
+        let qos = QosPolicy::paper_defaults();
+        let mut fast = ExecutionEngine::with_plane(&platform, qos, std::sync::Arc::clone(&plane));
+        let mut reference =
+            ExecutionEngine::with_plane(&platform, qos, plane).with_reference_accounting();
+
+        // (1) Warmup: the very first commit has no presentation feedback.
+        let ev = event(0, 1, 10_000, 80);
+        let a = fast.execute_event(&ev, &platform.max_performance_config(), false);
+        let b = reference.execute_event(&ev, &platform.max_performance_config(), false);
+        assert_eq!(
+            fast.commit(&ev, a.frame_ready_at),
+            reference.commit(&ev, b.frame_ready_at)
+        );
+        assert_engines_agree(&fast, &reference);
+        assert_eq!(fast.frame_scheduler().cold_predictions(), 1);
+
+        // (2) Saturated pending-commit backlog: many speculative frames
+        // before the next commit seed the walk far ahead.
+        let mut parked = Vec::new();
+        for i in 0..12 {
+            let ev = event(100 + i, (i % 5) as usize, 0, 30 + i);
+            let cfg = platform.configs()[(i as usize) % platform.configs().len()];
+            let ra = fast.execute_event(&ev, &cfg, true);
+            let rb = reference.execute_event(&ev, &cfg, true);
+            assert_eq!(ra, rb);
+            parked.push((ev, ra));
+        }
+        assert_eq!(fast.frame_scheduler().pending_commits(), 12);
+        for (ev, record) in parked {
+            assert_eq!(
+                fast.commit(&ev, record.frame_ready_at),
+                reference.commit(&ev, record.frame_ready_at)
+            );
+            assert_engines_agree(&fast, &reference);
+        }
+
+        // (3) Refresh-interval change mid-replay: move both engines to a
+        // 120 Hz panel; the scheduler must drop its feedback and re-seed.
+        use pes::webrt::VsyncClock;
+        fast.set_vsync(VsyncClock::with_period(TimeUs::from_micros(8_333)));
+        reference.set_vsync(VsyncClock::with_period(TimeUs::from_micros(8_333)));
+        assert!(fast.frame_scheduler().feedback().is_none());
+        let cold_before = fast.frame_scheduler().cold_predictions();
+        // Light, dense events: consecutive commits land within the walk
+        // bound, so only the first post-switch prediction resolves cold.
+        for i in 0..4 {
+            let ev = event(200 + i, 2, fast.cpu_free_at().as_micros() + 1_000, 2);
+            let ra = fast.execute_event(&ev, &platform.max_performance_config(), false);
+            let rb = reference.execute_event(&ev, &platform.max_performance_config(), false);
+            assert_eq!(ra, rb);
+            assert_eq!(
+                fast.commit(&ev, ra.frame_ready_at),
+                reference.commit(&ev, rb.frame_ready_at)
+            );
+            assert_engines_agree(&fast, &reference);
+        }
+        assert_eq!(fast.frame_scheduler().cold_predictions(), cold_before + 1);
+    }
+}
